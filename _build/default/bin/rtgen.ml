@@ -1,0 +1,389 @@
+(* rtgen — command-line front end: simulate black-box systems, learn
+   dependency models from traces, analyze and export them. *)
+
+open Cmdliner
+
+let read_trace path =
+  match Rt_trace.Trace_io.load path with
+  | Ok t -> Ok t
+  | Error e ->
+    Error (Printf.sprintf "%s: line %d: %s" path e.line e.message)
+  | exception Sys_error m -> Error m
+
+(* --- simulate --- *)
+
+let design_of_spec ~case_study ~tasks ~local_fraction ~seed =
+  if case_study then (Rt_case.Gm_model.design (), Rt_case.Gm_model.names)
+  else
+    let layers = max 2 (tasks / 3) in
+    let width = max 1 (tasks / layers) in
+    let d =
+      Rt_task.Generator.generate
+        { Rt_task.Generator.default with
+          layers; width_min = width; width_max = width + 1; local_fraction }
+        ~seed
+    in
+    (d, Rt_task.Task_set.names (Rt_task.Design.task_set d))
+
+let simulate case_study tasks seed periods output dot drop_rate local_fraction =
+  let design, _names = design_of_spec ~case_study ~tasks ~local_fraction ~seed in
+  if dot then begin
+    print_string (Rt_task.Design.to_dot design);
+    `Ok ()
+  end
+  else
+    match
+      Rt_sim.Simulator.run design
+        { Rt_sim.Simulator.default_config with periods; seed; drop_rate }
+    with
+    | exception Rt_sim.Simulator.Overrun { period; time } ->
+      `Error (false,
+              Printf.sprintf "design not schedulable: period %d overran at %dus"
+                period time)
+    | trace ->
+      (match output with
+       | None -> print_string (Rt_trace.Trace_io.to_string trace)
+       | Some path ->
+         Rt_trace.Trace_io.save path trace;
+         Printf.eprintf "wrote %s (%s)\n" path
+           (Format.asprintf "%a" Rt_trace.Trace.pp_summary trace));
+      `Ok ()
+
+(* --- learn --- *)
+
+let learn path exact bound window dot output =
+  match read_trace path with
+  | Error m -> `Error (false, m)
+  | Ok trace ->
+    let names = Rt_task.Task_set.names trace.task_set in
+    let hypotheses =
+      if exact then
+        match Rt_learn.Exact.run ?window trace with
+        | o -> Ok o.hypotheses
+        | exception Rt_learn.Exact.Blowup { set_size; limit; _ } ->
+          Error (Printf.sprintf
+                   "exact version space exceeded %d (limit %d); use the \
+                    heuristic (--bound) or a candidate --window"
+                   set_size limit)
+      else Ok (Rt_learn.Heuristic.run ?window ~bound trace).hypotheses
+    in
+    (match hypotheses with
+     | Error m -> `Error (false, m)
+     | Ok [] ->
+       `Error (false,
+               "inconsistent trace: some message has no admissible \
+                sender/receiver under the assumed model of computation")
+     | Ok hs ->
+       let lub = Rt_lattice.Depfun.lub hs in
+       (match output with
+        | Some file ->
+          let oc = open_out file in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+              output_string oc (Rt_lattice.Depfun.to_string ~names lub);
+              output_char oc '\n');
+          Printf.eprintf "wrote model to %s\n" file
+        | None -> ());
+       if dot then print_string (Rt_analysis.Dep_graph.to_dot ~names lub)
+       else begin
+         Format.printf "%d most specific hypothesis(es); least upper bound:@."
+           (List.length hs);
+         Format.printf "%s@." (Rt_lattice.Depfun.to_string ~names lub)
+       end;
+       `Ok ())
+
+(* --- analyze --- *)
+
+let analyze path bound window =
+  match read_trace path with
+  | Error m -> `Error (false, m)
+  | Ok trace ->
+    let names = Rt_task.Task_set.names trace.task_set in
+    (match (Rt_learn.Heuristic.run ?window ~bound trace).hypotheses with
+     | [] -> `Error (false, "inconsistent trace")
+     | hs ->
+       let model = Rt_lattice.Depfun.lub hs in
+       Format.printf "== dependency relations ==@.%s@."
+         (Rt_analysis.Dep_graph.summary ~names model);
+       Format.printf "== node classification ==@.";
+       List.iter (fun info ->
+           Format.printf "%a@." (Rt_analysis.Classify.pp_info ~names) info)
+         (Rt_analysis.Classify.classify model);
+       let n = Rt_lattice.Depfun.size model in
+       if n <= 24 then
+         Format.printf "== state space ==@.%d of %d period outcomes consistent (%.1fx reduction)@."
+           (Rt_analysis.Reachability.count_consistent model)
+           (Rt_analysis.Reachability.total_states n)
+           (Rt_analysis.Reachability.reduction model);
+       Format.printf "== operation modes ==@.";
+       List.iter (fun cls ->
+           if List.length cls > 1 then
+             Format.printf "always together: {%s}@."
+               (String.concat " " (List.map (fun i -> names.(i)) cls)))
+         (Rt_analysis.Modes.co_execution_classes model);
+       List.iter (fun (a, b) ->
+           Format.printf "mutually exclusive: %s vs %s@." names.(a) names.(b))
+         (Rt_analysis.Modes.exclusive_pairs trace);
+       `Ok ())
+
+(* --- stats / vcd --- *)
+
+let stats path =
+  match read_trace path with
+  | Error m -> `Error (false, m)
+  | Ok trace ->
+    print_endline (Rt_trace.Stats.to_string trace);
+    `Ok ()
+
+let vcd path output =
+  match read_trace path with
+  | Error m -> `Error (false, m)
+  | Ok trace ->
+    (match output with
+     | None -> print_string (Rt_trace.Vcd.to_string trace)
+     | Some file -> Rt_trace.Vcd.save file trace);
+    `Ok ()
+
+(* --- anonymize --- *)
+
+let anonymize path output =
+  match read_trace path with
+  | Error m -> `Error (false, m)
+  | Ok trace ->
+    let anon, mapping = Rt_trace.Anonymize.anonymize trace in
+    (match output with
+     | None -> print_string (Rt_trace.Trace_io.to_string anon)
+     | Some file ->
+       Rt_trace.Trace_io.save file anon;
+       Printf.eprintf "wrote %s\n" file);
+    List.iter (fun (original, hidden) ->
+        Printf.eprintf "%s -> %s\n" original hidden)
+      mapping.Rt_trace.Anonymize.task_names;
+    `Ok ()
+
+(* --- gantt --- *)
+
+let gantt path period output =
+  match read_trace path with
+  | Error m -> `Error (false, m)
+  | Ok trace ->
+    (match List.nth_opt (Rt_trace.Trace.periods trace) period with
+     | None -> `Error (false, Printf.sprintf "no period %d in the trace" period)
+     | Some pd ->
+       (match output with
+        | None -> print_string (Rt_trace.Gantt.to_svg pd)
+        | Some file -> Rt_trace.Gantt.save file pd);
+       `Ok ())
+
+(* --- check --- *)
+
+let check path query bound window model_file =
+  match read_trace path with
+  | Error m -> `Error (false, m)
+  | Ok trace ->
+    (match Rt_analysis.Query.parse query with
+     | Error m -> `Error (false, "query: " ^ m)
+     | Ok q ->
+       let model_result =
+         match model_file with
+         | Some file ->
+           (* Reuse a model saved by `learn -o` instead of re-learning. *)
+           (try
+              let ic = open_in file in
+              let content =
+                Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+                    really_input_string ic (in_channel_length ic))
+              in
+              match Rt_lattice.Depfun.parse content with
+              | Ok (model, names) -> Ok (model, names)
+              | Error m -> Error (file ^ ": " ^ m)
+            with Sys_error m -> Error m)
+         | None ->
+           (match (Rt_learn.Heuristic.run ?window ~bound trace).hypotheses with
+            | [] -> Error "inconsistent trace"
+            | hs ->
+              Ok (Rt_lattice.Depfun.lub hs,
+                  Rt_task.Task_set.names trace.task_set))
+       in
+       (match model_result with
+        | Error m -> `Error (false, m)
+        | Ok (model, names) ->
+          (match Rt_analysis.Query.eval ~model ~names ~trace q with
+           | Error m -> `Error (false, m)
+           | Ok verdicts ->
+             let all = List.for_all (fun v -> v.Rt_analysis.Query.holds) verdicts in
+             List.iter (fun (v : Rt_analysis.Query.verdict) ->
+                 Format.printf "%s  %s  (%s)@."
+                   (if v.holds then "[ok]  " else "[FAIL]")
+                   (Rt_analysis.Query.clause_to_string v.clause)
+                   v.detail)
+               verdicts;
+             if all then `Ok () else `Error (false, "property violated"))))
+
+(* --- table1 --- *)
+
+let table1 fast =
+  let trace = Rt_case.Gm_model.trace () in
+  Format.printf "%a@." Rt_trace.Trace.pp_summary trace;
+  let bounds = if fast then [ 1; 4; 16 ] else [ 1; 4; 16; 32; 64; 100; 120; 150 ] in
+  let rows =
+    List.map (fun bound ->
+        let t0 = Unix.gettimeofday () in
+        let o = Rt_learn.Heuristic.run ~bound trace in
+        let dt = Unix.gettimeofday () -. t0 in
+        [ string_of_int bound; Printf.sprintf "%.3f" dt;
+          string_of_int (List.length o.hypotheses) ])
+      bounds
+  in
+  print_string
+    (Rt_util.Table.render
+       ~aligns:[ Rt_util.Table.Right; Rt_util.Table.Right; Rt_util.Table.Right ]
+       ~header:[ "bound"; "run time (s)"; "|D*|" ]
+       rows);
+  `Ok ()
+
+(* --- example --- *)
+
+let example () =
+  let trace = Rt_case.Paper_example.trace () in
+  let o = Rt_learn.Exact.run trace in
+  Format.printf "worked example (paper sec. 3.3): %d most specific hypotheses@."
+    (List.length o.hypotheses);
+  Format.printf "dLUB:@.%s@."
+    (Rt_lattice.Depfun.to_string (Rt_lattice.Depfun.lub o.hypotheses));
+  `Ok ()
+
+(* --- cmdliner wiring --- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let periods_arg =
+  Arg.(value & opt int 27 & info [ "periods" ] ~docv:"N" ~doc:"Periods to simulate.")
+
+let bound_arg =
+  Arg.(value & opt int 16 & info [ "bound"; "b" ] ~docv:"B"
+         ~doc:"Hypothesis-set bound for the heuristic algorithm.")
+
+let window_arg =
+  Arg.(value & opt (some int) None & info [ "window" ] ~docv:"US"
+         ~doc:"Candidate window in microseconds (narrows sender/receiver \
+               inference).")
+
+let dot_arg =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit a Graphviz graph instead of text.")
+
+let trace_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+         ~doc:"Trace file in the rtgen-trace format.")
+
+let simulate_cmd =
+  let case_study =
+    Arg.(value & flag & info [ "case-study" ]
+           ~doc:"Use the built-in 18-task GM-like controller.")
+  in
+  let tasks =
+    Arg.(value & opt int 12 & info [ "tasks" ] ~docv:"N"
+           ~doc:"Number of tasks for a random design.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the trace to FILE instead of stdout.")
+  in
+  let drop_rate =
+    Arg.(value & opt float 0.0 & info [ "drop-rate" ] ~docv:"P"
+           ~doc:"Fault injection: probability that a frame is missing from \
+                 the log.")
+  in
+  let local_fraction =
+    Arg.(value & opt float 0.0 & info [ "local-fraction" ] ~docv:"P"
+           ~doc:"Fraction of edges delivered ECU-internally (random designs \
+                 only; such messages never reach the bus log).")
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate a system and log its bus trace")
+    Term.(ret (const simulate $ case_study $ tasks $ seed_arg $ periods_arg
+               $ output $ dot_arg $ drop_rate $ local_fraction))
+
+let learn_cmd =
+  let exact =
+    Arg.(value & flag & info [ "exact" ]
+           ~doc:"Use the precise exponential algorithm instead of the \
+                 bounded heuristic.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Also save the learned model (matrix text) to FILE.")
+  in
+  Cmd.v (Cmd.info "learn" ~doc:"Learn a dependency model from a trace")
+    Term.(ret (const learn $ trace_arg $ exact $ bound_arg $ window_arg
+               $ dot_arg $ output))
+
+let analyze_cmd =
+  Cmd.v (Cmd.info "analyze"
+           ~doc:"Learn and analyze: classification, state space, modes")
+    Term.(ret (const analyze $ trace_arg $ bound_arg $ window_arg))
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Print descriptive statistics of a trace")
+    Term.(ret (const stats $ trace_arg))
+
+let vcd_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the VCD to FILE instead of stdout.")
+  in
+  Cmd.v (Cmd.info "vcd"
+           ~doc:"Export a trace as a Value Change Dump for waveform viewers")
+    Term.(ret (const vcd $ trace_arg $ output))
+
+let anonymize_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the anonymized trace to FILE instead of stdout.")
+  in
+  Cmd.v (Cmd.info "anonymize"
+           ~doc:"Rename tasks and bus ids for sharing a proprietary trace \
+                 (mapping printed on stderr)")
+    Term.(ret (const anonymize $ trace_arg $ output))
+
+let gantt_cmd =
+  let period =
+    Arg.(value & opt int 0 & info [ "period" ] ~docv:"N"
+           ~doc:"Which period to draw (default 0).")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the SVG to FILE instead of stdout.")
+  in
+  Cmd.v (Cmd.info "gantt" ~doc:"Render one period as an SVG Gantt chart")
+    Term.(ret (const gantt $ trace_arg $ period $ output))
+
+let check_cmd =
+  let query =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Property to check, e.g. 'd(A,L) = -> & conjunction(Q)'.")
+  in
+  let model_file =
+    Arg.(value & opt (some file) None & info [ "model" ] ~docv:"FILE"
+           ~doc:"Use a model saved by `learn -o` instead of re-learning.")
+  in
+  Cmd.v (Cmd.info "check"
+           ~doc:"Check a dependency property against the learned model")
+    Term.(ret (const check $ trace_arg $ query $ bound_arg $ window_arg
+               $ model_file))
+
+let table1_cmd =
+  let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Only the small bounds.") in
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's runtime-vs-bound table")
+    Term.(ret (const table1 $ fast))
+
+let example_cmd =
+  Cmd.v (Cmd.info "example" ~doc:"Run the paper's worked example")
+    Term.(ret (const example $ const ()))
+
+let () =
+  let doc = "automatic model generation for black box real-time systems" in
+  let info = Cmd.info "rtgen" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [ simulate_cmd; learn_cmd; analyze_cmd; check_cmd;
+                      stats_cmd; vcd_cmd; gantt_cmd; anonymize_cmd;
+                      table1_cmd; example_cmd ]))

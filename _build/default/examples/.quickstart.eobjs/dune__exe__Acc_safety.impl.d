@@ -1,0 +1,1 @@
+examples/acc_safety.ml: Array Format List Option Rt_analysis Rt_case Rt_lattice Rt_learn Rt_mining Rt_trace String

@@ -1,0 +1,1 @@
+examples/gm_case_study.ml: Array Format List Option Rt_analysis Rt_case Rt_lattice Rt_learn Rt_mining Rt_task Rt_trace String

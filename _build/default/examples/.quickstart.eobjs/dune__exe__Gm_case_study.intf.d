@@ -1,0 +1,1 @@
+examples/gm_case_study.mli:

@@ -1,0 +1,1 @@
+examples/latency_analysis.ml: Array Format List Rt_analysis Rt_case Rt_lattice Rt_learn Rt_task String

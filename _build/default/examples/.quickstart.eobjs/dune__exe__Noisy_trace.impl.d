@@ -1,0 +1,1 @@
+examples/noisy_trace.ml: Format List Rt_lattice Rt_learn Rt_task Rt_trace

@@ -1,0 +1,1 @@
+examples/online_monitoring.ml: Format Hashtbl List Rt_analysis Rt_case Rt_lattice Rt_learn Rt_trace String

@@ -1,0 +1,1 @@
+examples/paper_example.ml: Format List Rt_analysis Rt_lattice Rt_learn Rt_task Rt_trace

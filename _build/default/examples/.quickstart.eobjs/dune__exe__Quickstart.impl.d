@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Rt_analysis Rt_lattice Rt_learn Rt_sim Rt_task Rt_trace

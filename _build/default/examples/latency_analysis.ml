@@ -1,0 +1,69 @@
+(* End-to-end latency, pessimistic vs dependency-informed — a walkthrough
+   of the analysis that motivates the paper (§1: "performing an
+   end-to-end timing analysis is difficult without assuming that all
+   messages and tasks are potentially independent at the system level.
+   This approach is extremely pessimistic.").
+
+   Run with: dune exec examples/latency_analysis.exe *)
+
+module Gm = Rt_case.Gm_model
+module L = Rt_analysis.Latency
+
+let () =
+  let design = Gm.design () in
+  let names = Gm.names in
+  let name i = names.(i) in
+
+  (* Learn the dependency model from the bus log. *)
+  let trace = Gm.trace () in
+  let model =
+    match (Rt_learn.Heuristic.run ~bound:1 trace).Rt_learn.Heuristic.hypotheses with
+    | [ d ] -> d
+    | _ -> failwith "learning failed"
+  in
+
+  print_endline "=== Per-task worst-case response times ===";
+  Format.printf "%-6s %12s %12s@." "task" "pessimistic" "informed";
+  for i = 0 to Rt_task.Design.size design - 1 do
+    let pess = L.response_time design i in
+    let inf = L.response_time ~dep:model design i in
+    Format.printf "%-6s %10dus %10dus%s@." (name i) pess inf
+      (if inf < pess then "  <- tightened" else "")
+  done;
+
+  print_endline "\n=== All source-to-sink paths ===";
+  let rec paths node acc =
+    match Rt_task.Design.outgoing design node with
+    | [] -> [ List.rev (node :: acc) ]
+    | outs ->
+      List.concat_map (fun (e : Rt_task.Design.edge) ->
+          paths e.dst (node :: acc))
+        outs
+  in
+  let all_paths =
+    List.concat_map (fun src -> paths src [])
+      (Rt_task.Design.sources design)
+    |> List.filter (fun p -> List.length p > 1)
+  in
+  Format.printf "%-28s %12s %12s %8s@." "path" "pessimistic" "informed" "gain";
+  List.iter (fun path ->
+      let pess, inf, gain = L.improvement design ~dep:model ~path in
+      Format.printf "%-28s %10dus %10dus %7.2fx@."
+        (String.concat "->" (List.map name path))
+        pess inf gain)
+    all_paths;
+
+  print_endline "\n=== The paper's focus: the critical path including Q ===";
+  let path = L.critical_path design in
+  Format.printf "%a@.@."
+    (L.pp_report ~names)
+    (L.analyze design ~path);
+  Format.printf "and with the learned dependencies:@.%a@."
+    (L.pp_report ~names)
+    (L.analyze ~dep:model design ~path);
+  let q = Gm.task "Q" and o = Gm.task "O" in
+  Format.printf
+    "@.the gain on Q comes from d(Q,O) = %s: O always precedes Q, so its\n\
+     %dus of higher-priority interference cannot hit Q's execution window.@."
+    (Rt_lattice.Depval.to_string (Rt_lattice.Depfun.get model q o))
+    design.tasks.(o).wcet

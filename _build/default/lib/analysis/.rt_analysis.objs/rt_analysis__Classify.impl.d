@@ -1,0 +1,1 @@
+lib/analysis/classify.ml: Array Dep_graph Format Fun List Printf Rt_lattice String

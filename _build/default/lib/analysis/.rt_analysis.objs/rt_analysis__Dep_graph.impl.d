@@ -1,0 +1,1 @@
+lib/analysis/dep_graph.ml: Array Buffer List Printf Rt_lattice

@@ -1,0 +1,1 @@
+lib/analysis/dep_graph.mli: Rt_lattice

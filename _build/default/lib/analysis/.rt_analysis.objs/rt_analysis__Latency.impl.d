@@ -1,0 +1,1 @@
+lib/analysis/latency.ml: Array Float Format List Printf Rt_lattice Rt_task String

@@ -1,0 +1,1 @@
+lib/analysis/latency.mli: Format Rt_lattice Rt_task

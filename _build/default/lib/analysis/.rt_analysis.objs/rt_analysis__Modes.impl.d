@@ -1,0 +1,1 @@
+lib/analysis/modes.ml: Array Fun Hashtbl List Option Rt_lattice Rt_trace

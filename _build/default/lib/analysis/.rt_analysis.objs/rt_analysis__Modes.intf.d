@@ -1,0 +1,1 @@
+lib/analysis/modes.mli: Rt_lattice Rt_trace

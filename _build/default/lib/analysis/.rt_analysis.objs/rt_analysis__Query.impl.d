@@ -1,0 +1,1 @@
+lib/analysis/query.ml: Array Classify Dep_graph List Modes Printf Result Rt_lattice String

@@ -1,0 +1,1 @@
+lib/analysis/query.mli: Rt_lattice Rt_trace

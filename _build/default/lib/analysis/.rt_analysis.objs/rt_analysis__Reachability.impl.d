@@ -1,0 +1,1 @@
+lib/analysis/reachability.ml: Array Float Rt_lattice

@@ -1,0 +1,1 @@
+lib/analysis/reachability.mli: Rt_lattice

@@ -1,0 +1,64 @@
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+
+type kind = Disjunction | Conjunction | Both | Plain
+
+type info = {
+  task : int;
+  kind : kind;
+  determines : int list;
+  depends_on : int list;
+  may_determine : int list;
+  may_depend_on : int list;
+}
+
+let classify_task d a =
+  let only v' = fun v -> Dv.equal v v' in
+  let pick pred =
+    List.filter (fun b -> b <> a && pred (Df.get d a b))
+      (List.init (Df.size d) Fun.id)
+  in
+  let may_det = pick (only Dv.Fwd_maybe) and may_dep = pick (only Dv.Bwd_maybe) in
+  let disj = List.length may_det >= 2 and conj = List.length may_dep >= 2 in
+  {
+    task = a;
+    kind =
+      (match disj, conj with
+       | true, true -> Both
+       | true, false -> Disjunction
+       | false, true -> Conjunction
+       | false, false -> Plain);
+    determines = Dep_graph.determines d a;
+    depends_on = Dep_graph.depends_on d a;
+    may_determine = may_det;
+    may_depend_on = may_dep;
+  }
+
+let classify d = List.init (Df.size d) (classify_task d)
+
+let disjunction_nodes d =
+  List.filter_map (fun i ->
+      match i.kind with Disjunction | Both -> Some i.task | Conjunction | Plain -> None)
+    (classify d)
+
+let conjunction_nodes d =
+  List.filter_map (fun i ->
+      match i.kind with Conjunction | Both -> Some i.task | Disjunction | Plain -> None)
+    (classify d)
+
+let pp_info ?names ppf i =
+  let name k =
+    match names with
+    | Some a when k < Array.length a -> a.(k)
+    | Some _ | None -> Printf.sprintf "t%d" (k + 1)
+  in
+  let kind_str = match i.kind with
+    | Disjunction -> "disjunction"
+    | Conjunction -> "conjunction"
+    | Both -> "disjunction+conjunction"
+    | Plain -> "plain"
+  in
+  let list l = String.concat " " (List.map name l) in
+  Format.fprintf ppf "%s: %s; determines [%s]; depends on [%s]; may determine [%s]; may depend on [%s]"
+    (name i.task) kind_str (list i.determines) (list i.depends_on)
+    (list i.may_determine) (list i.may_depend_on)

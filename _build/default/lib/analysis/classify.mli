@@ -1,0 +1,32 @@
+(** Node-kind classification from a learned dependency function —
+    recovering the paper's §3.4 properties: "Tasks A and B are disjunction
+    nodes", "Tasks H, P and Q are conjunction nodes". *)
+
+type kind =
+  | Disjunction  (** actively chooses among ≥2 conditional successors *)
+  | Conjunction  (** passively joins ≥2 conditional predecessors *)
+  | Both
+  | Plain
+
+type info = {
+  task : int;
+  kind : kind;
+  determines : int list;       (** definite successors *)
+  depends_on : int list;       (** definite predecessors *)
+  may_determine : int list;    (** conditional successors *)
+  may_depend_on : int list;    (** conditional predecessors *)
+}
+
+val classify_task : Rt_lattice.Depfun.t -> int -> info
+(** A task is a disjunction node when it has at least two [→?] successors
+    (it sometimes determines one, sometimes another: a choice); a
+    conjunction node when it has at least two [←?] predecessors (whether
+    it runs depends on decisions made by others). *)
+
+val classify : Rt_lattice.Depfun.t -> info list
+
+val disjunction_nodes : Rt_lattice.Depfun.t -> int list
+
+val conjunction_nodes : Rt_lattice.Depfun.t -> int list
+
+val pp_info : ?names:string array -> Format.formatter -> info -> unit

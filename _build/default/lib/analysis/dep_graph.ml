@@ -1,0 +1,111 @@
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+
+let select pred d a =
+  let acc = ref [] in
+  for b = Df.size d - 1 downto 0 do
+    if b <> a && pred (Df.get d a b) then acc := b :: !acc
+  done;
+  !acc
+
+let determines = select (function Dv.Fwd | Dv.Bi -> true | _ -> false)
+
+let depends_on = select (function Dv.Bwd | Dv.Bi -> true | _ -> false)
+
+let may_determine = select (function Dv.Fwd_maybe | Dv.Bi_maybe -> true | _ -> false)
+
+let may_depend_on = select (function Dv.Bwd_maybe | Dv.Bi_maybe -> true | _ -> false)
+
+let definite_edges d =
+  List.rev
+    (Df.fold_pairs (fun a b v acc -> if Dv.is_definite v then (a, b) :: acc else acc)
+       d [])
+
+let reduced_determines d =
+  let n = Df.size d in
+  let det = Array.make_matrix n n false in
+  for a = 0 to n - 1 do
+    List.iter (fun b -> det.(a).(b) <- true) (determines d a)
+  done;
+  (* Reachability from [src] through determines edges, avoiding the
+     direct edge (src, dst) under test. *)
+  let reachable_avoiding src dst =
+    let seen = Array.make n false in
+    let rec go v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        for w = 0 to n - 1 do
+          if det.(v).(w) && not (v = src && w = dst) then go w
+        done
+      end
+    in
+    go src;
+    fun b -> seen.(b)
+  in
+  let edges = ref [] in
+  for a = n - 1 downto 0 do
+    for b = n - 1 downto 0 do
+      if det.(a).(b) then begin
+        (* Keep mutual pairs (co-execution classes) and non-redundant
+           edges. *)
+        let mutual = det.(b).(a) in
+        let redundant = (not mutual) && reachable_avoiding a b b in
+        if not redundant then edges := (a, b) :: !edges
+      end
+    done
+  done;
+  !edges
+
+let name_of names i =
+  match names with
+  | Some a when i < Array.length a -> a.(i)
+  | Some _ | None -> Printf.sprintf "t%d" (i + 1)
+
+let to_dot ?names d =
+  let n = Df.size d in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dependencies {\n  rankdir=TB;\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %s;\n" (name_of names i))
+  done;
+  (* One rendered edge per unordered pair with any non-Par relation, in
+     the style of the Fig. 5 legend. *)
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let vab = Df.get d a b and vba = Df.get d b a in
+      if not (Dv.equal vab Dv.Par && Dv.equal vba Dv.Par) then begin
+        (* Orient the arrow along the "determines/depends" direction:
+           a -> b when a determines b or b depends on a. *)
+        let fwdish = function Dv.Fwd | Dv.Fwd_maybe | Dv.Bi | Dv.Bi_maybe -> true
+                            | Dv.Par | Dv.Bwd | Dv.Bwd_maybe -> false
+        in
+        let bwdish = function Dv.Bwd | Dv.Bwd_maybe | Dv.Bi | Dv.Bi_maybe -> true
+                            | Dv.Par | Dv.Fwd | Dv.Fwd_maybe -> false
+        in
+        let src, dst, vsrc =
+          if fwdish vab || bwdish vba then (a, b, vab) else (b, a, vba)
+        in
+        let style =
+          if Dv.is_definite vsrc && Dv.is_definite (Df.get d dst src) then "solid"
+          else if Dv.is_definite vsrc then "solid"
+          else "dashed"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> %s [style=%s, label=\"%s/%s\"];\n"
+             (name_of names src) (name_of names dst) style
+             (Dv.to_string (Df.get d src dst)) (Dv.to_string (Df.get d dst src)))
+      end
+    done
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let summary ?names d =
+  let buf = Buffer.create 512 in
+  Df.iter_pairs (fun a b v ->
+      if not (Dv.equal v Dv.Par) then
+        Buffer.add_string buf
+          (Printf.sprintf "d(%s, %s) = %s\n" (name_of names a) (name_of names b)
+             (Dv.to_string v)))
+    d;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Queries and rendering over learned dependency functions — the
+    dependency-graph view of Fig. 4 / Fig. 5. *)
+
+val determines : Rt_lattice.Depfun.t -> int -> int list
+(** [determines d a]: tasks [b] with [d(a,b) ∈ {→, ↔}] — whenever [a]
+    executes, it determines the execution of [b] (the paper's
+    "no matter which mode A chooses, L must execute"). *)
+
+val depends_on : Rt_lattice.Depfun.t -> int -> int list
+(** Tasks [b] with [d(a,b) ∈ {←, ↔}]: [a] never executes without them. *)
+
+val may_determine : Rt_lattice.Depfun.t -> int -> int list
+(** Tasks [b] with [d(a,b) ∈ {→?, ↔?}]. *)
+
+val may_depend_on : Rt_lattice.Depfun.t -> int -> int list
+
+val definite_edges : Rt_lattice.Depfun.t -> (int * int) list
+(** Ordered pairs with a definite value, lexicographic. *)
+
+val reduced_determines : Rt_lattice.Depfun.t -> (int * int) list
+(** Transitive reduction of the determines relation ([→]/[↔] cells):
+    an edge [(a,b)] is dropped when [b] is already reachable from [a]
+    through another determines edge. Mutually-determining pairs (tasks
+    that always co-execute) are kept as-is. Learned LUB models are dense
+    with transitive [→] cells; this recovers the readable skeleton. *)
+
+val to_dot : ?names:string array -> Rt_lattice.Depfun.t -> string
+(** Graphviz rendering in the style of Fig. 5: one edge per unordered
+    task pair with a non-[Par] relation; solid heads for definite
+    dependencies, dashed (with [?]) for conditional ones; the label shows
+    the pair of values [(d(a,b), d(b,a))]. *)
+
+val summary : ?names:string array -> Rt_lattice.Depfun.t -> string
+(** Human-readable listing of all non-[Par] relations. *)

@@ -1,0 +1,125 @@
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+module D = Rt_task.Design
+
+type report = {
+  path : int list;
+  task_response : (int * int) list;
+  bus_delay : (int * int * int) list;
+  total : int;
+}
+
+(* [j] cannot preempt [i] when the learned model proves a message-order
+   precedence between them (either direction): definite d(i,j). *)
+let excluded dep i j =
+  match dep with
+  | None -> false
+  | Some d -> Dv.is_definite (Df.get d i j) || Dv.is_definite (Df.get d j i)
+
+let response_time ?dep (d : D.t) i =
+  let ti = d.tasks.(i) in
+  let interference = ref 0 in
+  Array.iteri (fun j tj ->
+      if j <> i && tj.D.ecu = ti.D.ecu && tj.D.priority < ti.D.priority
+         && not (excluded dep i j)
+      then interference := !interference + tj.D.wcet)
+    d.tasks;
+  ti.D.wcet + !interference
+
+let frame_delay (d : D.t) (e : D.edge) =
+  match e.medium with
+  | D.Local ->
+    (* ECU-internal delivery: constant IPC latency, no bus contention. *)
+    e.tx_time
+  | D.Bus ->
+    (* Non-preemptive blocking: one maximal lower-priority frame already
+       on the wire; interference: every higher-priority frame once. *)
+    let blocking = ref 0 and interference = ref 0 in
+    List.iter (fun (e' : D.edge) ->
+        if e'.can_id > e.can_id then blocking := max !blocking e'.tx_time
+        else if e'.can_id < e.can_id then interference := !interference + e'.tx_time)
+      (D.bus_edges d);
+    !blocking + !interference + e.tx_time
+
+let edge_between (d : D.t) a b =
+  match Array.to_list d.edges |> List.find_opt (fun e -> e.D.src = a && e.D.dst = b) with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Latency.analyze: no design edge %s -> %s"
+         d.tasks.(a).D.name d.tasks.(b).D.name)
+
+let analyze ?dep (d : D.t) ~path =
+  if path = [] then invalid_arg "Latency.analyze: empty path";
+  let task_response = List.map (fun i -> (i, response_time ?dep d i)) path in
+  let rec hops = function
+    | a :: (b :: _ as rest) ->
+      let e = edge_between d a b in
+      (a, b, frame_delay d e) :: hops rest
+    | [ _ ] | [] -> []
+  in
+  let bus_delay = hops path in
+  let total =
+    List.fold_left (fun acc (_, r) -> acc + r) 0 task_response
+    + List.fold_left (fun acc (_, _, w) -> acc + w) 0 bus_delay
+  in
+  { path; task_response; bus_delay; total }
+
+let improvement d ~dep ~path =
+  let pess = (analyze d ~path).total in
+  let inf = (analyze ~dep d ~path).total in
+  (pess, inf, Float.of_int pess /. Float.of_int inf)
+
+let ecu_utilization (d : D.t) =
+  let necus = 1 + Array.fold_left (fun m t -> max m t.D.ecu) 0 d.tasks in
+  let load = Array.make necus 0 in
+  Array.iter (fun t -> load.(t.D.ecu) <- load.(t.D.ecu) + t.D.wcet) d.tasks;
+  List.init necus (fun e -> (e, Float.of_int load.(e) /. Float.of_int d.period))
+
+let bus_utilization (d : D.t) =
+  let busy = List.fold_left (fun acc (e : D.edge) -> acc + e.tx_time) 0 (D.bus_edges d) in
+  Float.of_int busy /. Float.of_int d.period
+
+let critical_path (d : D.t) =
+  (* Longest (by pessimistic latency) source-to-sink chain; designs are
+     DAGs so a DFS over edges terminates. *)
+  let best = ref [] and best_cost = ref min_int in
+  let rec go node acc cost =
+    let outs = D.outgoing d node in
+    let cost = cost + response_time d node in
+    if outs = [] then begin
+      if cost > !best_cost then begin
+        best_cost := cost;
+        best := List.rev (node :: acc)
+      end
+    end
+    else
+      List.iter (fun (e : D.edge) ->
+          go e.D.dst (node :: acc) (cost + frame_delay d e))
+        outs
+  in
+  List.iter (fun s -> go s [] 0) (D.sources d);
+  !best
+
+let schedulable ?dep (d : D.t) =
+  List.for_all (fun (_, u) -> u < 1.0) (ecu_utilization d)
+  && bus_utilization d < 1.0
+  &&
+  match critical_path d with
+  | [] -> true
+  | path -> (analyze ?dep d ~path).total <= d.period
+
+let pp_report ?names ppf r =
+  let name i =
+    match names with
+    | Some a when i < Array.length a -> a.(i)
+    | Some _ | None -> Printf.sprintf "t%d" (i + 1)
+  in
+  Format.fprintf ppf "@[<v>path: %s@,"
+    (String.concat " -> " (List.map name r.path));
+  List.iter (fun (i, t) -> Format.fprintf ppf "  response(%s) = %dus@," (name i) t)
+    r.task_response;
+  List.iter (fun (a, b, w) ->
+      Format.fprintf ppf "  bus(%s -> %s) = %dus@," (name a) (name b) w)
+    r.bus_delay;
+  Format.fprintf ppf "total end-to-end latency: %dus@]" r.total

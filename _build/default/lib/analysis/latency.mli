@@ -1,0 +1,67 @@
+(** End-to-end latency analysis (§3.4's motivating application).
+
+    The baseline is the pessimistic holistic view (Tindell & Clark style,
+    specialized to our one-shot-per-period task model): every
+    higher-priority task on the same ECU may preempt, and every
+    higher-priority frame on the bus may delay, so worst-case response
+    times accumulate all of it.
+
+    The dependency-informed analysis uses a learned dependency function:
+    a definite value on [(i, j)] — either [i] depends on [j] or [i]
+    determines [j] — implies a message-order precedence between the two
+    within a period, so [j] cannot preempt [i]'s execution; its WCET is
+    removed from [i]'s interference term. This is exactly the paper's
+    "excluding the possible preemption from higher priority task O during
+    the execution of task Q". *)
+
+type report = {
+  path : int list;               (** the task chain analyzed *)
+  task_response : (int * int) list;
+  (** per path task: worst-case response time, microseconds *)
+  bus_delay : (int * int * int) list;
+  (** per path hop (src, dst): worst-case frame delay *)
+  total : int;
+}
+
+val response_time :
+  ?dep:Rt_lattice.Depfun.t -> Rt_task.Design.t -> int -> int
+(** Worst-case response time of one task: WCET plus interference from
+    same-ECU higher-priority tasks (each runs at most once per period).
+    With [dep], interference from tasks with a definite dependency
+    relation to the analyzed task is excluded. *)
+
+val frame_delay : Rt_task.Design.t -> Rt_task.Design.edge -> int
+(** Worst-case bus delay of one frame: blocking by the longest lower
+    priority frame (non-preemptive) plus interference from all
+    higher-priority frames (each at most once per period), plus its own
+    transmission time. *)
+
+val analyze :
+  ?dep:Rt_lattice.Depfun.t -> Rt_task.Design.t -> path:int list -> report
+(** End-to-end latency along a task chain: the sum of task response times
+    and connecting frame delays. Every consecutive pair in [path] must be
+    a design edge ([Invalid_argument] otherwise). *)
+
+val improvement :
+  Rt_task.Design.t -> dep:Rt_lattice.Depfun.t -> path:int list ->
+  int * int * float
+(** [(pessimistic, informed, gain)] where gain = pessimistic /. informed. *)
+
+val ecu_utilization : Rt_task.Design.t -> (int * float) list
+(** Per ECU: sum of WCETs over the period (each task runs at most once
+    per period). *)
+
+val bus_utilization : Rt_task.Design.t -> float
+(** Sum of all frame transmission times over the period (worst case:
+    every edge fires). *)
+
+val schedulable : ?dep:Rt_lattice.Depfun.t -> Rt_task.Design.t -> bool
+(** All utilizations below 1 and the worst-case end-to-end latency of the
+    critical path fits within one period. With [dep], uses the
+    dependency-informed response times. *)
+
+val critical_path : Rt_task.Design.t -> int list
+(** The design path (source to sink along edges) with the largest
+    pessimistic latency — the natural target of the analysis. *)
+
+val pp_report : ?names:string array -> Format.formatter -> report -> unit

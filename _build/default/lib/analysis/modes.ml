@@ -1,0 +1,63 @@
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+
+(* Union-find over task indices. *)
+let co_execution_classes d =
+  let n = Df.size d in
+  let parent = Array.init n Fun.id in
+  let rec find x = if parent.(x) = x then x else (parent.(x) <- find parent.(x); parent.(x)) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(max ra rb) <- min ra rb
+  in
+  Df.iter_pairs (fun a b v ->
+      if Dv.is_definite v && Dv.is_definite (Df.get d b a) then union a b)
+    d;
+  let classes = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    Hashtbl.replace classes r (i :: Option.value ~default:[] (Hashtbl.find_opt classes r))
+  done;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) classes []
+  |> List.sort compare
+
+let exclusive_pairs trace =
+  let n = Rt_trace.Trace.task_count trace in
+  let matrix = Rt_trace.Trace.executed_matrix trace in
+  let ever = Array.make n false in
+  let together = Array.make_matrix n n false in
+  Array.iter (fun row ->
+      for a = 0 to n - 1 do
+        if row.(a) then begin
+          ever.(a) <- true;
+          for b = 0 to n - 1 do
+            if row.(b) then together.(a).(b) <- true
+          done
+        end
+      done)
+    matrix;
+  let acc = ref [] in
+  for a = n - 1 downto 0 do
+    for b = n - 1 downto a + 1 do
+      if ever.(a) && ever.(b) && not together.(a).(b) then acc := (a, b) :: !acc
+    done
+  done;
+  !acc
+
+let mode_alternatives d trace task =
+  let succs =
+    List.filter (fun b -> b <> task && Dv.equal (Df.get d task b) Dv.Fwd_maybe)
+      (List.init (Df.size d) Fun.id)
+  in
+  let excl = exclusive_pairs trace in
+  let exclusive a b = List.mem (min a b, max a b) excl in
+  (* Greedy grouping: successors that are mutually exclusive with every
+     member of a group belong to alternative groups. *)
+  let rec place groups s =
+    match groups with
+    | [] -> [ [ s ] ]
+    | g :: rest ->
+      if List.for_all (fun m -> not (exclusive s m)) g then (s :: g) :: rest
+      else g :: place rest s
+  in
+  List.fold_left place [] succs |> List.map List.rev |> List.sort compare

@@ -1,0 +1,20 @@
+(** Operation-mode analysis (§3.4 mentions proving "operation mode of
+    tasks"): grouping tasks that always execute together, and finding
+    mutually exclusive tasks (distinct modes). *)
+
+val co_execution_classes : Rt_lattice.Depfun.t -> int list list
+(** Partition of the tasks into classes that always execute together: [a]
+    and [b] are grouped when both [d(a,b)] and [d(b,a)] are definite
+    (each one's execution forces the other's). Classes are sorted, each
+    class ascending. *)
+
+val exclusive_pairs : Rt_trace.Trace.t -> (int * int) list
+(** Pairs of tasks that never executed in the same period of the trace —
+    candidate mode alternatives (e.g. the two branches of a disjunction
+    node that picks exactly one). Pairs [(a, b)] with [a < b], and both
+    tasks executed somewhere in the trace. *)
+
+val mode_alternatives :
+  Rt_lattice.Depfun.t -> Rt_trace.Trace.t -> int -> int list list
+(** For a disjunction task: its [→?] successors grouped into mutually
+    exclusive alternatives using the trace's co-execution data. *)

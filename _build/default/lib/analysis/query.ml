@@ -1,0 +1,256 @@
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+
+type op = Eq | Leq
+
+type rhs = One of Dv.t | Set of Dv.t list
+
+type clause =
+  | Cell of string * string * op * rhs
+  | Disjunction of string
+  | Conjunction of string
+  | Determines of string * string
+  | Depends of string * string
+  | Together of string * string
+  | Exclusive of string * string
+
+type t = clause list
+
+(* --- lexer --- *)
+
+type token =
+  | Ident of string
+  | Value of Dv.t
+  | Lparen | Rparen | Comma | Amp | Equal | Below | Lbrace | Rbrace
+
+(* Longest match first: '<->?' before '<->' before '<-?' before '<-' and
+   '<='. *)
+let symbols =
+  [ ("<->?", Value Dv.Bi_maybe); ("<->", Value Dv.Bi); ("<-?", Value Dv.Bwd_maybe);
+    ("<=", Below); ("<-", Value Dv.Bwd); ("->?", Value Dv.Fwd_maybe);
+    ("->", Value Dv.Fwd); ("||", Value Dv.Par); ("(", Lparen); (")", Rparen);
+    (",", Comma); ("&", Amp); ("=", Equal); ("{", Lbrace); ("}", Rbrace) ]
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else if s.[i] = ' ' || s.[i] = '\t' || s.[i] = '\n' then go (i + 1) acc
+    else
+      let sym =
+        List.find_opt (fun (lit, _) ->
+            let l = String.length lit in
+            i + l <= n && String.sub s i l = lit)
+          symbols
+      in
+      match sym with
+      | Some (lit, tok) -> go (i + String.length lit) (tok :: acc)
+      | None ->
+        if is_ident_char s.[i] then begin
+          let j = ref i in
+          while !j < n && is_ident_char s.[!j] do incr j done;
+          go !j (Ident (String.sub s i (!j - i)) :: acc)
+        end
+        else Error (Printf.sprintf "unexpected character %C at offset %d" s.[i] i)
+  in
+  go 0 []
+
+(* --- parser --- *)
+
+let parse input =
+  let ( let* ) = Result.bind in
+  let* tokens = tokenize input in
+  let expect tok rest name =
+    match rest with
+    | t :: rest when t = tok -> Ok rest
+    | _ -> Error (Printf.sprintf "expected %s" name)
+  in
+  let parse_name rest =
+    match rest with
+    | Ident n :: rest -> Ok (n, rest)
+    | _ -> Error "expected a task name"
+  in
+  let parse_rhs rest =
+    match rest with
+    | Value v :: rest -> Ok (One v, rest)
+    | Lbrace :: rest ->
+      let rec vals acc rest =
+        match rest with
+        | Value v :: Comma :: rest -> vals (v :: acc) rest
+        | Value v :: Rbrace :: rest -> Ok (Set (List.rev (v :: acc)), rest)
+        | _ -> Error "expected a dependency value inside { }"
+      in
+      vals [] rest
+    | _ -> Error "expected a dependency value or { }"
+  in
+  let parse_pair rest =
+    let* rest = expect Lparen rest "(" in
+    let* a, rest = parse_name rest in
+    let* rest = expect Comma rest "," in
+    let* b, rest = parse_name rest in
+    let* rest = expect Rparen rest ")" in
+    Ok ((a, b), rest)
+  in
+  let parse_clause rest =
+    match rest with
+    | Ident "d" :: rest ->
+      let* (a, b), rest = parse_pair rest in
+      let* op, rest =
+        match rest with
+        | Equal :: rest -> Ok (Eq, rest)
+        | Below :: rest -> Ok (Leq, rest)
+        | _ -> Error "expected '=' or '<=' after d(...)"
+      in
+      let* rhs, rest = parse_rhs rest in
+      Ok (Cell (a, b, op, rhs), rest)
+    | Ident "disjunction" :: rest ->
+      let* rest = expect Lparen rest "(" in
+      let* a, rest = parse_name rest in
+      let* rest = expect Rparen rest ")" in
+      Ok (Disjunction a, rest)
+    | Ident "conjunction" :: rest ->
+      let* rest = expect Lparen rest "(" in
+      let* a, rest = parse_name rest in
+      let* rest = expect Rparen rest ")" in
+      Ok (Conjunction a, rest)
+    | Ident "determines" :: rest ->
+      let* (a, b), rest = parse_pair rest in
+      Ok (Determines (a, b), rest)
+    | Ident "depends" :: rest ->
+      let* (a, b), rest = parse_pair rest in
+      Ok (Depends (a, b), rest)
+    | Ident "together" :: rest ->
+      let* (a, b), rest = parse_pair rest in
+      Ok (Together (a, b), rest)
+    | Ident "exclusive" :: rest ->
+      let* (a, b), rest = parse_pair rest in
+      Ok (Exclusive (a, b), rest)
+    | Ident other :: _ -> Error (Printf.sprintf "unknown predicate %S" other)
+    | _ -> Error "expected a clause"
+  in
+  let rec parse_query acc rest =
+    let* clause, rest = parse_clause rest in
+    match rest with
+    | [] -> Ok (List.rev (clause :: acc))
+    | Amp :: rest -> parse_query (clause :: acc) rest
+    | _ -> Error "expected '&' or end of query"
+  in
+  match tokens with
+  | [] -> Error "empty query"
+  | _ -> parse_query [] tokens
+
+let parse_exn s =
+  match parse s with
+  | Ok q -> q
+  | Error m -> invalid_arg ("Query.parse_exn: " ^ m)
+
+let rhs_to_string = function
+  | One v -> Dv.to_string v
+  | Set vs -> "{" ^ String.concat ", " (List.map Dv.to_string vs) ^ "}"
+
+let clause_to_string = function
+  | Cell (a, b, op, rhs) ->
+    Printf.sprintf "d(%s, %s) %s %s" a b
+      (match op with Eq -> "=" | Leq -> "<=")
+      (rhs_to_string rhs)
+  | Disjunction a -> Printf.sprintf "disjunction(%s)" a
+  | Conjunction a -> Printf.sprintf "conjunction(%s)" a
+  | Determines (a, b) -> Printf.sprintf "determines(%s, %s)" a b
+  | Depends (a, b) -> Printf.sprintf "depends(%s, %s)" a b
+  | Together (a, b) -> Printf.sprintf "together(%s, %s)" a b
+  | Exclusive (a, b) -> Printf.sprintf "exclusive(%s, %s)" a b
+
+type verdict = {
+  clause : clause;
+  holds : bool;
+  detail : string;
+}
+
+let eval ~model ~names ?trace query =
+  let ( let* ) = Result.bind in
+  let index name =
+    let rec find i =
+      if i >= Array.length names then Error (Printf.sprintf "unknown task %S" name)
+      else if names.(i) = name then Ok i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let cell_detail a b =
+    Printf.sprintf "d(%s, %s) = %s" names.(a) names.(b)
+      (Dv.to_string (Df.get model a b))
+  in
+  let eval_clause clause =
+    match clause with
+    | Cell (a, b, op, rhs) ->
+      let* a = index a in
+      let* b = index b in
+      let v = Df.get model a b in
+      let holds =
+        match op, rhs with
+        | Eq, One v' -> Dv.equal v v'
+        | Eq, Set vs -> List.exists (Dv.equal v) vs
+        | Leq, One v' -> Dv.leq v v'
+        | Leq, Set vs -> List.exists (Dv.leq v) vs
+      in
+      Ok { clause; holds; detail = cell_detail a b }
+    | Disjunction name ->
+      let* a = index name in
+      let info = Classify.classify_task model a in
+      Ok { clause;
+           holds = (match info.kind with
+               | Classify.Disjunction | Classify.Both -> true
+               | Classify.Conjunction | Classify.Plain -> false);
+           detail = Printf.sprintf "%d conditional successors"
+               (List.length info.may_determine) }
+    | Conjunction name ->
+      let* a = index name in
+      let info = Classify.classify_task model a in
+      Ok { clause;
+           holds = (match info.kind with
+               | Classify.Conjunction | Classify.Both -> true
+               | Classify.Disjunction | Classify.Plain -> false);
+           detail = Printf.sprintf "%d conditional predecessors"
+               (List.length info.may_depend_on) }
+    | Determines (a, b) ->
+      let* a = index a in
+      let* b = index b in
+      Ok { clause; holds = List.mem b (Dep_graph.determines model a);
+           detail = cell_detail a b }
+    | Depends (a, b) ->
+      let* a = index a in
+      let* b = index b in
+      Ok { clause; holds = List.mem b (Dep_graph.depends_on model a);
+           detail = cell_detail a b }
+    | Together (a, b) ->
+      let* a = index a in
+      let* b = index b in
+      let holds =
+        Dv.is_definite (Df.get model a b) && Dv.is_definite (Df.get model b a)
+      in
+      Ok { clause; holds;
+           detail = Printf.sprintf "%s; %s" (cell_detail a b) (cell_detail b a) }
+    | Exclusive (a, b) ->
+      let* a = index a in
+      let* b = index b in
+      (match trace with
+       | None -> Error "exclusive(...) needs a trace"
+       | Some trace ->
+         let pairs = Modes.exclusive_pairs trace in
+         Ok { clause; holds = List.mem (min a b, max a b) pairs;
+              detail = "from trace co-execution" })
+  in
+  let rec all acc = function
+    | [] -> Ok (List.rev acc)
+    | c :: rest ->
+      let* v = eval_clause c in
+      all (v :: acc) rest
+  in
+  all [] query
+
+let holds ~model ~names ?trace query =
+  Result.map (List.for_all (fun v -> v.holds)) (eval ~model ~names ?trace query)

@@ -1,0 +1,52 @@
+(** A small property language over learned dependency models — the
+    executable form of the paper's §3.4 claims ("no matter which mode
+    task A chooses, task L must execute" becomes [d(A,L) = ->]).
+
+    Grammar (whitespace-insensitive):
+
+    {v
+    query    ::= clause ( '&' clause )*
+    clause   ::= 'd' '(' name ',' name ')' op rhs
+               | 'disjunction' '(' name ')'
+               | 'conjunction' '(' name ')'
+               | 'determines' '(' name ',' name ')'
+               | 'depends' '(' name ',' name ')'
+               | 'together' '(' name ',' name ')'
+               | 'exclusive' '(' name ',' name ')'
+    op       ::= '=' | '<='                    (equality / lattice below)
+    rhs      ::= value | '{' value (',' value)* '}'
+    value    ::= '||' | '->' | '<-' | '<->' | '->?' | '<-?' | '<->?'
+    v}
+
+    [d(A,B) = v] tests cell equality; [d(A,B) <= v] tests [d(A,B) ⊑ v];
+    [d(A,B) = {v1,v2}] tests membership. [together] holds when both
+    directed cells are definite (the tasks always co-execute);
+    [exclusive] needs trace evidence and holds when the two tasks never
+    co-executed. *)
+
+type clause
+
+type t = clause list
+
+val parse : string -> (t, string) result
+(** Parse error messages include the offending token. *)
+
+val parse_exn : string -> t
+
+val clause_to_string : clause -> string
+
+type verdict = {
+  clause : clause;
+  holds : bool;
+  detail : string;  (** what the model actually says *)
+}
+
+val eval :
+  model:Rt_lattice.Depfun.t -> names:string array ->
+  ?trace:Rt_trace.Trace.t -> t -> (verdict list, string) result
+(** Errors on unknown task names or on [exclusive] without a [trace]. *)
+
+val holds :
+  model:Rt_lattice.Depfun.t -> names:string array ->
+  ?trace:Rt_trace.Trace.t -> t -> (bool, string) result
+(** Conjunction of all clauses. *)

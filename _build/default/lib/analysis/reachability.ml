@@ -1,0 +1,80 @@
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+
+let consistent d s =
+  let n = Df.size d in
+  let ok = ref true in
+  for a = 0 to n - 1 do
+    if !ok && s.(a) then
+      for b = 0 to n - 1 do
+        if a <> b && not s.(b) && Dv.is_definite (Df.get d a b) then ok := false
+      done
+  done;
+  !ok
+
+let closure d s =
+  let n = Df.size d in
+  let s = Array.copy s in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for a = 0 to n - 1 do
+      if s.(a) then
+        for b = 0 to n - 1 do
+          if a <> b && not s.(b) && Dv.is_definite (Df.get d a b) then begin
+            s.(b) <- true;
+            changed := true
+          end
+        done
+    done
+  done;
+  s
+
+(* Enumerate subsets as bitmasks; precompute each task's required-mask so
+   the per-state check is a handful of word operations. *)
+let required_masks d =
+  let n = Df.size d in
+  Array.init n (fun a ->
+      let m = ref 0 in
+      for b = 0 to n - 1 do
+        if a <> b && Dv.is_definite (Df.get d a b) then m := !m lor (1 lsl b)
+      done;
+      !m)
+
+let count_consistent d =
+  let n = Df.size d in
+  if n > 24 then invalid_arg "Reachability.count_consistent: too many tasks";
+  let req = required_masks d in
+  let count = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let ok = ref true in
+    for a = 0 to n - 1 do
+      if !ok && mask land (1 lsl a) <> 0 && req.(a) land mask <> req.(a) then
+        ok := false
+    done;
+    if !ok then incr count
+  done;
+  !count
+
+let total_states n = 1 lsl n
+
+let reduction d =
+  let c = count_consistent d in
+  if c = 0 then infinity
+  else Float.of_int (total_states (Df.size d)) /. Float.of_int c
+
+let consistent_states d =
+  let n = Df.size d in
+  if n > 24 then invalid_arg "Reachability.consistent_states: too many tasks";
+  let req = required_masks d in
+  let states = ref [] in
+  for mask = (1 lsl n) - 1 downto 0 do
+    let ok = ref true in
+    for a = 0 to n - 1 do
+      if !ok && mask land (1 lsl a) <> 0 && req.(a) land mask <> req.(a) then
+        ok := false
+    done;
+    if !ok then
+      states := Array.init n (fun a -> mask land (1 lsl a) <> 0) :: !states
+  done;
+  !states

@@ -1,0 +1,30 @@
+(** Reachable-state-space computation over a learned dependency function —
+    quantifying the paper's claim that "the additional dependencies
+    discovered from the execution trace help to reduce the state space
+    that needs to be analyzed with other methods [...] such as model
+    checking by means of reachability analysis".
+
+    A {e state} is a set of tasks executing within one period. A state [S]
+    is {e consistent} with a dependency function [d] iff for every [a ∈ S]
+    and every [b] with a definite [d(a,b)], [b ∈ S] as well. Without any
+    learned model, an analyzer must consider all [2^n] subsets; the
+    definite dependencies prune that space. *)
+
+val consistent : Rt_lattice.Depfun.t -> bool array -> bool
+
+val closure : Rt_lattice.Depfun.t -> bool array -> bool array
+(** The least consistent superset of the given task set. *)
+
+val count_consistent : Rt_lattice.Depfun.t -> int
+(** Number of consistent states, by exhaustive enumeration. Requires at
+    most 24 tasks ([Invalid_argument] beyond that). *)
+
+val total_states : int -> int
+(** [2^n]. *)
+
+val reduction : Rt_lattice.Depfun.t -> float
+(** [total / consistent]: how many times smaller the search space became.
+    1.0 means no reduction. *)
+
+val consistent_states : Rt_lattice.Depfun.t -> bool array list
+(** All consistent states (use only for small [n]). *)

@@ -1,0 +1,1 @@
+lib/casestudy/acc_model.ml: Array Option Rt_sim Rt_task

@@ -1,0 +1,1 @@
+lib/casestudy/acc_model.mli: Rt_sim Rt_task Rt_trace

@@ -1,0 +1,1 @@
+lib/casestudy/gm_model.ml: Array Option Rt_sim Rt_task

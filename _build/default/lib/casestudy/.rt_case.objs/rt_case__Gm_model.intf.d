@@ -1,0 +1,1 @@
+lib/casestudy/gm_model.mli: Rt_sim Rt_task Rt_trace

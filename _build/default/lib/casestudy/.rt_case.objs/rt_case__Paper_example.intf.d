@@ -1,0 +1,1 @@
+lib/casestudy/paper_example.mli: Rt_lattice Rt_task Rt_trace

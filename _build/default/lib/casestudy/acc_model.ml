@@ -1,0 +1,78 @@
+module D = Rt_task.Design
+
+let names =
+  [| "RadarAcq"; "CamAcq"; "RadarProc"; "CamProc"; "Fusion"; "AccCtl";
+     "Follow"; "Cruise"; "Arbiter"; "Throttle"; "Brake"; "Hmi" |]
+
+let task name =
+  let rec find i =
+    if i >= Array.length names then raise Not_found
+    else if names.(i) = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let radar_acq = 0 and cam_acq = 1 and radar_proc = 2 and cam_proc = 3
+and fusion = 4 and acc_ctl = 5 and follow = 6 and cruise = 7 and arbiter = 8
+and throttle = 9 and brake = 10 and hmi = 11
+
+let design () =
+  let t name policy ecu priority wcet offset =
+    { D.name; policy; ecu; priority; wcet; offset }
+  in
+  let tasks = Array.make 12 (t "?" D.Broadcast 0 1 1 0) in
+  (* ECU 0: sensor cluster. *)
+  tasks.(radar_acq) <- t "RadarAcq" D.Broadcast 0 1 300 0;
+  tasks.(cam_acq) <- t "CamAcq" D.Broadcast 0 2 400 50;
+  tasks.(radar_proc) <- t "RadarProc" D.Broadcast 0 3 500 0;
+  tasks.(cam_proc) <- t "CamProc" D.Broadcast 0 4 700 0;
+  (* ECU 1: controller. *)
+  tasks.(fusion) <- t "Fusion" D.Broadcast 1 1 600 0;
+  tasks.(acc_ctl) <- t "AccCtl" D.Choose_one 1 2 400 0;
+  tasks.(follow) <- t "Follow" D.Broadcast 1 3 350 0;
+  tasks.(cruise) <- t "Cruise" D.Broadcast 1 4 300 0;
+  tasks.(arbiter) <- t "Arbiter" D.Broadcast 1 5 250 0;
+  (* ECU 2: actuation. *)
+  tasks.(throttle) <- t "Throttle" D.Broadcast 2 1 200 0;
+  tasks.(brake) <- t "Brake" D.Broadcast 2 2 200 0;
+  tasks.(hmi) <- t "Hmi" D.Broadcast 2 3 300 0;
+  let edge ?(medium = D.Bus) src dst can_id tx_time =
+    { D.src; dst; can_id; tx_time; medium }
+  in
+  let edges =
+    [|
+      (* acquisition feeds processing ECU-internally: invisible hops *)
+      edge ~medium:D.Local radar_acq radar_proc 0x201 30;
+      edge ~medium:D.Local cam_acq cam_proc 0x202 30;
+      edge radar_proc fusion 0x203 60;
+      edge cam_proc fusion 0x204 80;
+      edge ~medium:D.Local fusion acc_ctl 0x205 20;
+      (* the mode switch: exactly one of the two commands per period *)
+      edge acc_ctl follow 0x206 40;
+      edge acc_ctl cruise 0x207 40;
+      edge ~medium:D.Local follow arbiter 0x208 20;
+      edge ~medium:D.Local cruise arbiter 0x209 20;
+      edge arbiter throttle 0x20A 50;
+      edge arbiter brake 0x20B 50;
+      edge arbiter hmi 0x20C 50;
+    |]
+  in
+  D.make ~tasks ~edges ~period:50_000
+
+let brake_deadline_us = 10_000
+
+(* Through the Follow mode — the worst of the two mode branches for the
+   brake reaction chain. *)
+let brake_path () = [ radar_proc; fusion; acc_ctl; follow; arbiter; brake ]
+
+let reference_config =
+  { Rt_sim.Simulator.periods = 40; seed = 1101; wcet_jitter = true;
+    release_jitter = 40; drop_rate = 0.0 }
+
+let trace ?periods ?seed () =
+  let config =
+    { reference_config with
+      periods = Option.value ~default:reference_config.periods periods;
+      seed = Option.value ~default:reference_config.seed seed }
+  in
+  Rt_sim.Simulator.run (design ()) config

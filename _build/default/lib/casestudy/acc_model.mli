@@ -1,0 +1,35 @@
+(** Second domain case study: an adaptive-cruise-control (ACC) function
+    spread over three ECUs — the kind of end-to-end chain the paper's
+    motivation describes ("if the brake is pressed, then brake actuator
+    must react within 300 msec").
+
+    Sensor cluster (ECU 0): radar and camera acquisition feed their
+    processing tasks over {e local} links the bus logger cannot see.
+    Controller (ECU 1): sensor fusion joins both streams; the ACC
+    controller then selects exactly one mode — [Follow] or [Cruise] —
+    whose output the arbiter forwards. Actuation (ECU 2): throttle,
+    brake and HMI receive the arbiter's commands on the bus.
+
+    Learnable structure: [Fusion] and [Arbiter] are conjunction nodes,
+    [AccCtl] a disjunction node, [Follow]/[Cruise] mutually exclusive
+    modes, and [d(AccCtl, Arbiter) = →] holds through either mode. The
+    two acquisition→processing hops are invisible to the learner (local
+    edges) but visible to the ordering baseline. *)
+
+val names : string array
+
+val task : string -> int
+(** Index by name. @raise Not_found for unknown names. *)
+
+val design : unit -> Rt_task.Design.t
+
+val brake_deadline_us : int
+(** The end-to-end budget from sensor acquisition to brake actuation the
+    analysis is checked against. *)
+
+val brake_path : unit -> int list
+(** The radar → fusion → controller → arbiter → brake chain. *)
+
+val reference_config : Rt_sim.Simulator.config
+
+val trace : ?periods:int -> ?seed:int -> unit -> Rt_trace.Trace.t

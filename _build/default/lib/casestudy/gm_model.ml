@@ -1,0 +1,76 @@
+module D = Rt_task.Design
+
+let names =
+  [| "S"; "A"; "B"; "C"; "D"; "E"; "F"; "G"; "H"; "I"; "J"; "K"; "L"; "M";
+     "N"; "O"; "P"; "Q" |]
+
+let task name =
+  let rec find i =
+    if i >= Array.length names then raise Not_found
+    else if names.(i) = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let s = 0 and a = 1 and b = 2 and c = 3 and d_ = 4 and e = 5 and f = 6
+and g = 7 and h = 8 and i_ = 9 and j = 10 and k = 11 and l = 12 and m = 13
+and n = 14 and o = 15 and p_ = 16 and q = 17
+
+(* ECU 0 hosts the mode-A functional chain plus the infrastructure tasks
+   S and O and the critical sink Q; ECU 1 hosts the mode-B chain. O runs
+   at higher priority than Q on the same ECU — the preemption the
+   pessimistic latency analysis must assume and the learned Q-O
+   dependency rules out. *)
+let design () =
+  let t name policy ecu priority wcet offset =
+    { D.name; policy; ecu; priority; wcet; offset }
+  in
+  let tasks = Array.make 18 (t "?" D.Broadcast 0 1 1 0) in
+  tasks.(s) <- t "S" D.Broadcast 0 1 100 0;
+  tasks.(o) <- t "O" D.Broadcast 0 2 150 50;
+  tasks.(a) <- t "A" D.Choose_one 0 3 200 100;
+  tasks.(c) <- t "C" D.Broadcast 0 4 250 0;
+  tasks.(d_) <- t "D" D.Broadcast 0 5 250 0;
+  tasks.(g) <- t "G" D.Broadcast 0 6 200 0;
+  tasks.(i_) <- t "I" D.Broadcast 0 7 200 0;
+  tasks.(l) <- t "L" D.Broadcast 0 8 220 0;
+  tasks.(n) <- t "N" D.Broadcast 0 9 200 0;
+  tasks.(q) <- t "Q" D.Broadcast 0 10 300 0;
+  tasks.(b) <- t "B" D.Choose_one 1 1 200 100;
+  tasks.(e) <- t "E" D.Broadcast 1 2 250 0;
+  tasks.(f) <- t "F" D.Broadcast 1 3 250 0;
+  tasks.(j) <- t "J" D.Broadcast 1 4 200 0;
+  tasks.(k) <- t "K" D.Broadcast 1 5 200 0;
+  tasks.(m) <- t "M" D.Broadcast 1 6 220 0;
+  tasks.(h) <- t "H" D.Broadcast 1 7 180 0;
+  tasks.(p_) <- t "P" D.Broadcast 1 8 180 0;
+  let edge src dst can_id tx_time =
+    { D.src; dst; can_id; tx_time; medium = D.Bus }
+  in
+  let edges =
+    [|
+      edge a c 0x101 50; edge a d_ 0x102 50;
+      edge b e 0x103 55; edge b f 0x104 55;
+      edge c g 0x105 45; edge c l 0x106 60;
+      edge d_ i_ 0x107 45; edge d_ l 0x108 60;
+      edge e j 0x109 45; edge e m 0x10A 60;
+      edge f k 0x10B 45; edge f m 0x10C 60;
+      edge g h 0x10D 50; edge i_ h 0x10E 50;
+      edge j p_ 0x10F 50; edge k p_ 0x110 50;
+      edge l n 0x111 55; edge m n 0x112 55;
+      edge n q 0x113 65; edge p_ q 0x114 65;
+    |]
+  in
+  D.make ~tasks ~edges ~period:20_000
+
+let reference_config =
+  { Rt_sim.Simulator.periods = 27; seed = 2007; wcet_jitter = true;
+    release_jitter = 30; drop_rate = 0.0 }
+
+let trace ?periods ?seed () =
+  let config =
+    { reference_config with
+      periods = Option.value ~default:reference_config.periods periods;
+      seed = Option.value ~default:reference_config.seed seed }
+  in
+  Rt_sim.Simulator.run (design ()) config

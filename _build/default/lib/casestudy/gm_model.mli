@@ -1,0 +1,37 @@
+(** Synthetic stand-in for the paper's proprietary GM controller (§3.4):
+    18 tasks named S, A..Q on one CAN bus, producing ≈12 messages per
+    period so that the 27-period reference trace carries ≈330 messages —
+    the scale the paper reports.
+
+    The model embeds the qualitative features the paper's results
+    highlight, so the learner can rediscover them:
+
+    - [A] and [B] are {b disjunction nodes} ([Choose_one] mode selectors:
+      A fires C or D, B fires E or F);
+    - [H], [P] and [Q] are {b conjunction nodes} (joins fed by whichever
+      mode path ran);
+    - every mode path from [A] reaches [L] and every mode path from [B]
+      reaches [M], so the learner must find the unconditional transitive
+      dependencies [d(A,L) = →] and [d(B,M) = →] that are not edges of
+      the design;
+    - [S] and [O] are infrastructure tasks (sources with no messages —
+      an OSEK dispatcher tick and a bus-manager task). [O] shares ECU 0
+      with [Q] at higher priority and always finishes before [Q]'s inputs
+      arrive, so the learner discovers the {b implicit dependency}
+      [d(Q,O) = ←] that the design never states — the paper's Q–O
+      finding, which the latency analysis then uses to rule out
+      preemption of Q by O. *)
+
+val names : string array
+(** [S; A; B; ...; Q] in index order. *)
+
+val task : string -> int
+(** Index by name. @raise Not_found for unknown names. *)
+
+val design : unit -> Rt_task.Design.t
+
+val reference_config : Rt_sim.Simulator.config
+(** 27 periods, fixed seed — the stand-in for the paper's logged trace. *)
+
+val trace : ?periods:int -> ?seed:int -> unit -> Rt_trace.Trace.t
+(** Simulate the controller; defaults to [reference_config]. *)

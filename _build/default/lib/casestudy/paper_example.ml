@@ -1,0 +1,92 @@
+module D = Rt_task.Design
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+
+let design () =
+  let task name policy priority =
+    { D.name; policy; ecu = 0; priority; wcet = 10; offset = 0 }
+  in
+  D.make
+    ~tasks:[|
+      task "t1" D.Choose_any 1;
+      task "t2" D.Broadcast 2;
+      task "t3" D.Broadcast 3;
+      task "t4" D.Broadcast 4;
+    |]
+    ~edges:
+      (let edge src dst can_id =
+         { D.src; dst; can_id; tx_time = 3; medium = D.Bus }
+       in
+       [| edge 0 1 1; edge 0 2 2; edge 1 3 3; edge 2 3 4 |])
+    ~period:1000
+
+let trace_text = {|# rtgen-trace v1
+tasks t1 t2 t3 t4
+period 0
+10 start t1
+20 end t1
+21 rise 0x1
+24 fall 0x1
+25 start t2
+35 end t2
+36 rise 0x2
+39 fall 0x2
+40 start t4
+50 end t4
+period 1
+10 start t1
+20 end t1
+21 rise 0x1
+24 fall 0x1
+25 start t3
+35 end t3
+36 rise 0x2
+39 fall 0x2
+40 start t4
+50 end t4
+period 2
+10 start t1
+20 end t1
+21 rise 0x1
+24 fall 0x1
+25 rise 0x2
+28 fall 0x2
+30 start t3
+40 end t3
+45 start t2
+55 end t2
+56 rise 0x3
+59 fall 0x3
+60 rise 0x4
+63 fall 0x4
+65 start t4
+75 end t4
+|}
+
+let trace () = Rt_trace.Trace_io.of_string_exn trace_text
+
+(* Shorthands matching the paper's table notation. *)
+let p = Dv.Par
+let f = Dv.Fwd
+let b = Dv.Bwd
+let fq = Dv.Fwd_maybe
+let bq = Dv.Bwd_maybe
+
+let expected_after_period_1 =
+  [
+    Df.of_rows [ [ p; f; p; f ]; [ b; p; p; p ]; [ p; p; p; p ]; [ b; p; p; p ] ];
+    Df.of_rows [ [ p; f; p; p ]; [ b; p; p; f ]; [ p; p; p; p ]; [ p; b; p; p ] ];
+    Df.of_rows [ [ p; p; p; f ]; [ p; p; p; f ]; [ p; p; p; p ]; [ b; b; p; p ] ];
+  ]
+
+let expected_final =
+  [
+    Df.of_rows [ [ p; fq; fq; f ]; [ b; p; p; p ]; [ b; p; p; f ]; [ b; p; bq; p ] ];
+    Df.of_rows [ [ p; p; fq; f ]; [ p; p; p; f ]; [ b; p; p; f ]; [ b; bq; bq; p ] ];
+    Df.of_rows [ [ p; fq; p; f ]; [ b; p; p; f ]; [ p; p; p; f ]; [ b; bq; bq; p ] ];
+    Df.of_rows [ [ p; fq; fq; f ]; [ b; p; p; f ]; [ b; p; p; p ]; [ b; bq; p; p ] ];
+    Df.of_rows [ [ p; fq; fq; p ]; [ b; p; p; f ]; [ b; p; p; f ]; [ p; bq; bq; p ] ];
+  ]
+
+let expected_lub =
+  Df.of_rows [ [ p; fq; fq; f ]; [ b; p; p; f ]; [ b; p; p; f ]; [ b; bq; bq; p ] ]

@@ -1,0 +1,22 @@
+(** The paper's §3.3 worked example as reusable fixtures: the Fig. 1
+    design, the Fig. 2 trace (hand-timed so the candidate sets match the
+    paper's assumption tables), and the expected results (the five final
+    hypotheses d81..d85 and their least upper bound, Fig. 4). *)
+
+val design : unit -> Rt_task.Design.t
+(** Fig. 1: t1 —(choose any)→ {t2, t3}; t2 → t4; t3 → t4. *)
+
+val trace : unit -> Rt_trace.Trace.t
+(** Fig. 2: three periods — {t1 t2 t4}, {t1 t3 t4}, {t1 t3 t2 t4}. *)
+
+val trace_text : string
+(** The Fig. 2 trace in the textual trace format. *)
+
+val expected_after_period_1 : Rt_lattice.Depfun.t list
+(** The paper's d21, d22, d23. *)
+
+val expected_final : Rt_lattice.Depfun.t list
+(** The paper's d81 .. d85. *)
+
+val expected_lub : Rt_lattice.Depfun.t
+(** The paper's dLUB (Fig. 4). *)

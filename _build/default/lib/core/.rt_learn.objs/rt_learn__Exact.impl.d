@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Hypothesis List Postprocess Rt_lattice Rt_trace Violations

@@ -1,0 +1,1 @@
+lib/core/exact.mli: Hypothesis Rt_lattice Rt_trace

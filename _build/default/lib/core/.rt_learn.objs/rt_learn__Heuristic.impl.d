@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Array Hypothesis Int List Postprocess Rt_lattice Rt_trace Violations

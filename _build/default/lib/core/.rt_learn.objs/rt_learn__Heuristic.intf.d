@@ -1,0 +1,1 @@
+lib/core/heuristic.mli: Rt_lattice Rt_trace

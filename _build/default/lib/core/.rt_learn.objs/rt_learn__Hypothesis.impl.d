@@ -1,0 +1,1 @@
+lib/core/hypothesis.ml: Array Int List Rt_lattice Stdlib

@@ -1,0 +1,1 @@
+lib/core/learner.ml: Exact Format Heuristic List Matching Printf Rt_lattice Rt_trace Unix

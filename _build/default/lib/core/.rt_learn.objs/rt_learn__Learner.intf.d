@@ -1,0 +1,1 @@
+lib/core/learner.mli: Format Rt_lattice Rt_trace

@@ -1,0 +1,1 @@
+lib/core/matching.ml: Array Hashtbl List Rt_lattice Rt_trace

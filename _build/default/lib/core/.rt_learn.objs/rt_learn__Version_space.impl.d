@@ -1,0 +1,1 @@
+lib/core/version_space.ml: Exact Heuristic List Matching Rt_lattice

@@ -1,0 +1,1 @@
+lib/core/version_space.mli: Rt_lattice Rt_trace

@@ -1,0 +1,1 @@
+lib/core/violations.ml: Array List Rt_trace

@@ -1,0 +1,1 @@
+lib/core/violations.mli: Rt_trace

@@ -1,0 +1,82 @@
+module Df = Rt_lattice.Depfun
+module Period = Rt_trace.Period
+module Candidates = Rt_trace.Candidates
+
+type stats = {
+  periods_processed : int;
+  max_set_size : int;
+  created : int;
+}
+
+type outcome = {
+  hypotheses : Df.t list;
+  stats : stats;
+}
+
+exception Blowup of { period : int; set_size : int; limit : int }
+
+exception Blowup_signal of int
+
+(* Builds the next level; raises mid-construction when it exceeds [limit]
+   so a combinatorial explosion cannot exhaust memory before the
+   post-step size check would have caught it. *)
+let step_message hs pairs ~created ~limit =
+  let count = ref 0 in
+  List.concat_map (fun h ->
+      List.filter_map (fun (s, r) ->
+          match Hypothesis.generalize_message h ~sender:s ~receiver:r with
+          | Some h' ->
+            incr created;
+            incr count;
+            if !count > limit then raise (Blowup_signal !count);
+            Some h'
+          | None -> None)
+        pairs)
+    hs
+
+let end_of_period hs ~violated =
+  List.iter (fun h ->
+      Hypothesis.weaken_violations h ~violated;
+      Hypothesis.clear_assumptions h)
+    hs;
+  Postprocess.minimal_only (Postprocess.dedup hs)
+
+let run ?(limit = 200_000) ?window ?on_period trace =
+  let n = Rt_trace.Trace.task_count trace in
+  let violations = Violations.create n in
+  let created = ref 1 in
+  let max_set = ref 1 in
+  let watch period hs =
+    let k = List.length hs in
+    if k > !max_set then max_set := k;
+    if k > limit then raise (Blowup { period; set_size = k; limit })
+  in
+  let step_period hs (p : Period.t) =
+    let hs =
+      Array.fold_left (fun hs m ->
+          let hs =
+            match step_message hs (Candidates.pairs ?window p m) ~created ~limit with
+            | hs -> hs
+            | exception Blowup_signal set_size ->
+              raise (Blowup { period = p.index; set_size; limit })
+          in
+          watch p.index hs;
+          Postprocess.dedup hs)
+        hs p.msgs
+    in
+    Violations.observe violations ~executed:p.executed;
+    let hs = end_of_period hs ~violated:(Violations.matrix violations) in
+    (match on_period with Some f -> f p.index hs | None -> ());
+    hs
+  in
+  let final, periods =
+    List.fold_left (fun (hs, k) p -> (step_period hs p, k + 1))
+      ([ Hypothesis.bottom n ], 0)
+      (Rt_trace.Trace.periods trace)
+  in
+  {
+    hypotheses = List.map (fun h -> Df.copy (Hypothesis.depfun h)) final;
+    stats = { periods_processed = periods; max_set_size = !max_set; created = !created };
+  }
+
+let converged o = match o.hypotheses with [ d ] -> Some d | [] | _ :: _ -> None

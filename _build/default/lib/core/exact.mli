@@ -1,0 +1,34 @@
+(** The precise version-space algorithm (paper §3.1): starting from
+    [{d⊥}], branch over every candidate sender/receiver assumption of
+    every message, weaken violated definite dependencies at each period
+    boundary, then unify and keep only the minimal hypotheses.
+
+    Worst-case exponential in the number of messages (Theorem 1). The
+    [limit] parameter aborts runaway searches. *)
+
+type stats = {
+  periods_processed : int;
+  max_set_size : int;      (** largest hypothesis set during the run *)
+  created : int;           (** hypotheses allocated in total *)
+}
+
+type outcome = {
+  hypotheses : Rt_lattice.Depfun.t list;
+  (** The final set [D*]: minimal, duplicate-free, assumption-less.
+      Empty means the trace violates the model-of-computation assumptions
+      (some message has no admissible sender/receiver). *)
+  stats : stats;
+}
+
+exception Blowup of { period : int; set_size : int; limit : int }
+
+val run : ?limit:int -> ?window:int ->
+  ?on_period:(int -> Hypothesis.t list -> unit) ->
+  Rt_trace.Trace.t -> outcome
+(** [limit] (default [200_000]) bounds the working-set size; [on_period]
+    observes the post-processed hypothesis set after each period (used by
+    the worked-example tests to check the paper's intermediate tables);
+    [window] narrows candidate sets as in [Rt_trace.Candidates]. *)
+
+val converged : outcome -> Rt_lattice.Depfun.t option
+(** The unique most specific solution, if the algorithm converged. *)

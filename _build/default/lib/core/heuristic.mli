@@ -1,0 +1,57 @@
+(** The polynomial bounded-width algorithm (paper §3.2): the hypothesis
+    set is an ordered list, sorted by the weight of Definition 8; whenever
+    an insertion would make the list longer than the user-specified
+    [bound], the two lightest hypotheses are replaced by their least upper
+    bound.
+
+    Sound but conservative: the result still matches the trace, but is no
+    longer guaranteed minimal. With [bound = 1] the result is the least
+    upper bound of the exact algorithm's answer set (the paper's Lemma). *)
+
+type stats = {
+  periods_processed : int;
+  merges : int;    (** number of LUB merges forced by the bound *)
+  created : int;
+}
+
+type outcome = {
+  hypotheses : Rt_lattice.Depfun.t list;
+  (** Final hypotheses, lightest first; at most [bound] of them; empty iff
+      the trace is inconsistent with the model of computation. *)
+  stats : stats;
+}
+
+type merge_policy =
+  | Lightest_pair  (** the paper's rule: merge the two lowest-weight *)
+  | Heaviest_pair  (** ablation: merge the two highest-weight *)
+  | First_last     (** ablation: merge the lightest with the heaviest *)
+
+val run : ?policy:merge_policy -> ?window:int -> bound:int ->
+  Rt_trace.Trace.t -> outcome
+(** @raise Invalid_argument if [bound < 1]. *)
+
+val converged : outcome -> Rt_lattice.Depfun.t option
+
+(** {2 Online learning}
+
+    The bounded algorithm is inherently incremental: its state after [k]
+    periods is independent of how the remaining trace will look. These
+    functions expose that, for monitoring a live bus period by period. *)
+
+type state
+
+val init :
+  ?policy:merge_policy -> ?window:int -> bound:int -> ntasks:int -> unit ->
+  state
+(** Fresh state over [ntasks] tasks, holding only [{d⊥}]. *)
+
+val feed : state -> Rt_trace.Period.t -> unit
+(** Consume one period (messages, then end-of-period post-processing). *)
+
+val current : state -> Rt_lattice.Depfun.t list
+(** The current hypothesis list, lightest first (fresh copies). *)
+
+val stats : state -> stats
+
+val snapshot : state -> outcome
+(** [current] and [stats] packaged like a [run] result. *)

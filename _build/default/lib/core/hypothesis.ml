@@ -1,0 +1,133 @@
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+
+type t = {
+  dep : Df.t;
+  mutable weight : int;
+  mutable hash : int;
+  mutable a_hash : int;  (* order-independent hash of the assumption set *)
+  mutable assumptions : (int * int) list;
+}
+
+(* A structural hash of the matrix, maintained incrementally on every
+   cell mutation so set-membership tests almost never fall back to the
+   O(n²) matrix comparison. Each cell position gets a fixed mixing
+   weight; the hash is the sum of [position_weight * value_code]. *)
+let position_weight n a b = (((a * n) + b + 1) * 0x9E3779B1) land max_int
+
+let value_code = function
+  | Dv.Par -> 1
+  | Dv.Fwd -> 2
+  | Dv.Bwd -> 3
+  | Dv.Bi -> 4
+  | Dv.Fwd_maybe -> 5
+  | Dv.Bwd_maybe -> 6
+  | Dv.Bi_maybe -> 7
+
+let full_hash d =
+  let n = Df.size d in
+  let h = ref 0 in
+  Df.iter_pairs (fun a b v -> h := !h + (position_weight n a b * value_code v)) d;
+  !h land max_int
+
+(* Assumption sets are duplicate-free, so a commutative sum of per-pair
+   mixes hashes the set independently of insertion order. *)
+let pair_mix (s, r) = (((s * 8191) + r + 1) * 0x9E3779B1) land max_int
+
+let assumptions_hash l =
+  List.fold_left (fun acc pair -> (acc + pair_mix pair) land max_int) 0 l
+
+let bottom n =
+  let dep = Df.create n in
+  { dep; weight = 0; hash = full_hash dep; a_hash = 0; assumptions = [] }
+
+let of_depfun d =
+  let dep = Df.copy d in
+  { dep; weight = Df.weight dep; hash = full_hash dep; a_hash = 0; assumptions = [] }
+
+let depfun h = h.dep
+
+let weight h = h.weight
+
+let assumptions h = h.assumptions
+
+let assumed h s r = List.mem (s, r) h.assumptions
+
+(* Mutate cell (a,b), keeping the cached weight and hash exact. *)
+let update_cell h a b old v' =
+  Df.set h.dep a b v';
+  h.weight <- h.weight - Dv.distance old + Dv.distance v';
+  let pw = position_weight (Df.size h.dep) a b in
+  h.hash <- (h.hash + (pw * (value_code v' - value_code old))) land max_int
+
+let join_cell h a b v =
+  let old = Df.get h.dep a b in
+  let v' = Dv.join old v in
+  if not (Dv.equal v' old) then update_cell h a b old v'
+
+(* Assumption lists are kept sorted so that hypotheses with identical
+   matrices and identical assumption sets compare equal and can be
+   unified mid-period. *)
+let insert_sorted p l =
+  let rec go = function
+    | [] -> [ p ]
+    | q :: rest as all -> if p <= q then p :: all else q :: go rest
+  in
+  go l
+
+let generalize_message h ~sender ~receiver =
+  if sender = receiver then invalid_arg "Hypothesis.generalize_message: sender = receiver";
+  if assumed h sender receiver then None
+  else begin
+    let h' =
+      { dep = Df.copy h.dep;
+        weight = h.weight;
+        hash = h.hash;
+        a_hash = (h.a_hash + pair_mix (sender, receiver)) land max_int;
+        assumptions = insert_sorted (sender, receiver) h.assumptions }
+    in
+    join_cell h' sender receiver Dv.Fwd;
+    join_cell h' receiver sender Dv.Bwd;
+    Some h'
+  end
+
+let weaken_violations h ~violated =
+  Df.iter_pairs (fun a b v ->
+      if Dv.is_definite v && violated.(a).(b) then
+        update_cell h a b v (Dv.weaken v))
+    h.dep
+
+let clear_assumptions h =
+  h.assumptions <- [];
+  h.a_hash <- 0
+
+(* Merged assumptions are the intersection: a pair only stays blocked if
+   both parents used it. Union would starve later messages of candidates
+   and kill the merged hypothesis, losing the soundness the heuristic
+   promises; intersection can at worst re-join evidence for a pair, which
+   is idempotent and only makes the result more general. *)
+let merge_lub h1 h2 =
+  let dep = Df.join h1.dep h2.dep in
+  let inter = List.filter (fun p -> List.mem p h2.assumptions) h1.assumptions in
+  { dep; weight = Df.weight dep; hash = full_hash dep;
+    a_hash = assumptions_hash inter; assumptions = inter }
+
+let equal h1 h2 = Df.equal h1.dep h2.dep
+
+let compare h1 h2 = Df.compare h1.dep h2.dep
+
+let hash h = h.hash
+
+let compare_full h1 h2 =
+  let c = Int.compare h1.hash h2.hash in
+  if c <> 0 then c
+  else
+    let c = Int.compare h1.a_hash h2.a_hash in
+    if c <> 0 then c
+    else
+      let c = Df.compare h1.dep h2.dep in
+      if c <> 0 then c else Stdlib.compare h1.assumptions h2.assumptions
+
+let leq h1 h2 = Df.leq h1.dep h2.dep
+
+let pp ?names ppf h = Df.pp ?names ppf h.dep

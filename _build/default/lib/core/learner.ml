@@ -1,0 +1,68 @@
+module Df = Rt_lattice.Depfun
+
+type algorithm = Exact | Heuristic of int
+
+type report = {
+  algorithm : algorithm;
+  hypotheses : Df.t list;
+  lub : Df.t option;
+  converged : bool;
+  consistent : bool;
+  elapsed_s : float;
+  periods : int;
+  messages : int;
+}
+
+let learn ?exact_limit algorithm trace =
+  let t0 = Unix.gettimeofday () in
+  let hypotheses =
+    match algorithm with
+    | Exact -> (Exact.run ?limit:exact_limit trace).Exact.hypotheses
+    | Heuristic bound -> (Heuristic.run ~bound trace).Heuristic.hypotheses
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  {
+    algorithm;
+    hypotheses;
+    lub = (match hypotheses with [] -> None | l -> Some (Df.lub l));
+    converged = List.length hypotheses = 1;
+    consistent = hypotheses <> [];
+    elapsed_s;
+    periods = Rt_trace.Trace.period_count trace;
+    messages = Rt_trace.Trace.total_messages trace;
+  }
+
+let auto ?(initial = 1) ?(max_bound = 256) trace =
+  if initial < 1 then invalid_arg "Learner.auto: initial bound must be >= 1";
+  let rec go bound prev =
+    let report = learn (Heuristic bound) trace in
+    let stable =
+      match prev, report.lub with
+      | Some p, Some l -> Df.equal p l
+      | None, None -> true  (* consistently inconsistent *)
+      | _ -> false
+    in
+    if stable || bound >= max_bound then (report, bound)
+    else go (bound * 2) report.lub
+  in
+  go initial None
+
+let verify report trace =
+  List.for_all (fun d -> Matching.matches_trace d trace) report.hypotheses
+
+let pp_report ?names ppf r =
+  let alg = match r.algorithm with
+    | Exact -> "exact"
+    | Heuristic b -> Printf.sprintf "heuristic(bound=%d)" b
+  in
+  Format.fprintf ppf "@[<v>algorithm: %s@,periods: %d, messages: %d@,"
+    alg r.periods r.messages;
+  Format.fprintf ppf "hypotheses: %d%s, %.3fs@,"
+    (List.length r.hypotheses)
+    (if r.converged then " (converged)"
+     else if not r.consistent then " (INCONSISTENT TRACE)"
+     else "")
+    r.elapsed_s;
+  (match r.lub with
+   | Some d -> Format.fprintf ppf "least upper bound:@,%a@]" (Df.pp ?names) d
+   | None -> Format.fprintf ppf "@]")

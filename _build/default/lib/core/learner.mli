@@ -1,0 +1,35 @@
+(** Facade over the two algorithms with a uniform report — the entry point
+    a downstream user calls. *)
+
+type algorithm =
+  | Exact                  (** precise, worst-case exponential *)
+  | Heuristic of int       (** bounded width (the paper's heuristics) *)
+
+type report = {
+  algorithm : algorithm;
+  hypotheses : Rt_lattice.Depfun.t list;  (** the answer set [D*] *)
+  lub : Rt_lattice.Depfun.t option;
+  (** [⊔ D*] — the single conservative answer (what §3.3 reports as
+      [dLUB]); [None] iff the answer set is empty. *)
+  converged : bool;        (** exactly one hypothesis left *)
+  consistent : bool;       (** answer set non-empty *)
+  elapsed_s : float;       (** wall-clock learning time *)
+  periods : int;
+  messages : int;
+}
+
+val learn : ?exact_limit:int -> algorithm -> Rt_trace.Trace.t -> report
+
+val auto : ?initial:int -> ?max_bound:int -> Rt_trace.Trace.t -> report * int
+(** Pick the heuristic bound automatically: double it (starting at
+    [initial], default 1) until the least upper bound of the answer set
+    stops changing between consecutive runs, or [max_bound] (default
+    256) is reached. Returns the final report and the bound used. A
+    pragmatic answer to the open tuning knob the paper leaves to the
+    user. *)
+
+val verify : report -> Rt_trace.Trace.t -> bool
+(** Theorem 2 as a runtime check: every returned hypothesis matches every
+    period of the trace. *)
+
+val pp_report : ?names:string array -> Format.formatter -> report -> unit

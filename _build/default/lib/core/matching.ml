@@ -1,0 +1,70 @@
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+module Period = Rt_trace.Period
+module Candidates = Rt_trace.Candidates
+
+let closure_ok d (p : Period.t) =
+  let ok = ref true in
+  Df.iter_pairs (fun a b v ->
+      if !ok && Dv.is_definite v && p.executed.(a) && not p.executed.(b) then
+        ok := false)
+    d;
+  !ok
+
+(* Candidate pairs of message [m] that the hypothesis allows. *)
+let allowed_pairs ?slack ?window d p m =
+  List.filter (fun (s, r) -> Dv.leq Dv.Fwd (Df.get d s r) && Dv.leq Dv.Bwd (Df.get d r s))
+    (Candidates.pairs ?slack ?window p m)
+
+(* Depth-first search over per-message assignments with at-most-one use of
+   each (sender, receiver) pair. [kont] receives each complete assignment
+   (messages in rising-edge order) and returns [true] to stop early. *)
+let search ?slack ?window d (p : Period.t) ~kont =
+  let msgs = p.msgs in
+  let k = Array.length msgs in
+  let options = Array.map (fun m -> allowed_pairs ?slack ?window d p m) msgs in
+  let used = Hashtbl.create 16 in
+  let chosen = Array.make k (-1, -1) in
+  let rec go i =
+    if i = k then kont chosen
+    else
+      List.exists (fun (s, r) ->
+          if Hashtbl.mem used (s, r) then false
+          else begin
+            Hashtbl.add used (s, r) ();
+            chosen.(i) <- (s, r);
+            let stop = go (i + 1) in
+            Hashtbl.remove used (s, r);
+            stop
+          end)
+        options.(i)
+  in
+  go 0
+
+let explain ?slack ?window d p =
+  if not (closure_ok d p) then None
+  else begin
+    let witness = ref None in
+    let found =
+      search ?slack ?window d p ~kont:(fun chosen ->
+          witness := Some (Array.copy chosen);
+          true)
+    in
+    if found then !witness else None
+  end
+
+let matches ?slack ?window d p = explain ?slack ?window d p <> None
+
+let matches_trace ?slack ?window d t =
+  List.for_all (fun p -> matches ?slack ?window d p) (Rt_trace.Trace.periods t)
+
+let count_assignments ?slack ?window ?(limit = max_int) d p =
+  if not (closure_ok d p) then 0
+  else begin
+    let count = ref 0 in
+    ignore
+      (search ?slack ?window d p ~kont:(fun _ ->
+           incr count;
+           !count >= limit));
+    !count
+  end

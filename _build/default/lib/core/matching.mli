@@ -1,0 +1,37 @@
+(** The matching function [M : H × I → bool] (Definition 3), made
+    concrete. A dependency function [d] matches a period [i] iff
+
+    + {b message coverage} — there is an assignment of every message
+      occurrence in [i] to a candidate (sender, receiver) pair (from
+      [Rt_trace.Candidates]) such that no pair is used twice in the
+      period, and for each assigned pair [(s,r)]:
+      [→ ⊑ d(s,r)] and [← ⊑ d(r,s)]; and
+    + {b execution closure} — for every ordered pair [(a,b)] with a
+      definite value ([→], [←] or [↔]): if [a] executed in [i] then [b]
+      executed in [i].
+
+    Coverage requires search over assignments; [matches] uses
+    backtracking (worst case exponential in the number of messages —
+    Theorem 1 says we cannot do better in general). *)
+
+val closure_ok : Rt_lattice.Depfun.t -> Rt_trace.Period.t -> bool
+(** The execution-closure half of the check (cheap). *)
+
+val explain :
+  ?slack:int -> ?window:int -> Rt_lattice.Depfun.t -> Rt_trace.Period.t ->
+  (int * int) array option
+(** A witness assignment (one (sender, receiver) per message occurrence in
+    rising-edge order) if the period matches, [None] otherwise. *)
+
+val matches : ?slack:int -> ?window:int -> Rt_lattice.Depfun.t ->
+  Rt_trace.Period.t -> bool
+
+val matches_trace : ?slack:int -> ?window:int -> Rt_lattice.Depfun.t ->
+  Rt_trace.Trace.t -> bool
+(** [M(h, I)]: matches every period. *)
+
+val count_assignments : ?slack:int -> ?window:int -> ?limit:int ->
+  Rt_lattice.Depfun.t ->
+  Rt_trace.Period.t -> int
+(** Number of distinct witness assignments (capped at [limit], default
+    [max_int]); exposes the search-space size for benchmarks. *)

@@ -1,0 +1,22 @@
+let dedup hs =
+  let sorted = List.sort Hypothesis.compare_full hs in
+  let rec uniq = function
+    | a :: (b :: _ as rest) ->
+      if Hypothesis.compare_full a b = 0 then uniq rest else a :: uniq rest
+    | ([] | [ _ ]) as l -> l
+  in
+  uniq sorted
+
+let minimal_only hs =
+  let arr = Array.of_list hs in
+  let n = Array.length arr in
+  let keep = Array.make n true in
+  for i = 0 to n - 1 do
+    if keep.(i) then
+      for j = 0 to n - 1 do
+        if i <> j && keep.(i) && keep.(j) && Hypothesis.leq arr.(j) arr.(i)
+           && not (Hypothesis.equal arr.(j) arr.(i))
+        then keep.(i) <- false
+      done
+  done;
+  List.filteri (fun i _ -> keep.(i)) (Array.to_list arr)

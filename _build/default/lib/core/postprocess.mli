@@ -1,0 +1,12 @@
+(** End-of-period post-processing shared by both algorithms: unification
+    of equal hypotheses and removal of non-minimal ones (the paper's
+    redundancy rule — the answer set must contain only most specific
+    elements). *)
+
+val dedup : Hypothesis.t list -> Hypothesis.t list
+(** Remove duplicates under [Hypothesis.compare_full] (matrix and
+    assumption set). Output order is unspecified. *)
+
+val minimal_only : Hypothesis.t list -> Hypothesis.t list
+(** Keep only hypotheses with no strictly-more-specific peer in the
+    list. Input should already be duplicate-free. *)

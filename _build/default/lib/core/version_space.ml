@@ -1,0 +1,17 @@
+type report = {
+  accepted : Rt_lattice.Depfun.t list;
+  rejected : Rt_lattice.Depfun.t list;
+}
+
+let filter_consistent ~negatives hypotheses =
+  let matches_a_negative d = List.exists (fun p -> Matching.matches d p) negatives in
+  let rejected, accepted = List.partition matches_a_negative hypotheses in
+  { accepted; rejected }
+
+let learn ?bound ~negatives trace =
+  let hypotheses =
+    match bound with
+    | None -> (Exact.run trace).Exact.hypotheses
+    | Some b -> (Heuristic.run ~bound:b trace).Heuristic.hypotheses
+  in
+  filter_consistent ~negatives hypotheses

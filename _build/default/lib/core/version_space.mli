@@ -1,0 +1,29 @@
+(** Negative-example extension (sketched in the paper's conclusion:
+    "It could also be extended by version space techniques provided
+    negative examples in the execution traces").
+
+    A negative instance is a period that the system must {e not} be able
+    to produce — e.g. a forbidden execution pattern observed on a faulty
+    unit, or a safety scenario written by hand. A hypothesis is consistent
+    iff it matches every positive period and no negative one.
+
+    Because the matching function is not monotone along the lattice (the
+    definite values constrain executions), negative instances cannot prune
+    branches during generalization without losing completeness; they are
+    applied as a final consistency filter, and [learn] reports both the
+    surviving and the eliminated hypotheses. *)
+
+type report = {
+  accepted : Rt_lattice.Depfun.t list;
+  (** hypotheses matching all positives and no negative *)
+  rejected : Rt_lattice.Depfun.t list;
+  (** hypotheses eliminated by a negative instance *)
+}
+
+val filter_consistent :
+  negatives:Rt_trace.Period.t list -> Rt_lattice.Depfun.t list -> report
+
+val learn :
+  ?bound:int -> negatives:Rt_trace.Period.t list -> Rt_trace.Trace.t -> report
+(** Run the learner on the positive trace ([Exact] when [bound] is absent,
+    bounded heuristic otherwise), then filter with the negatives. *)

@@ -1,0 +1,21 @@
+type t = bool array array
+
+let create n = Array.make_matrix n n false
+
+let observe t ~executed =
+  let n = Array.length t in
+  for a = 0 to n - 1 do
+    if executed.(a) then
+      for b = 0 to n - 1 do
+        if a <> b && not executed.(b) then t.(a).(b) <- true
+      done
+  done
+
+let of_periods n periods =
+  let t = create n in
+  List.iter (fun (p : Rt_trace.Period.t) -> observe t ~executed:p.executed) periods;
+  t
+
+let get t a b = t.(a).(b)
+
+let matrix t = t

@@ -1,0 +1,19 @@
+(** The execution-violation matrix of a growing instance set:
+    [get v a b] is true iff some observed period executed task [a] but not
+    task [b]. Definite dependency values on such pairs are untenable and
+    must be weakened; the matrix is hypothesis-independent, so the
+    learners maintain one copy incrementally. *)
+
+type t
+
+val create : int -> t
+
+val observe : t -> executed:bool array -> unit
+(** Fold one period's executed set into the matrix. *)
+
+val of_periods : int -> Rt_trace.Period.t list -> t
+
+val get : t -> int -> int -> bool
+
+val matrix : t -> bool array array
+(** The underlying matrix (not copied). *)

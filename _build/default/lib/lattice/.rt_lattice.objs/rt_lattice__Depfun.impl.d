@@ -1,0 +1,1 @@
+lib/lattice/depfun.ml: Array Depval Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/lattice/depfun.mli: Depval Format

@@ -1,0 +1,1 @@
+lib/lattice/depval.ml: Format Int

@@ -1,0 +1,192 @@
+type t = { n : int; cells : Depval.t array }
+
+let create n =
+  if n < 1 then invalid_arg "Depfun.create: need at least one task";
+  { n; cells = Array.make (n * n) Depval.Par }
+
+let top n =
+  let d = create n in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b then d.cells.((a * n) + b) <- Depval.Bi_maybe
+    done
+  done;
+  d
+
+let size d = d.n
+
+let check d a b =
+  if a < 0 || a >= d.n || b < 0 || b >= d.n then
+    invalid_arg "Depfun: task index out of range"
+
+let get d a b =
+  check d a b;
+  d.cells.((a * d.n) + b)
+
+let set d a b v =
+  check d a b;
+  if a = b && not (Depval.equal v Depval.Par) then
+    invalid_arg "Depfun.set: diagonal must stay Par";
+  d.cells.((a * d.n) + b) <- v
+
+let join_cell d a b v =
+  check d a b;
+  let i = (a * d.n) + b in
+  let v' = Depval.join d.cells.(i) v in
+  if Depval.equal v' d.cells.(i) then false
+  else begin
+    if a = b then invalid_arg "Depfun.join_cell: diagonal must stay Par";
+    d.cells.(i) <- v';
+    true
+  end
+
+let copy d = { n = d.n; cells = Array.copy d.cells }
+
+let equal d1 d2 =
+  d1.n = d2.n
+  && (let rec loop i = i < 0 || (Depval.equal d1.cells.(i) d2.cells.(i) && loop (i - 1)) in
+      loop ((d1.n * d1.n) - 1))
+
+let compare d1 d2 =
+  let c = Int.compare d1.n d2.n in
+  if c <> 0 then c
+  else
+    let rec loop i =
+      if i >= d1.n * d1.n then 0
+      else
+        let c = Depval.compare d1.cells.(i) d2.cells.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let leq d1 d2 =
+  d1.n = d2.n
+  && (let rec loop i = i < 0 || (Depval.leq d1.cells.(i) d2.cells.(i) && loop (i - 1)) in
+      loop ((d1.n * d1.n) - 1))
+
+let map2 name f d1 d2 =
+  if d1.n <> d2.n then invalid_arg name;
+  { n = d1.n; cells = Array.init (d1.n * d1.n) (fun i -> f d1.cells.(i) d2.cells.(i)) }
+
+let join d1 d2 = map2 "Depfun.join: size mismatch" Depval.join d1 d2
+
+let meet d1 d2 = map2 "Depfun.meet: size mismatch" Depval.meet d1 d2
+
+let join_into ~dst d =
+  if dst.n <> d.n then invalid_arg "Depfun.join_into: size mismatch";
+  for i = 0 to (d.n * d.n) - 1 do
+    dst.cells.(i) <- Depval.join dst.cells.(i) d.cells.(i)
+  done
+
+let lub = function
+  | [] -> invalid_arg "Depfun.lub: empty list"
+  | d :: rest ->
+    let acc = copy d in
+    List.iter (fun d' -> join_into ~dst:acc d') rest;
+    acc
+
+let weight d = Array.fold_left (fun acc v -> acc + Depval.distance v) 0 d.cells
+
+let iter_pairs f d =
+  for a = 0 to d.n - 1 do
+    for b = 0 to d.n - 1 do
+      if a <> b then f a b d.cells.((a * d.n) + b)
+    done
+  done
+
+let fold_pairs f d init =
+  let acc = ref init in
+  iter_pairs (fun a b v -> acc := f a b v !acc) d;
+  !acc
+
+let count pred d = fold_pairs (fun _ _ v acc -> if pred v then acc + 1 else acc) d 0
+
+let of_rows rows =
+  let n = List.length rows in
+  if n = 0 then invalid_arg "Depfun.of_rows: empty matrix";
+  let d = create n in
+  List.iteri (fun a row ->
+      if List.length row <> n then invalid_arg "Depfun.of_rows: not square";
+      List.iteri (fun b v ->
+          if a = b then begin
+            if not (Depval.equal v Depval.Par) then
+              invalid_arg "Depfun.of_rows: diagonal must be Par"
+          end
+          else set d a b v)
+        row)
+    rows;
+  d
+
+let to_rows d =
+  List.init d.n (fun a -> List.init d.n (fun b -> d.cells.((a * d.n) + b)))
+
+let default_names n = Array.init n (fun i -> Printf.sprintf "t%d" (i + 1))
+
+let pp ?names ppf d =
+  let names = match names with Some a -> a | None -> default_names d.n in
+  let name i = if i < Array.length names then names.(i) else Printf.sprintf "t%d" i in
+  let width = ref 0 in
+  Array.iter (fun v -> width := max !width (String.length (Depval.to_string v))) d.cells;
+  for i = 0 to d.n - 1 do
+    width := max !width (String.length (name i))
+  done;
+  let pad s = s ^ String.make (!width - String.length s) ' ' in
+  Format.fprintf ppf "%s" (pad "");
+  for b = 0 to d.n - 1 do
+    Format.fprintf ppf " %s" (pad (name b))
+  done;
+  for a = 0 to d.n - 1 do
+    Format.fprintf ppf "@\n%s" (pad (name a));
+    for b = 0 to d.n - 1 do
+      Format.fprintf ppf " %s" (pad (Depval.to_string d.cells.((a * d.n) + b)))
+    done
+  done
+
+let to_string ?names d = Format.asprintf "%a" (pp ?names) d
+
+let parse s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let fields l =
+    String.split_on_char ' ' l |> List.filter (fun f -> f <> "")
+  in
+  match lines with
+  | [] -> Error "empty input"
+  | header :: rows ->
+    let names = fields header in
+    let n = List.length names in
+    if n = 0 then Error "no task names in header"
+    else if List.length rows <> n then
+      Error (Printf.sprintf "expected %d rows, got %d" n (List.length rows))
+    else begin
+      let exception Fail of string in
+      try
+        let parsed_rows =
+          List.map (fun row ->
+              match fields row with
+              | name :: cells ->
+                if not (List.mem name names) then
+                  raise (Fail ("unknown row label " ^ name));
+                if List.length cells <> n then
+                  raise (Fail ("wrong cell count in row " ^ name));
+                List.map (fun cell ->
+                    match Depval.of_string cell with
+                    | Some v -> v
+                    | None -> raise (Fail ("bad dependency value " ^ cell)))
+                  cells
+              | [] -> raise (Fail "empty row"))
+            rows
+        in
+        match of_rows parsed_rows with
+        | d -> Ok (d, Array.of_list names)
+        | exception Invalid_argument m -> Error m
+      with Fail m -> Error m
+    end
+
+let parse_exn s =
+  match parse s with
+  | Ok r -> r
+  | Error m -> invalid_arg ("Depfun.parse_exn: " ^ m)

@@ -1,0 +1,112 @@
+type t = Par | Fwd | Bwd | Bi | Fwd_maybe | Bwd_maybe | Bi_maybe
+
+let all = [ Par; Fwd; Bwd; Bi; Fwd_maybe; Bwd_maybe; Bi_maybe ]
+
+let equal (a : t) (b : t) = a = b
+
+let distance = function
+  | Par -> 0
+  | Fwd | Bwd -> 1
+  | Fwd_maybe | Bi | Bwd_maybe -> 4
+  | Bi_maybe -> 9
+
+let index = function
+  | Par -> 0
+  | Fwd -> 1
+  | Bwd -> 2
+  | Bi -> 3
+  | Fwd_maybe -> 4
+  | Bwd_maybe -> 5
+  | Bi_maybe -> 6
+
+let compare a b =
+  let c = Int.compare (distance a) (distance b) in
+  if c <> 0 then c else Int.compare (index a) (index b)
+
+(* Figure 3, read as a more-specific-than order with Par at the bottom. *)
+let leq a b =
+  match a, b with
+  | Par, _ -> true
+  | _, Bi_maybe -> true
+  | Fwd, (Fwd | Fwd_maybe | Bi) -> true
+  | Bwd, (Bwd | Bwd_maybe | Bi) -> true
+  | Bi, Bi -> true
+  | Fwd_maybe, Fwd_maybe -> true
+  | Bwd_maybe, Bwd_maybe -> true
+  | (Fwd | Bwd | Bi | Fwd_maybe | Bwd_maybe | Bi_maybe), _ -> false
+
+let lt a b = leq a b && not (equal a b)
+
+let join a b =
+  if leq a b then b
+  else if leq b a then a
+  else
+    match a, b with
+    | Fwd, Bwd | Bwd, Fwd -> Bi
+    | Fwd, Bwd_maybe | Bwd_maybe, Fwd
+    | Bwd, Fwd_maybe | Fwd_maybe, Bwd
+    | Fwd_maybe, Bwd_maybe | Bwd_maybe, Fwd_maybe
+    | Fwd_maybe, Bi | Bi, Fwd_maybe
+    | Bwd_maybe, Bi | Bi, Bwd_maybe -> Bi_maybe
+    | (Par | Fwd | Bwd | Bi | Fwd_maybe | Bwd_maybe | Bi_maybe), _ ->
+      (* Any remaining combination is comparable and was handled above. *)
+      assert false
+
+let meet a b =
+  if leq a b then a
+  else if leq b a then b
+  else
+    match a, b with
+    | Fwd, Bwd | Bwd, Fwd
+    | Fwd, Bwd_maybe | Bwd_maybe, Fwd
+    | Bwd, Fwd_maybe | Fwd_maybe, Bwd
+    | Fwd_maybe, Bwd_maybe | Bwd_maybe, Fwd_maybe -> Par
+    | Fwd_maybe, Bi | Bi, Fwd_maybe -> Fwd
+    | Bwd_maybe, Bi | Bi, Bwd_maybe -> Bwd
+    | (Par | Fwd | Bwd | Bi | Fwd_maybe | Bwd_maybe | Bi_maybe), _ ->
+      assert false
+
+let covers = function
+  | Par -> [ Fwd; Bwd ]
+  | Fwd -> [ Fwd_maybe; Bi ]
+  | Bwd -> [ Bwd_maybe; Bi ]
+  | Bi | Fwd_maybe | Bwd_maybe -> [ Bi_maybe ]
+  | Bi_maybe -> []
+
+let flip = function
+  | Fwd -> Bwd
+  | Bwd -> Fwd
+  | Fwd_maybe -> Bwd_maybe
+  | Bwd_maybe -> Fwd_maybe
+  | (Par | Bi | Bi_maybe) as v -> v
+
+let is_definite = function
+  | Fwd | Bwd | Bi -> true
+  | Par | Fwd_maybe | Bwd_maybe | Bi_maybe -> false
+
+let weaken = function
+  | Fwd -> Fwd_maybe
+  | Bwd -> Bwd_maybe
+  | Bi -> Bi_maybe
+  | (Par | Fwd_maybe | Bwd_maybe | Bi_maybe) as v -> v
+
+let to_string = function
+  | Par -> "||"
+  | Fwd -> "->"
+  | Bwd -> "<-"
+  | Bi -> "<->"
+  | Fwd_maybe -> "->?"
+  | Bwd_maybe -> "<-?"
+  | Bi_maybe -> "<->?"
+
+let of_string = function
+  | "||" | "\xe2\x80\x96" -> Some Par
+  | "->" | "\xe2\x86\x92" -> Some Fwd
+  | "<-" | "\xe2\x86\x90" -> Some Bwd
+  | "<->" | "\xe2\x86\x94" -> Some Bi
+  | "->?" | "\xe2\x86\x92?" -> Some Fwd_maybe
+  | "<-?" | "\xe2\x86\x90?" -> Some Bwd_maybe
+  | "<->?" | "\xe2\x86\x94?" -> Some Bi_maybe
+  | _ -> None
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,76 @@
+(** The seven-valued dependency lattice [V] of the paper (Definition 5 and
+    Figure 3).
+
+    For an ordered task pair [(t1, t2)], a value describes how the execution
+    of [t1] relates to the execution of [t2] within one period:
+
+    - [Par] (‖): [t1] always executes in parallel with (independently of)
+      [t2]; no dependency either way.
+    - [Fwd] (→): if [t1] executes, it always determines the execution of
+      [t2] ([t2] must also execute).
+    - [Bwd] (←): if [t1] executes, it always depends on the execution of
+      [t2] ([t2] must also execute, and did so before).
+    - [Bi] (↔): both; defined for lattice completeness, never observed.
+    - [Fwd_maybe] (→?): if [t1] executes it may or may not determine [t2].
+    - [Bwd_maybe] (←?): if [t1] executes it may or may not depend on [t2].
+    - [Bi_maybe] (↔?): may or may not depend on / determine each other;
+      the least specific value.
+
+    The partial order [leq] is the more-specific-than order of Figure 3:
+    [Par] is the bottom; [Fwd] and [Bwd] cover it; [Fwd_maybe], [Bi] and
+    [Bwd_maybe] form the next level ([Fwd_maybe] above [Fwd], [Bi] above
+    both [Fwd] and [Bwd], [Bwd_maybe] above [Bwd]); [Bi_maybe] is the top. *)
+
+type t = Par | Fwd | Bwd | Bi | Fwd_maybe | Bwd_maybe | Bi_maybe
+
+val all : t list
+(** Every value, bottom first. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** A total order compatible with [leq] (by distance, then constructor);
+    used only for sorting and sets, not for lattice reasoning. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff [a] is more specific than or equal to [b] (written
+    [a ⊑ b] in the paper). *)
+
+val lt : t -> t -> bool
+
+val join : t -> t -> t
+(** Least upper bound [⊔]. *)
+
+val meet : t -> t -> t
+(** Greatest lower bound [⊓]. *)
+
+val covers : t -> t list
+(** [covers v] are the immediate successors of [v] in the Hasse diagram:
+    the minimal values strictly above [v]. Used for minimal
+    generalization. *)
+
+val distance : t -> int
+(** Definition 7: squared distance from the lattice bottom;
+    0 for [Par], 1 for [Fwd]/[Bwd], 4 for [Fwd_maybe]/[Bi]/[Bwd_maybe],
+    9 for [Bi_maybe]. *)
+
+val flip : t -> t
+(** Transpose of the relation: exchanges [Fwd]↔[Bwd] and
+    [Fwd_maybe]↔[Bwd_maybe]; [Par], [Bi], [Bi_maybe] are symmetric. *)
+
+val is_definite : t -> bool
+(** [Fwd], [Bwd] or [Bi]: values that constrain executions unconditionally. *)
+
+val weaken : t -> t
+(** Minimal generalization of a definite value whose guarantee was violated
+    by an observed period: [Fwd ↦ Fwd_maybe], [Bwd ↦ Bwd_maybe],
+    [Bi ↦ Bi_maybe]. Identity on the other values. *)
+
+val to_string : t -> string
+(** ASCII rendering: ["||"], ["->"], ["<-"], ["<->"], ["->?"], ["<-?"],
+    ["<->?"]. *)
+
+val of_string : string -> t option
+(** Inverse of [to_string]; also accepts the Unicode forms. *)
+
+val pp : Format.formatter -> t -> unit

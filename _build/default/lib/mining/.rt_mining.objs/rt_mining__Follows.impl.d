@@ -1,0 +1,1 @@
+lib/mining/follows.ml: Array List Rt_trace

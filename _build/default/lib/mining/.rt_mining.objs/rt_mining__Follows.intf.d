@@ -1,0 +1,1 @@
+lib/mining/follows.mli: Rt_trace

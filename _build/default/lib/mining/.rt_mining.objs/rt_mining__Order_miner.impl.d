@@ -1,0 +1,1 @@
+lib/mining/order_miner.ml: Float Follows Format Rt_lattice

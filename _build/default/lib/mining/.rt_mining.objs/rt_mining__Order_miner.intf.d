@@ -1,0 +1,1 @@
+lib/mining/order_miner.mli: Format Rt_lattice Rt_trace

@@ -1,0 +1,39 @@
+type t = {
+  n : int;
+  executed : int array;
+  co : int array array;
+  prec : int array array;
+}
+
+let of_trace trace =
+  let n = Rt_trace.Trace.task_count trace in
+  let executed = Array.make n 0 in
+  let co = Array.make_matrix n n 0 in
+  let prec = Array.make_matrix n n 0 in
+  List.iter (fun (p : Rt_trace.Period.t) ->
+      for a = 0 to n - 1 do
+        if p.executed.(a) then begin
+          executed.(a) <- executed.(a) + 1;
+          for b = 0 to n - 1 do
+            if a <> b && p.executed.(b) then begin
+              co.(a).(b) <- co.(a).(b) + 1;
+              if p.end_time.(a) <= p.start_time.(b) then
+                prec.(a).(b) <- prec.(a).(b) + 1
+            end
+          done
+        end
+      done)
+    (Rt_trace.Trace.periods trace);
+  { n; executed; co; prec }
+
+let task_count t = t.n
+
+let executed t a = t.executed.(a)
+
+let co_executed t a b = t.co.(a).(b)
+
+let preceded t a b = t.prec.(a).(b)
+
+let implies t a b = t.executed.(a) > 0 && t.co.(a).(b) = t.executed.(a)
+
+let always_precedes t a b = t.co.(a).(b) > 0 && t.prec.(a).(b) = t.co.(a).(b)

@@ -1,0 +1,26 @@
+(** Co-occurrence and ordering statistics over a trace — the raw material
+    of the process-mining baseline. *)
+
+type t
+
+val of_trace : Rt_trace.Trace.t -> t
+
+val task_count : t -> int
+
+val executed : t -> int -> int
+(** Number of periods in which the task executed. *)
+
+val co_executed : t -> int -> int -> int
+(** Periods in which both executed. *)
+
+val preceded : t -> int -> int -> int
+(** Periods in which both executed and [a] ended no later than [b]
+    started. *)
+
+val implies : t -> int -> int -> bool
+(** [a] executed at least once and every period executing [a] also
+    executed [b]. *)
+
+val always_precedes : t -> int -> int -> bool
+(** They co-executed at least once and [a] ended before [b] started in
+    every co-period. *)

@@ -1,0 +1,67 @@
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+
+let infer trace =
+  let stats = Follows.of_trace trace in
+  let n = Follows.task_count stats in
+  let d = Df.create n in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if a <> b && Follows.co_executed stats a b > 0 then begin
+        let v =
+          if Follows.implies stats a b && Follows.always_precedes stats a b then
+            Dv.Fwd
+          else if Follows.implies stats a b && Follows.always_precedes stats b a
+          then Dv.Bwd
+          else if Follows.always_precedes stats a b then Dv.Fwd_maybe
+          else if Follows.always_precedes stats b a then Dv.Bwd_maybe
+          else Dv.Par
+        in
+        Df.set d a b v
+      end
+    done
+  done;
+  d
+
+type metrics = {
+  cell_accuracy : float;
+  definite_precision : float;
+  definite_recall : float;
+  dependency_precision : float;
+  dependency_recall : float;
+}
+
+let ratio num den = if den = 0 then 1.0 else Float.of_int num /. Float.of_int den
+
+let score ~predicted ~truth =
+  if Df.size predicted <> Df.size truth then
+    invalid_arg "Order_miner.score: size mismatch";
+  let eq = ref 0 and cells = ref 0 in
+  let def_tp = ref 0 and def_p = ref 0 and def_t = ref 0 in
+  let dep_tp = ref 0 and dep_p = ref 0 and dep_t = ref 0 in
+  Df.iter_pairs (fun a b v ->
+      incr cells;
+      let tv = Df.get truth a b in
+      if Dv.equal v tv then incr eq;
+      let p_def = Dv.is_definite v and t_def = Dv.is_definite tv in
+      if p_def then incr def_p;
+      if t_def then incr def_t;
+      if p_def && t_def then incr def_tp;
+      let p_dep = not (Dv.equal v Dv.Par) and t_dep = not (Dv.equal tv Dv.Par) in
+      if p_dep then incr dep_p;
+      if t_dep then incr dep_t;
+      if p_dep && t_dep then incr dep_tp)
+    predicted;
+  {
+    cell_accuracy = ratio !eq !cells;
+    definite_precision = ratio !def_tp !def_p;
+    definite_recall = ratio !def_tp !def_t;
+    dependency_precision = ratio !dep_tp !dep_p;
+    dependency_recall = ratio !dep_tp !dep_t;
+  }
+
+let pp_metrics ppf m =
+  Format.fprintf ppf
+    "cell accuracy %.2f; definite P/R %.2f/%.2f; dependency P/R %.2f/%.2f"
+    m.cell_accuracy m.definite_precision m.definite_recall
+    m.dependency_precision m.dependency_recall

@@ -1,0 +1,35 @@
+(** Baseline: a process-mining style orderings miner in the spirit of
+    directly-follows / alpha-algorithm discovery, adapted to the
+    dependency-value lattice so its output is comparable with the
+    learner's.
+
+    Unlike the version-space learner it ignores messages entirely —
+    it reads only execution sets and start/end times:
+
+    - [d(a,b) = →] when [b] executes in every period [a] does and [a]
+      always finishes before [b] starts (a determines b);
+    - [d(a,b) = ←] when [b] executes whenever [a] does and [b] always
+      finishes before [a] starts (a depends on b);
+    - [d(a,b) = →?]/[←?] when the ordering is consistent but the
+      implication only sometimes holds;
+    - [‖] otherwise.
+
+    Its weakness — the reason the paper's message-guided search earns its
+    keep — is that pure ordering statistics cannot distinguish a data
+    dependency from coincidental scheduling order, so it over-claims on
+    dense schedules and misses nothing-ordered-but-dependent cases. The
+    evaluation harness quantifies this against design ground truth. *)
+
+val infer : Rt_trace.Trace.t -> Rt_lattice.Depfun.t
+
+type metrics = {
+  cell_accuracy : float;      (** fraction of off-diagonal cells equal *)
+  definite_precision : float; (** of predicted →/←/↔ cells, fraction in truth *)
+  definite_recall : float;
+  dependency_precision : float; (** any non-‖ prediction vs truth *)
+  dependency_recall : float;
+}
+
+val score : predicted:Rt_lattice.Depfun.t -> truth:Rt_lattice.Depfun.t -> metrics
+
+val pp_metrics : Format.formatter -> metrics -> unit

@@ -1,0 +1,1 @@
+lib/sat/match_encoding.ml: Array Cnf Dpll Hashtbl List Option Rt_lattice Rt_trace

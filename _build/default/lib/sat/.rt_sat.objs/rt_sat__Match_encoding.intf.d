@@ -1,0 +1,1 @@
+lib/sat/match_encoding.mli: Cnf Rt_lattice Rt_trace

@@ -1,0 +1,37 @@
+type lit = int
+
+type clause = lit list
+
+type t = { nvars : int; clauses : clause list }
+
+let make ~nvars clauses =
+  if nvars < 0 then invalid_arg "Cnf.make: negative variable count";
+  List.iter (fun c ->
+      List.iter (fun l ->
+          if l = 0 then invalid_arg "Cnf.make: zero literal";
+          if abs l > nvars then invalid_arg "Cnf.make: literal out of range")
+        c)
+    clauses;
+  { nvars; clauses }
+
+let var l = abs l
+
+let is_pos l = l > 0
+
+let eval_clause c assignment =
+  List.exists (fun l ->
+      let v = assignment.(var l) in
+      if is_pos l then v else not v)
+    c
+
+let eval f assignment = List.for_all (fun c -> eval_clause c assignment) f.clauses
+
+let num_clauses f = List.length f.clauses
+
+let pp ppf f =
+  Format.fprintf ppf "@[<v>p cnf %d %d" f.nvars (num_clauses f);
+  List.iter (fun c ->
+      Format.fprintf ppf "@,%s 0"
+        (String.concat " " (List.map string_of_int c)))
+    f.clauses;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,29 @@
+(** Propositional formulas in conjunctive normal form. Literals are
+    non-zero integers; a negative literal is the negation of the variable
+    with that magnitude (DIMACS convention). Variables are numbered
+    [1 .. nvars]. *)
+
+type lit = int
+
+type clause = lit list
+
+type t = private { nvars : int; clauses : clause list }
+
+val make : nvars:int -> clause list -> t
+(** Validates: no zero literal, magnitudes within [1..nvars].
+    Empty clauses are allowed (they make the formula unsatisfiable). *)
+
+val var : lit -> int
+(** Variable index of a literal (its magnitude). *)
+
+val is_pos : lit -> bool
+
+val eval : t -> bool array -> bool
+(** [eval f assignment] with [assignment.(v)] the value of variable [v]
+    (index 0 unused). *)
+
+val eval_clause : clause -> bool array -> bool
+
+val num_clauses : t -> int
+
+val pp : Format.formatter -> t -> unit

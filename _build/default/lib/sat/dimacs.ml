@@ -1,0 +1,48 @@
+let to_string f = Format.asprintf "%a@." Cnf.pp f
+
+type parse_error = { line : int; message : string }
+
+let of_string s =
+  let exception Fail of parse_error in
+  let fail line message = raise (Fail { line; message }) in
+  let header = ref None in
+  let clauses = ref [] in
+  let current = ref [] in
+  try
+    List.iteri (fun i raw ->
+        let lineno = i + 1 in
+        let line = String.trim raw in
+        if line = "" || line.[0] = 'c' then ()
+        else if String.length line > 1 && line.[0] = 'p' then begin
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ "p"; "cnf"; nv; nc ] ->
+            (match int_of_string_opt nv, int_of_string_opt nc with
+             | Some nv, Some nc -> header := Some (nv, nc)
+             | _ -> fail lineno "bad p line")
+          | _ -> fail lineno "bad p line"
+        end
+        else
+          String.split_on_char ' ' line
+          |> List.filter (( <> ) "")
+          |> List.iter (fun tok ->
+              match int_of_string_opt tok with
+              | None -> fail lineno ("bad literal: " ^ tok)
+              | Some 0 ->
+                clauses := List.rev !current :: !clauses;
+                current := []
+              | Some l -> current := l :: !current))
+      (String.split_on_char '\n' s);
+    if !current <> [] then clauses := List.rev !current :: !clauses;
+    (match !header with
+     | None -> fail 0 "missing p cnf header"
+     | Some (nvars, _) ->
+       (match Cnf.make ~nvars (List.rev !clauses) with
+        | f -> Ok f
+        | exception Invalid_argument m -> fail 0 m))
+  with Fail e -> Error e
+
+let of_string_exn s =
+  match of_string s with
+  | Ok f -> f
+  | Error e ->
+    invalid_arg (Printf.sprintf "Dimacs.of_string_exn: line %d: %s" e.line e.message)

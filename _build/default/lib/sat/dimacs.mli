@@ -1,0 +1,10 @@
+(** DIMACS CNF reader/writer. *)
+
+val to_string : Cnf.t -> string
+
+type parse_error = { line : int; message : string }
+
+val of_string : string -> (Cnf.t, parse_error) result
+
+val of_string_exn : string -> Cnf.t
+(** @raise Invalid_argument on malformed input. *)

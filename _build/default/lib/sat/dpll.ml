@@ -1,0 +1,119 @@
+type stats = { decisions : int; propagations : int }
+
+type result = Sat of bool array | Unsat
+
+(* Assignments: 0 unassigned, 1 true, -1 false. Clauses as int arrays for
+   cheap scanning; the solver is a simple recursive DPLL with assignment
+   trail undo, which is plenty for the encoder's instances. *)
+let solve_with_stats (f : Cnf.t) =
+  let nv = f.Cnf.nvars in
+  let assign = Array.make (nv + 1) 0 in
+  let clauses = Array.of_list (List.map Array.of_list f.Cnf.clauses) in
+  let decisions = ref 0 and propagations = ref 0 in
+  let value l =
+    let v = assign.(abs l) in
+    if v = 0 then 0 else if (l > 0) = (v = 1) then 1 else -1
+  in
+  (* Returns the list of literals assigned during propagation (for undo),
+     or None on conflict. *)
+  let exception Conflict in
+  let trail = ref [] in
+  let set l =
+    assign.(abs l) <- (if l > 0 then 1 else -1);
+    trail := l :: !trail
+  in
+  (* Pop the trail back to a previously saved suffix (physical equality:
+     suffixes are shared, never rebuilt). *)
+  let undo_to mark =
+    while not (!trail == mark) do
+      match !trail with
+      | [] -> assert false
+      | l :: rest ->
+        assign.(abs l) <- 0;
+        trail := rest
+    done
+  in
+  let propagate () =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter (fun c ->
+          let unassigned = ref 0 and last = ref 0 and sat = ref false in
+          Array.iter (fun l ->
+              match value l with
+              | 1 -> sat := true
+              | 0 ->
+                incr unassigned;
+                last := l
+              | _ -> ())
+            c;
+          if not !sat then begin
+            if !unassigned = 0 then raise Conflict
+            else if !unassigned = 1 then begin
+              set !last;
+              incr propagations;
+              changed := true
+            end
+          end)
+        clauses
+    done
+  in
+  let rec search () =
+    let mark = !trail in
+    match propagate () with
+    | exception Conflict ->
+      undo_to mark;
+      false
+    | () ->
+      let branch_var =
+        let rec find v = if v > nv then None else if assign.(v) = 0 then Some v else find (v + 1) in
+        find 1
+      in
+      (match branch_var with
+       | None -> true
+       | Some v ->
+         incr decisions;
+         let try_value value_lit =
+           let mark' = !trail in
+           set value_lit;
+           if search () then true
+           else begin
+             undo_to mark';
+             false
+           end
+         in
+         if try_value v || try_value (-v) then true
+         else begin
+           undo_to mark;
+           false
+         end)
+  in
+  let sat = search () in
+  let stats = { decisions = !decisions; propagations = !propagations } in
+  if sat then begin
+    let model = Array.make (nv + 1) false in
+    for v = 1 to nv do
+      model.(v) <- assign.(v) = 1
+    done;
+    (Sat model, stats)
+  end
+  else (Unsat, stats)
+
+let solve f = fst (solve_with_stats f)
+
+let is_satisfiable f = match solve f with Sat _ -> true | Unsat -> false
+
+let brute_force (f : Cnf.t) =
+  let nv = f.Cnf.nvars in
+  if nv > 20 then invalid_arg "Dpll.brute_force: too many variables";
+  let rec go mask =
+    if mask >= 1 lsl nv then Unsat
+    else begin
+      let a = Array.make (nv + 1) false in
+      for v = 1 to nv do
+        a.(v) <- mask land (1 lsl (v - 1)) <> 0
+      done;
+      if Cnf.eval f a then Sat a else go (mask + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,22 @@
+(** A DPLL satisfiability solver: unit propagation, pure-literal
+    elimination, and first-unassigned branching. Complete for the
+    formula sizes the matching encoder produces (hundreds of variables). *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+}
+
+type result =
+  | Sat of bool array  (** model; index 0 unused *)
+  | Unsat
+
+val solve : Cnf.t -> result
+
+val solve_with_stats : Cnf.t -> result * stats
+
+val is_satisfiable : Cnf.t -> bool
+
+val brute_force : Cnf.t -> result
+(** Exhaustive enumeration, for differential testing. Requires at most 20
+    variables. *)

@@ -1,0 +1,68 @@
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+module Period = Rt_trace.Period
+
+type encoding = {
+  cnf : Cnf.t;
+  vars : (int * (int * int)) array;
+}
+
+let allowed_pairs d p m =
+  List.filter (fun (s, r) ->
+      Dv.leq Dv.Fwd (Df.get d s r) && Dv.leq Dv.Bwd (Df.get d r s))
+    (Rt_trace.Candidates.pairs p m)
+
+let encode d (p : Period.t) =
+  let table = ref [] and nvars = ref 0 in
+  let per_msg =
+    Array.mapi (fun mi m ->
+        List.map (fun pair ->
+            incr nvars;
+            table := (mi, pair) :: !table;
+            !nvars)
+          (allowed_pairs d p m))
+      p.msgs
+  in
+  let vars = Array.of_list (List.rev !table) in
+  let at_least_one = Array.to_list per_msg in
+  (* At most one message per (sender, receiver) pair: pairwise conflicts
+     between variables sharing a pair. *)
+  let by_pair = Hashtbl.create 16 in
+  Array.iteri (fun i (_, pair) ->
+      Hashtbl.replace by_pair pair
+        ((i + 1) :: Option.value ~default:[] (Hashtbl.find_opt by_pair pair)))
+    vars;
+  let conflicts =
+    Hashtbl.fold (fun _ vs acc ->
+        let rec all_pairs = function
+          | v1 :: rest -> List.map (fun v2 -> [ -v1; -v2 ]) rest @ all_pairs rest
+          | [] -> []
+        in
+        all_pairs vs @ acc)
+      by_pair []
+  in
+  { cnf = Cnf.make ~nvars:!nvars (at_least_one @ conflicts); vars }
+
+let matches_sat d p =
+  (* Execution closure is not part of the assignment problem; check it
+     directly. *)
+  let closure_ok =
+    let ok = ref true in
+    Df.iter_pairs (fun a b v ->
+        if !ok && Dv.is_definite v && p.Period.executed.(a)
+           && not p.Period.executed.(b)
+        then ok := false)
+      d;
+    !ok
+  in
+  closure_ok && Dpll.is_satisfiable (encode d p).cnf
+
+let witness_of_model enc model =
+  let nmsgs =
+    Array.fold_left (fun acc (mi, _) -> max acc (mi + 1)) 0 enc.vars
+  in
+  let witness = Array.make nmsgs (-1, -1) in
+  Array.iteri (fun i (mi, pair) ->
+      if model.(i + 1) && witness.(mi) = (-1, -1) then witness.(mi) <- pair)
+    enc.vars;
+  witness

@@ -1,0 +1,29 @@
+(** SAT encoding of the per-period matching problem — the constructive
+    face of Theorem 1 (the paper proves NP-hardness of the learning
+    problem by transformation from SAT; the same assignment structure is
+    visible here in the other direction: deciding message coverage {e is}
+    a SAT problem).
+
+    For a hypothesis [d] and a period, one propositional variable per
+    (message, admissible candidate pair); clauses say every message gets
+    at least one pair and no pair serves two messages. The encoding is
+    equisatisfiable with the existence of a witness assignment, so
+    [matches_sat] must agree with [Rt_learn.Matching.matches] — which the
+    test suite checks differentially. *)
+
+type encoding = {
+  cnf : Cnf.t;
+  vars : (int * (int * int)) array;
+  (** variable [v] (1-based, index [v-1] here) encodes: message occurrence
+      [fst] is assigned candidate pair [snd] *)
+}
+
+val encode : Rt_lattice.Depfun.t -> Rt_trace.Period.t -> encoding
+(** Only the message-coverage half; combine with
+    [Rt_learn.Matching.closure_ok] for full matching. *)
+
+val matches_sat : Rt_lattice.Depfun.t -> Rt_trace.Period.t -> bool
+(** Full matching decision via the SAT encoding. *)
+
+val witness_of_model : encoding -> bool array -> (int * int) array
+(** Decode a model into one (sender, receiver) per message occurrence. *)

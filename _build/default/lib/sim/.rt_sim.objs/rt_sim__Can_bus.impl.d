@@ -1,0 +1,1 @@
+lib/sim/can_bus.ml: Int Rt_util

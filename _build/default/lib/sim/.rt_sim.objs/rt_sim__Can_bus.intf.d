@@ -1,0 +1,1 @@
+lib/sim/can_bus.mli:

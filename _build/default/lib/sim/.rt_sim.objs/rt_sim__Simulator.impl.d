@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Can_bus Hashtbl Int List Rt_task Rt_trace Rt_util Scheduler

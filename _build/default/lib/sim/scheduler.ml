@@ -1,0 +1,107 @@
+module Heap = Rt_util.Binary_heap
+
+type ecu_state = {
+  ready : int Heap.t;
+  mutable running : int option;
+  mutable resume : int;
+}
+
+type t = {
+  priority : int array;
+  ecu_of : int array;
+  remaining : int array;
+  started : bool array;
+  mutable starts : (int * int) list;  (* reversed chronological *)
+  ecus : ecu_state array;
+}
+
+let create ~ecus ~priority ~ecu_of =
+  if ecus < 1 then invalid_arg "Scheduler.create: need at least one ECU";
+  if Array.length priority <> Array.length ecu_of then
+    invalid_arg "Scheduler.create: priority/ecu_of length mismatch";
+  Array.iter (fun e ->
+      if e < 0 || e >= ecus then invalid_arg "Scheduler.create: ECU out of range")
+    ecu_of;
+  let n = Array.length priority in
+  let mk_ecu () =
+    (* The heap compares (priority, id) so dispatch is deterministic. *)
+    { ready = Heap.create ~cmp:Int.compare ~capacity:8; running = None; resume = 0 }
+  in
+  {
+    priority;
+    ecu_of;
+    remaining = Array.make n 0;
+    started = Array.make n false;
+    starts = [];
+    ecus = Array.init ecus (fun _ -> mk_ecu ());
+  }
+
+(* Heap elements are packed (priority, id) keys so that ties break on the
+   task index. *)
+let key t task = (t.priority.(task) * 1_000_000) + task
+let task_of_key k = k mod 1_000_000
+
+let release t ~now:_ ~task ~work =
+  if work <= 0 then invalid_arg "Scheduler.release: work must be positive";
+  t.remaining.(task) <- work;
+  Heap.push t.ecus.(t.ecu_of.(task)).ready (key t task)
+
+let advance t ~now =
+  Array.iter (fun e ->
+      match e.running with
+      | None -> e.resume <- now
+      | Some r ->
+        let progress = now - e.resume in
+        assert (progress >= 0 && progress <= t.remaining.(r));
+        t.remaining.(r) <- t.remaining.(r) - progress;
+        e.resume <- now)
+    t.ecus
+
+let dispatch_ecu t e ~now =
+  (* Put the running task back in competition, then pick the best. *)
+  (match e.running with
+   | Some r ->
+     Heap.push e.ready (key t r);
+     e.running <- None
+   | None -> ());
+  match Heap.pop e.ready with
+  | None -> ()
+  | Some k ->
+    let r = task_of_key k in
+    e.running <- Some r;
+    e.resume <- now;
+    if not t.started.(r) then begin
+      t.started.(r) <- true;
+      t.starts <- (now, r) :: t.starts
+    end
+
+let dispatch t ~now = Array.iter (fun e -> dispatch_ecu t e ~now) t.ecus
+
+let next_completion t =
+  Array.fold_left (fun acc e ->
+      match e.running with
+      | None -> acc
+      | Some r ->
+        let fin = e.resume + t.remaining.(r) in
+        (match acc with Some m when m <= fin -> acc | _ -> Some fin))
+    None t.ecus
+
+let take_completions t ~now =
+  let done_ = ref [] in
+  Array.iter (fun e ->
+      match e.running with
+      | Some r when t.remaining.(r) = 0 ->
+        e.running <- None;
+        done_ := r :: !done_;
+        dispatch_ecu t e ~now
+      | Some _ | None -> ())
+    t.ecus;
+  List.rev !done_
+
+let take_starts t =
+  let s = List.rev t.starts in
+  t.starts <- [];
+  s
+
+let busy t =
+  Array.exists (fun e -> e.running <> None || not (Heap.is_empty e.ready)) t.ecus

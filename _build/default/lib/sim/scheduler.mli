@@ -1,0 +1,41 @@
+(** Fixed-priority preemptive scheduling state for a set of ECUs (the
+    OSEK-like execution substrate). Time is driven externally by the
+    discrete-event loop: the owner calls [advance] to account elapsed
+    execution, asks for [next_completion] to bound its time step, and
+    [take_completions]/[take_starts] to harvest what happened. *)
+
+type t
+
+val create : ecus:int -> priority:int array -> ecu_of:int array -> t
+(** [priority.(i)] is task [i]'s fixed priority (lower = more urgent);
+    [ecu_of.(i)] its processor in [0 .. ecus-1]. *)
+
+val release : t -> now:int -> task:int -> work:int -> unit
+(** Task [task] becomes ready at [now] with [work] microseconds of
+    execution demand. A task may be released at most once per period
+    (enforced by the caller). *)
+
+val advance : t -> now:int -> unit
+(** Account execution progress up to [now]. [now] must not exceed the
+    earliest pending completion (the event loop guarantees this by
+    stepping to [next_completion] at the latest). *)
+
+val next_completion : t -> int option
+(** Absolute time of the earliest completion among running tasks, given no
+    further releases; [None] if every ECU is idle. *)
+
+val take_completions : t -> now:int -> int list
+(** Tasks whose demand reached zero exactly at [now] (call after
+    [advance]); removes them and re-dispatches their ECUs. *)
+
+val dispatch : t -> now:int -> unit
+(** Re-evaluate every ECU: ensure the highest-priority ready task is
+    running, preempting if needed. Must be called after [release]. *)
+
+val take_starts : t -> (int * int) list
+(** Drain the log of first dispatches since the last call:
+    [(time, task)] pairs in chronological order. A preempted-and-resumed
+    task does not reappear. *)
+
+val busy : t -> bool
+(** Some ECU still has running or ready work. *)

@@ -1,0 +1,1 @@
+lib/taskmodel/design.ml: Array Buffer Format Fun Hashtbl Int List Printf Queue Rt_lattice Rt_util Task_set

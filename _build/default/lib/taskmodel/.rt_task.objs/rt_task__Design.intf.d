@@ -1,0 +1,1 @@
+lib/taskmodel/design.mli: Format Rt_lattice Rt_util Task_set

@@ -1,0 +1,1 @@
+lib/taskmodel/generator.ml: Array Design Fun List Printf Rt_util

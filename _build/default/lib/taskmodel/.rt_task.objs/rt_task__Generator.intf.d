@@ -1,0 +1,1 @@
+lib/taskmodel/generator.mli: Design

@@ -1,0 +1,1 @@
+lib/taskmodel/task_set.ml: Array Format Hashtbl Printf String

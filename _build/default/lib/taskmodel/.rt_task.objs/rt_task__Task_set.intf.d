@@ -1,0 +1,1 @@
+lib/taskmodel/task_set.mli: Format

@@ -1,0 +1,235 @@
+type policy = Broadcast | Choose_any | Choose_one
+
+type task = {
+  name : string;
+  policy : policy;
+  ecu : int;
+  priority : int;
+  wcet : int;
+  offset : int;
+}
+
+type medium = Bus | Local
+
+type edge = { src : int; dst : int; can_id : int; tx_time : int; medium : medium }
+
+type t = { tasks : task array; edges : edge array; period : int }
+
+let size d = Array.length d.tasks
+
+let validate d =
+  let n = Array.length d.tasks in
+  if n = 0 then invalid_arg "Design.make: no tasks";
+  if d.period <= 0 then invalid_arg "Design.make: period must be positive";
+  Array.iter (fun t ->
+      if t.wcet <= 0 then invalid_arg "Design.make: wcet must be positive";
+      if t.offset < 0 then invalid_arg "Design.make: negative offset")
+    d.tasks;
+  let seen_pair = Hashtbl.create 16 and seen_id = Hashtbl.create 16 in
+  Array.iter (fun e ->
+      if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+        invalid_arg "Design.make: edge endpoint out of range";
+      if e.src = e.dst then invalid_arg "Design.make: self edge";
+      if e.tx_time <= 0 then invalid_arg "Design.make: tx_time must be positive";
+      if Hashtbl.mem seen_pair (e.src, e.dst) then
+        invalid_arg "Design.make: duplicate (src, dst) edge";
+      Hashtbl.add seen_pair (e.src, e.dst) ();
+      if Hashtbl.mem seen_id e.can_id then
+        invalid_arg "Design.make: duplicate CAN id";
+      Hashtbl.add seen_id e.can_id ())
+    d.edges;
+  (* Kahn's algorithm both checks acyclicity and yields the topo order. *)
+  let indeg = Array.make n 0 in
+  Array.iter (fun e -> indeg.(e.dst) <- indeg.(e.dst) + 1) d.edges;
+  let queue = Queue.create () in
+  Array.iteri (fun i deg -> if deg = 0 then Queue.add i queue) indeg;
+  let order = ref [] and count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr count;
+    Array.iter (fun e ->
+        if e.src = v then begin
+          indeg.(e.dst) <- indeg.(e.dst) - 1;
+          if indeg.(e.dst) = 0 then Queue.add e.dst queue
+        end)
+      d.edges
+  done;
+  if !count <> n then invalid_arg "Design.make: design graph has a cycle";
+  List.rev !order
+
+let make ~tasks ~edges ~period =
+  let d = { tasks; edges; period } in
+  ignore (validate d);
+  d
+
+let task_set d = Task_set.of_names (Array.map (fun t -> t.name) d.tasks)
+
+let outgoing d v =
+  Array.to_list d.edges
+  |> List.filter (fun e -> e.src = v)
+  |> List.sort (fun a b -> Int.compare a.can_id b.can_id)
+
+let incoming d v =
+  Array.to_list d.edges
+  |> List.filter (fun e -> e.dst = v)
+  |> List.sort (fun a b -> Int.compare a.can_id b.can_id)
+
+let bus_edges d =
+  Array.to_list d.edges |> List.filter (fun e -> e.medium = Bus)
+
+let sources d =
+  let has_in = Array.make (size d) false in
+  Array.iter (fun e -> has_in.(e.dst) <- true) d.edges;
+  List.filter (fun v -> not has_in.(v)) (List.init (size d) Fun.id)
+
+let topological_order d = validate d
+
+let is_disjunction d v =
+  match d.tasks.(v).policy with
+  | Broadcast -> false
+  | Choose_any | Choose_one -> List.length (outgoing d v) >= 2
+
+let is_conjunction d v = List.length (incoming d v) >= 2
+
+type outcome = { executed : bool array; sent : edge list }
+
+(* Nonempty subsets / singletons of the outgoing edge list, as the local
+   choice space of a node. *)
+let choice_space policy edges =
+  match policy, edges with
+  | _, [] -> [ [] ]
+  | Broadcast, es -> [ es ]
+  | Choose_one, es -> List.map (fun e -> [ e ]) es
+  | Choose_any, es ->
+    let rec subsets = function
+      | [] -> [ [] ]
+      | e :: rest ->
+        let s = subsets rest in
+        List.map (fun sub -> e :: sub) s @ s
+    in
+    List.filter (fun s -> s <> []) (subsets es)
+
+let sample_choice rng policy edges =
+  match policy, edges with
+  | _, [] -> []
+  | Broadcast, es -> es
+  | Choose_one, es -> [ Rt_util.Pcg32.pick rng es ]
+  | Choose_any, es ->
+    let rec pick () =
+      match Rt_util.Pcg32.subset rng ~p:0.5 es with
+      | [] -> pick ()
+      | s -> s
+    in
+    pick ()
+
+let run_outcome d ~choose =
+  let n = size d in
+  let executed = Array.make n false in
+  let received = Array.make n false in
+  let sent = ref [] in
+  let order = topological_order d in
+  let srcs = sources d in
+  List.iter (fun v ->
+      let fires = List.mem v srcs || received.(v) in
+      if fires then begin
+        executed.(v) <- true;
+        let chosen = choose v (outgoing d v) in
+        List.iter (fun e ->
+            received.(e.dst) <- true;
+            sent := e :: !sent)
+          chosen
+      end)
+    order;
+  { executed; sent = List.rev !sent }
+
+let sample_outcome d rng =
+  run_outcome d ~choose:(fun v es -> sample_choice rng d.tasks.(v).policy es)
+
+let all_outcomes d ~limit =
+  let order = topological_order d in
+  let srcs = sources d in
+  (* Worklist of partial states in topo order. *)
+  let exception Too_many in
+  let step states v =
+    let next =
+      List.concat_map (fun (executed, received, sent) ->
+          let fires = List.mem v srcs || received v in
+          if not fires then [ (executed, received, sent) ]
+          else
+            let choices = choice_space d.tasks.(v).policy (outgoing d v) in
+            List.map (fun chosen ->
+                let executed' u = u = v || executed u in
+                let received' u =
+                  received u || List.exists (fun e -> e.dst = u) chosen
+                in
+                (executed', received', sent @ chosen))
+              choices)
+        states
+    in
+    if List.length next > limit then raise Too_many;
+    next
+  in
+  match List.fold_left step [ ((fun _ -> false), (fun _ -> false), []) ] order with
+  | states ->
+    Some
+      (List.map (fun (executed, _, sent) ->
+           { executed = Array.init (size d) executed; sent })
+         states)
+  | exception Too_many -> None
+
+let ground_truth d =
+  match all_outcomes d ~limit:100_000 with
+  | None -> None
+  | Some outcomes ->
+    let module Dv = Rt_lattice.Depval in
+    let module Df = Rt_lattice.Depfun in
+    let n = size d in
+    let dep = Df.create n in
+    (* Values only move up the finite lattice, so this fixpoint
+       terminates. Each pass applies message evidence then execution
+       weakening for every outcome. *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let note b = if b then changed := true in
+      List.iter (fun o ->
+          List.iter (fun e ->
+              note (Df.join_cell dep e.src e.dst Dv.Fwd);
+              note (Df.join_cell dep e.dst e.src Dv.Bwd))
+            o.sent;
+          Df.iter_pairs (fun a b v ->
+              if Dv.is_definite v && o.executed.(a) && not o.executed.(b)
+              then begin
+                Df.set dep a b (Dv.weaken v);
+                changed := true
+              end)
+            dep)
+        outcomes
+    done;
+    Some dep
+
+let to_dot d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph design {\n  rankdir=TB;\n";
+  Array.iteri (fun i t ->
+      let shape = if is_disjunction d i then "diamond"
+        else if is_conjunction d i then "doublecircle"
+        else "ellipse"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=%s, label=\"%s\\necu%d p%d\"];\n"
+           t.name shape t.name t.ecu t.priority))
+    d.tasks;
+  Array.iter (fun e ->
+      let style = match e.medium with Bus -> "solid" | Local -> "dotted" in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [style=%s, label=\"0x%x\"];\n"
+           d.tasks.(e.src).name d.tasks.(e.dst).name style e.can_id))
+    d.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf d =
+  Format.fprintf ppf "design: %d tasks, %d edges, period %dus"
+    (size d) (Array.length d.edges) d.period

@@ -1,0 +1,106 @@
+(** Control-flow design models (paper §2.1, Fig. 1).
+
+    A design is a DAG of tasks. Tasks execute at most once per period, in a
+    data-driven way: a {e source} task (no incoming edge) executes every
+    period; any other task executes iff it receives at least one message.
+    When a task finishes it sends messages on outgoing edges according to
+    its policy — this is where the model's nondeterminism (the paper's
+    "logical decisions") lives.
+
+    The design also carries the deployment information the simulator needs:
+    ECU assignment, fixed priority (OSEK-style, lower number = higher
+    priority), WCET, release offset, and a CAN identifier per edge. *)
+
+type policy =
+  | Broadcast  (** sends on every outgoing edge (neither dis- nor conjunction) *)
+  | Choose_any (** disjunction node: sends on a nonempty subset of edges *)
+  | Choose_one (** disjunction node: sends on exactly one edge *)
+
+type task = {
+  name : string;
+  policy : policy;
+  ecu : int;       (** which processor the task runs on *)
+  priority : int;  (** fixed priority, lower = more urgent *)
+  wcet : int;      (** worst-case execution time, microseconds *)
+  offset : int;    (** release offset within the period (sources only) *)
+}
+
+type medium =
+  | Bus    (** transmitted on the shared CAN bus; visible to the logger *)
+  | Local  (** delivered ECU-internally (shared memory / IPC); invisible
+               to the bus logger — the source of the paper's "indirect
+               influence with no explicit messages" *)
+
+type edge = {
+  src : int;
+  dst : int;
+  can_id : int;   (** bus arbitration identifier, lower = higher priority *)
+  tx_time : int;  (** transmission time on the bus, or IPC latency for
+                      [Local] edges, microseconds *)
+  medium : medium;
+}
+
+type t = private {
+  tasks : task array;
+  edges : edge array;
+  period : int;  (** period length in microseconds *)
+}
+
+val make : tasks:task array -> edges:edge array -> period:int -> t
+(** Validates: at least one task, indices in range, no self-edges, at most
+    one edge per (src, dst) pair, distinct CAN ids, positive WCETs and
+    period, and acyclicity. Raises [Invalid_argument] with a description
+    otherwise. *)
+
+val task_set : t -> Task_set.t
+
+val size : t -> int
+(** Number of tasks. *)
+
+val outgoing : t -> int -> edge list
+(** Outgoing edges of a task, in CAN-id order. *)
+
+val bus_edges : t -> edge list
+(** Only the edges the logger can observe. *)
+
+val incoming : t -> int -> edge list
+
+val sources : t -> int list
+(** Tasks with no incoming edge; they fire every period. *)
+
+val topological_order : t -> int list
+
+val is_disjunction : t -> int -> bool
+(** A task that makes a real choice: [Choose_any] or [Choose_one] with at
+    least two outgoing edges. *)
+
+val is_conjunction : t -> int -> bool
+(** A task with at least two incoming edges (a join that passively
+    receives). *)
+
+(** {2 Logical outcomes}
+
+    A logical outcome is one resolution of all design choices in a period,
+    before any timing: which tasks executed and which edges carried a
+    message. *)
+
+type outcome = { executed : bool array; sent : edge list }
+
+val sample_outcome : t -> Rt_util.Pcg32.t -> outcome
+(** Draw one outcome uniformly over each node's local choices. *)
+
+val all_outcomes : t -> limit:int -> outcome list option
+(** Exhaustive enumeration of outcomes, or [None] if there are more than
+    [limit]. Outcomes are produced in a deterministic order. *)
+
+val ground_truth : t -> Rt_lattice.Depfun.t option
+(** The most specific dependency function consistent with {e every} logical
+    outcome of the design, computed by fixpoint over the exhaustive outcome
+    set (with true sender/receiver knowledge). This is what a perfect
+    learner converges to given an exhaustive trace and exact candidate
+    information. [None] if there are more than 100_000 outcomes. *)
+
+val to_dot : t -> string
+(** Graphviz rendering of the design graph (Fig. 1 style). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+module Pcg = Rt_util.Pcg32
+
+type params = {
+  layers : int;
+  width_min : int;
+  width_max : int;
+  edge_density : float;
+  skip_density : float;
+  choose_any_fraction : float;
+  choose_one_fraction : float;
+  local_fraction : float;
+  ecus : int;
+  wcet_min : int;
+  wcet_max : int;
+  period : int;
+}
+
+let default = {
+  layers = 4;
+  width_min = 2;
+  width_max = 4;
+  edge_density = 0.3;
+  skip_density = 0.1;
+  choose_any_fraction = 0.4;
+  choose_one_fraction = 0.2;
+  local_fraction = 0.0;
+  ecus = 2;
+  wcet_min = 50;
+  wcet_max = 300;
+  period = 10_000;
+}
+
+let generate p ~seed =
+  if p.layers < 1 || p.width_min < 1 || p.width_max < p.width_min then
+    invalid_arg "Generator.generate: bad layer shape";
+  if p.ecus < 1 then invalid_arg "Generator.generate: need >= 1 ECU";
+  let rng = Pcg.of_int seed in
+  (* Layer sizes and global task indices. *)
+  let widths = Array.init p.layers (fun _ -> Pcg.int_in rng p.width_min p.width_max) in
+  let layer_of = ref [] in
+  Array.iteri (fun li w ->
+      for _ = 1 to w do layer_of := li :: !layer_of done)
+    widths;
+  let layer_of = Array.of_list (List.rev !layer_of) in
+  let n = Array.length layer_of in
+  let in_layer li =
+    List.filter (fun i -> layer_of.(i) = li) (List.init n Fun.id)
+  in
+  (* Edges: every non-first-layer task gets one mandatory predecessor in
+     the previous layer, plus density-controlled extras. *)
+  let edges = ref [] in
+  let add_edge s d = if not (List.exists (fun (a, b) -> a = s && b = d) !edges)
+    then edges := (s, d) :: !edges
+  in
+  for i = 0 to n - 1 do
+    let li = layer_of.(i) in
+    if li > 0 then begin
+      let prev = in_layer (li - 1) in
+      add_edge (Pcg.pick rng prev) i;
+      List.iter (fun s -> if Pcg.chance rng p.edge_density then add_edge s i) prev;
+      for lj = 0 to li - 2 do
+        List.iter (fun s -> if Pcg.chance rng p.skip_density then add_edge s i)
+          (in_layer lj)
+      done
+    end
+  done;
+  let edge_pairs = Array.of_list (List.rev !edges) in
+  (* CAN ids: a shuffled permutation so that bus priority is unrelated to
+     topological position, as on a real bus. *)
+  let ids = Array.init (Array.length edge_pairs) Fun.id in
+  Pcg.shuffle rng ids;
+  let edges =
+    Array.mapi (fun k (s, d) ->
+        { Design.src = s; dst = d; can_id = 0x100 + ids.(k);
+          tx_time = Pcg.int_in rng 20 60;
+          medium =
+            (if Pcg.chance rng p.local_fraction then Design.Local
+             else Design.Bus) })
+      edge_pairs
+  in
+  let out_degree i =
+    Array.fold_left (fun acc e -> if e.Design.src = i then acc + 1 else acc) 0 edges
+  in
+  let tasks =
+    Array.init n (fun i ->
+        let policy =
+          if out_degree i >= 2 then begin
+            let r = Pcg.float rng 1.0 in
+            if r < p.choose_any_fraction then Design.Choose_any
+            else if r < p.choose_any_fraction +. p.choose_one_fraction then
+              Design.Choose_one
+            else Design.Broadcast
+          end
+          else Design.Broadcast
+        in
+        { Design.name = Printf.sprintf "t%d" (i + 1);
+          policy;
+          ecu = Pcg.int rng p.ecus;
+          priority = i + 1;
+          wcet = Pcg.int_in rng p.wcet_min p.wcet_max;
+          offset = if layer_of.(i) = 0 then Pcg.int rng 50 else 0 })
+  in
+  Design.make ~tasks ~edges ~period:p.period
+
+let sized ~ntasks ~seed =
+  let layers = max 2 (ntasks / 3) in
+  let width = max 1 (ntasks / layers) in
+  generate
+    { default with
+      layers;
+      width_min = width;
+      width_max = width + 1 }
+    ~seed

@@ -1,0 +1,31 @@
+(** Random layered-DAG design models, the synthetic workload generator for
+    scaling benchmarks and property tests. *)
+
+type params = {
+  layers : int;            (** number of DAG layers, >= 1 *)
+  width_min : int;         (** min tasks per layer *)
+  width_max : int;         (** max tasks per layer *)
+  edge_density : float;    (** probability of an edge between tasks in
+                               consecutive layers (beyond the mandatory
+                               one that keeps every task reachable) *)
+  skip_density : float;    (** probability of a layer-skipping edge *)
+  choose_any_fraction : float; (** fraction of multi-output tasks that are
+                                   [Choose_any] disjunction nodes *)
+  choose_one_fraction : float;
+  local_fraction : float;  (** fraction of edges delivered ECU-internally
+                               (invisible to the bus logger) *)
+  ecus : int;              (** number of processors, >= 1 *)
+  wcet_min : int;
+  wcet_max : int;
+  period : int;            (** period length in microseconds *)
+}
+
+val default : params
+(** 4 layers of 2–4 tasks, moderate density, 2 ECUs, 10ms period. *)
+
+val generate : params -> seed:int -> Design.t
+(** Deterministic in [(params, seed)]. Every non-source task has at least
+    one incoming edge; every source is in the first layer. *)
+
+val sized : ntasks:int -> seed:int -> Design.t
+(** Convenience: roughly [ntasks] tasks with default-ish shape. *)

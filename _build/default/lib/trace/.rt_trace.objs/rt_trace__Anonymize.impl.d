@@ -1,0 +1,1 @@
+lib/trace/anonymize.ml: Array Char Event Hashtbl List Period Printf Rt_task String Trace

@@ -1,0 +1,1 @@
+lib/trace/anonymize.mli: Trace

@@ -1,0 +1,1 @@
+lib/trace/candidates.ml: Array Fun List Period Rt_task

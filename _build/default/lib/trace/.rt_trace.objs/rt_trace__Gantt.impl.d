@@ -1,0 +1,1 @@
+lib/trace/gantt.ml: Array Buffer Event Fun List Period Printf Rt_task

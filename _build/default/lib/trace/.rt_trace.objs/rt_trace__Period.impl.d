@@ -1,0 +1,1 @@
+lib/trace/period.ml: Array Event Format Fun Hashtbl Int List Printf Rt_task String

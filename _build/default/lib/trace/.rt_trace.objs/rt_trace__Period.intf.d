@@ -1,0 +1,1 @@
+lib/trace/period.mli: Event Format Rt_task

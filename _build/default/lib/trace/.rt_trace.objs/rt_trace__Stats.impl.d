@@ -1,0 +1,1 @@
+lib/trace/stats.ml: Array Event Float Format Fun Hashtbl List Period Trace

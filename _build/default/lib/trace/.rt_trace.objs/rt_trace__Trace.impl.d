@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Event Format Hashtbl Int List Option Period Rt_task

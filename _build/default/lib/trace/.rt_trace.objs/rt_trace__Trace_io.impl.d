@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Array Buffer Event Fun List Period Printf Rt_task Stdlib String Trace

@@ -1,0 +1,1 @@
+lib/trace/vcd.ml: Array Buffer Char Event Fun Int List Period Printf Rt_task String Trace

@@ -1,0 +1,1 @@
+lib/trace/vcd.mli: Trace

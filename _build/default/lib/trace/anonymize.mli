@@ -1,0 +1,22 @@
+(** Trace anonymization — the operation the paper's authors performed on
+    the GM data ("For proprietary reasons, we cannot disclose actual
+    names of tasks. We abstract these tasks using letters A to P and S").
+
+    Renames tasks to neutral letters, renumbers bus identifiers densely,
+    and optionally rebases every period's timestamps to start near zero.
+    The learning problem is untouched: candidate sets depend only on
+    event ordering and relative timing, which are preserved. *)
+
+type mapping = {
+  task_names : (string * string) list;  (** original -> anonymized *)
+  bus_ids : (int * int) list;           (** original -> anonymized *)
+}
+
+val anonymize : ?rebase_time:bool -> Trace.t -> Trace.t * mapping
+(** Tasks are renamed [A, B, ..., Z, T26, T27, ...] in index order; bus
+    ids become [0x100, 0x101, ...] in first-appearance order. With
+    [rebase_time] (default [true]) each period's events are shifted so
+    the earliest event is at time 0. *)
+
+val apply_names : mapping -> string -> string option
+(** Look up the anonymized name of an original task. *)

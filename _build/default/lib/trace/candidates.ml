@@ -1,0 +1,21 @@
+let senders ?(slack = 0) ?window (p : Period.t) (m : Period.msg) =
+  let lo = match window with None -> min_int | Some w -> m.rise - w in
+  List.filter (fun i ->
+      p.executed.(i) && p.end_time.(i) <= m.rise + slack && p.end_time.(i) >= lo)
+    (List.init (Rt_task.Task_set.size p.task_set) Fun.id)
+
+let receivers ?(slack = 0) ?window (p : Period.t) (m : Period.msg) =
+  let hi = match window with None -> max_int | Some w -> m.fall + w in
+  List.filter (fun i ->
+      p.executed.(i) && p.start_time.(i) + slack >= m.fall && p.start_time.(i) <= hi)
+    (List.init (Rt_task.Task_set.size p.task_set) Fun.id)
+
+let pairs ?slack ?window p m =
+  let ss = senders ?slack ?window p m and rs = receivers ?slack ?window p m in
+  List.concat_map (fun s ->
+      List.filter_map (fun r -> if s = r then None else Some (s, r)) rs)
+    ss
+
+let pair_count ?slack ?window p =
+  Array.fold_left (fun acc m -> acc + List.length (pairs ?slack ?window p m))
+    0 p.Period.msgs

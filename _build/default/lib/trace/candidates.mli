@@ -1,0 +1,32 @@
+(** Candidate sender/receiver inference (the sets [A_m] of paper §3.1).
+
+    The bus reveals neither sender nor receiver of a frame. From timing
+    alone, within a period:
+
+    - any task that {e ended} no later than the rising edge could be the
+      sender (the paper assumes messages are sent only when the sender
+      finishes);
+    - any task that {e started} no earlier than the falling edge could be
+      the receiver (a task fires on arrival of its inputs).
+
+    [slack] relaxes both comparisons by a tolerance in microseconds, for
+    traces with timestamping jitter (ablation: candidate-window
+    sensitivity). *)
+
+val senders : ?slack:int -> ?window:int -> Period.t -> Period.msg -> int list
+(** Tasks that could have sent the message, ascending index order. With
+    [window], only tasks that ended within [window] microseconds {e
+    before} the rising edge qualify (a data-freshness assumption that
+    narrows [A_m]). *)
+
+val receivers : ?slack:int -> ?window:int -> Period.t -> Period.msg -> int list
+(** With [window], only tasks that started within [window] microseconds
+    after the falling edge qualify (an immediate-activation assumption). *)
+
+val pairs : ?slack:int -> ?window:int -> Period.t -> Period.msg -> (int * int) list
+(** All (sender, receiver) combinations with sender <> receiver, in
+    lexicographic order. This is [A_m]. *)
+
+val pair_count : ?slack:int -> ?window:int -> Period.t -> int
+(** Total candidate pairs across all messages of the period — the
+    branching factor the exact algorithm faces. *)

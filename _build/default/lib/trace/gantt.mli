@@ -1,0 +1,10 @@
+(** SVG Gantt chart of one period: a row per task with its execution
+    span (hatched while preempted time is not distinguished — the span
+    runs from start to end), plus a bus row with one bar per frame.
+    Self-contained SVG, no external CSS. *)
+
+val to_svg : ?width:int -> Period.t -> string
+(** [width] is the drawing width in pixels (default 800); time is scaled
+    to fit. Only tasks that executed get a row. *)
+
+val save : ?width:int -> string -> Period.t -> unit

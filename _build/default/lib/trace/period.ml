@@ -1,0 +1,99 @@
+type msg = { occ : int; bus_id : int; rise : int; fall : int }
+
+type t = {
+  index : int;
+  task_set : Rt_task.Task_set.t;
+  events : Event.t list;
+  executed : bool array;
+  start_time : int array;
+  end_time : int array;
+  msgs : msg array;
+}
+
+type error =
+  | Duplicate_start of int
+  | Duplicate_end of int
+  | End_without_start of int
+  | Start_without_end of int
+  | End_before_start of int
+  | Fall_without_rise of int
+  | Rise_without_fall of int
+  | Unknown_task of int
+
+let string_of_error = function
+  | Duplicate_start i -> Printf.sprintf "task %d started twice in a period" i
+  | Duplicate_end i -> Printf.sprintf "task %d ended twice in a period" i
+  | End_without_start i -> Printf.sprintf "task %d ended without starting" i
+  | Start_without_end i -> Printf.sprintf "task %d started but never ended" i
+  | End_before_start i -> Printf.sprintf "task %d ended before it started" i
+  | Fall_without_rise m -> Printf.sprintf "falling edge of 0x%x without rising edge" m
+  | Rise_without_fall m -> Printf.sprintf "rising edge of 0x%x without falling edge" m
+  | Unknown_task i -> Printf.sprintf "task index %d out of range" i
+
+let make ~index ~task_set events =
+  let n = Rt_task.Task_set.size task_set in
+  let events = List.sort Event.compare events in
+  let start_time = Array.make n (-1) in
+  let end_time = Array.make n (-1) in
+  let open_rises : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let msgs = ref [] in
+  let occ = ref 0 in
+  let exception Bad of error in
+  try
+    List.iter (fun (e : Event.t) ->
+        match e.kind with
+        | Event.Task_start i ->
+          if i < 0 || i >= n then raise (Bad (Unknown_task i));
+          if start_time.(i) >= 0 then raise (Bad (Duplicate_start i));
+          start_time.(i) <- e.time
+        | Event.Task_end i ->
+          if i < 0 || i >= n then raise (Bad (Unknown_task i));
+          if start_time.(i) < 0 then raise (Bad (End_without_start i));
+          if end_time.(i) >= 0 then raise (Bad (Duplicate_end i));
+          if e.time < start_time.(i) then raise (Bad (End_before_start i));
+          end_time.(i) <- e.time
+        | Event.Msg_rise m ->
+          (* Frames with the same bus id pair rise-to-next-fall; nesting of
+             the same id cannot happen on a serial bus. *)
+          if Hashtbl.mem open_rises m then raise (Bad (Rise_without_fall m));
+          Hashtbl.add open_rises m e.time
+        | Event.Msg_fall m ->
+          (match Hashtbl.find_opt open_rises m with
+           | None -> raise (Bad (Fall_without_rise m))
+           | Some rise ->
+             Hashtbl.remove open_rises m;
+             msgs := { occ = !occ; bus_id = m; rise; fall = e.time } :: !msgs;
+             incr occ))
+      events;
+    Hashtbl.iter (fun m _ -> raise (Bad (Rise_without_fall m))) open_rises;
+    Array.iteri (fun i st ->
+        if st >= 0 && end_time.(i) < 0 then raise (Bad (Start_without_end i)))
+      start_time;
+    let executed = Array.init n (fun i -> start_time.(i) >= 0 && end_time.(i) >= 0) in
+    let msgs =
+      !msgs |> List.rev |> Array.of_list |> fun a ->
+      Array.sort (fun m1 m2 ->
+          let c = Int.compare m1.rise m2.rise in
+          if c <> 0 then c else Int.compare m1.occ m2.occ) a;
+      Array.mapi (fun k m -> { m with occ = k }) a
+    in
+    Ok { index; task_set; events; executed; start_time; end_time; msgs }
+  with Bad e -> Error e
+
+let make_exn ~index ~task_set events =
+  match make ~index ~task_set events with
+  | Ok p -> p
+  | Error e -> invalid_arg ("Period.make_exn: " ^ string_of_error e)
+
+let executed_tasks p =
+  List.filter (fun i -> p.executed.(i))
+    (List.init (Rt_task.Task_set.size p.task_set) Fun.id)
+
+let executed_count p = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 p.executed
+
+let msg_count p = Array.length p.msgs
+
+let pp ppf p =
+  let names = List.map (Rt_task.Task_set.name p.task_set) (executed_tasks p) in
+  Format.fprintf ppf "period %d: tasks [%s], %d msgs"
+    p.index (String.concat " " names) (Array.length p.msgs)

@@ -1,0 +1,50 @@
+(** One period of a trace — an {e instance} of the learning problem
+    (paper Definition 1: "each instance is a period in that trace").
+
+    A period view is validated and pre-digested: which tasks executed (a
+    task executes at most once per period), their start/end times, and the
+    message occurrences with paired rising/falling edges. *)
+
+type msg = {
+  occ : int;      (** occurrence index within the period, 0-based *)
+  bus_id : int;   (** frame identifier as seen on the bus *)
+  rise : int;     (** timestamp of the rising edge *)
+  fall : int;     (** timestamp of the falling edge *)
+}
+
+type t = private {
+  index : int;
+  task_set : Rt_task.Task_set.t;
+  events : Event.t list;     (** sorted with [Event.compare] *)
+  executed : bool array;     (** per task: both start and end seen *)
+  start_time : int array;    (** -1 when the task did not execute *)
+  end_time : int array;
+  msgs : msg array;          (** in rising-edge order *)
+}
+
+type error =
+  | Duplicate_start of int
+  | Duplicate_end of int
+  | End_without_start of int
+  | Start_without_end of int
+  | End_before_start of int
+  | Fall_without_rise of int   (** bus id *)
+  | Rise_without_fall of int
+  | Unknown_task of int
+
+val string_of_error : error -> string
+
+val make : index:int -> task_set:Rt_task.Task_set.t -> Event.t list -> (t, error) result
+(** Sorts the events and validates the period. *)
+
+val make_exn : index:int -> task_set:Rt_task.Task_set.t -> Event.t list -> t
+(** @raise Invalid_argument on a malformed period. *)
+
+val executed_tasks : t -> int list
+(** Indices of tasks that executed, ascending. *)
+
+val executed_count : t -> int
+
+val msg_count : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(** Descriptive statistics over a trace — the first thing an integrator
+    looks at before learning: which tasks actually run, how loaded the
+    bus is, how stable the timing looks. *)
+
+type task_stats = {
+  task : int;
+  activations : int;        (** periods in which the task executed *)
+  activation_ratio : float; (** activations / periods *)
+  min_duration : int;       (** observed start-to-end span, microseconds *)
+  max_duration : int;
+  mean_duration : float;
+  min_start : int;          (** earliest observed start offset *)
+  max_start : int;
+}
+
+type bus_stats = {
+  frames : int;
+  distinct_ids : int;
+  busy_time : int;             (** sum of rise-to-fall spans *)
+  utilization : float;         (** busy time / observed span *)
+  min_frame_time : int;
+  max_frame_time : int;
+}
+
+type t = {
+  periods : int;
+  tasks : task_stats list;     (** only tasks that executed at least once *)
+  bus : bus_stats;
+}
+
+val of_trace : Trace.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Tabular report. *)
+
+val to_string : Trace.t -> string

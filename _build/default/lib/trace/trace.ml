@@ -1,0 +1,92 @@
+type t = { task_set : Rt_task.Task_set.t; periods : Period.t array }
+
+let of_periods ~task_set ps =
+  List.iter (fun (p : Period.t) ->
+      if not (Rt_task.Task_set.equal p.task_set task_set) then
+        invalid_arg "Trace.of_periods: period over a different task set")
+    ps;
+  { task_set; periods = Array.of_list ps }
+
+type segment_error = { period_index : int; error : Period.error }
+
+let segment ~task_set ~period_len events =
+  if period_len <= 0 then invalid_arg "Trace.segment: period_len must be positive";
+  let by_period : (int, Event.t list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter (fun (e : Event.t) ->
+      let idx = e.time / period_len in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_period idx) in
+      Hashtbl.replace by_period idx (e :: cur))
+    events;
+  let indices =
+    Hashtbl.fold (fun k _ acc -> k :: acc) by_period [] |> List.sort Int.compare
+  in
+  let oks = ref [] and errs = ref [] in
+  List.iteri (fun new_idx old_idx ->
+      let evs = Hashtbl.find by_period old_idx in
+      match Period.make ~index:new_idx ~task_set evs with
+      | Ok p -> oks := p :: !oks
+      | Error error -> errs := { period_index = old_idx; error } :: !errs)
+    indices;
+  if !errs <> [] then Error (List.rev !errs)
+  else Ok { task_set; periods = Array.of_list (List.rev !oks) }
+
+let median = function
+  | [] -> None
+  | l ->
+    let a = Array.of_list l in
+    Array.sort Int.compare a;
+    Some a.(Array.length a / 2)
+
+let infer_period events =
+  let starts : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Task_start i ->
+        Hashtbl.replace starts i
+          (e.time :: Option.value ~default:[] (Hashtbl.find_opt starts i))
+      | Event.Task_end _ | Event.Msg_rise _ | Event.Msg_fall _ -> ())
+    events;
+  let per_task =
+    Hashtbl.fold (fun _ times acc ->
+        let times = List.sort Int.compare times in
+        if List.length times < 3 then acc
+        else
+          let rec gaps = function
+            | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+            | [ _ ] | [] -> []
+          in
+          match median (gaps times) with
+          | Some g when g > 0 -> g :: acc
+          | Some _ | None -> acc)
+      starts []
+  in
+  median per_task
+
+let segment_auto ~task_set events =
+  match infer_period events with
+  | None -> Error []
+  | Some period_len ->
+    (match segment ~task_set ~period_len events with
+     | Ok t -> Ok (t, period_len)
+     | Error e -> Error e)
+
+let periods t = Array.to_list t.periods
+
+let period_count t = Array.length t.periods
+
+let task_count t = Rt_task.Task_set.size t.task_set
+
+let total_messages t =
+  Array.fold_left (fun acc p -> acc + Period.msg_count p) 0 t.periods
+
+let total_events t =
+  Array.fold_left (fun acc (p : Period.t) -> acc + List.length p.events) 0 t.periods
+
+let executed_matrix t =
+  Array.to_list t.periods
+  |> List.map (fun (p : Period.t) -> Array.copy p.executed)
+  |> Array.of_list
+
+let pp_summary ppf t =
+  Format.fprintf ppf "trace: %d tasks, %d periods, %d messages, %d events"
+    (task_count t) (period_count t) (total_messages t) (total_events t)

@@ -1,0 +1,129 @@
+let header = "# rtgen-trace v1"
+
+let to_string (t : Trace.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "tasks";
+  Array.iter (fun n ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf n)
+    (Rt_task.Task_set.names t.task_set);
+  Buffer.add_char buf '\n';
+  List.iter (fun (p : Period.t) ->
+      Buffer.add_string buf (Printf.sprintf "period %d\n" p.index);
+      List.iter (fun (e : Event.t) ->
+          let line =
+            match e.kind with
+            | Event.Task_start i ->
+              Printf.sprintf "%d start %s" e.time (Rt_task.Task_set.name t.task_set i)
+            | Event.Task_end i ->
+              Printf.sprintf "%d end %s" e.time (Rt_task.Task_set.name t.task_set i)
+            | Event.Msg_rise m -> Printf.sprintf "%d rise 0x%x" e.time m
+            | Event.Msg_fall m -> Printf.sprintf "%d fall 0x%x" e.time m
+          in
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n')
+        p.events)
+    (Trace.periods t);
+  Buffer.contents buf
+
+let output oc t = Stdlib.output_string oc (to_string t)
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc t)
+
+type parse_error = { line : int; message : string }
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let exception Fail of parse_error in
+  let fail line message = raise (Fail { line; message }) in
+  let task_set = ref None in
+  let periods = ref [] in
+  let cur_index = ref None and cur_events = ref [] in
+  let flush_period lineno =
+    match !cur_index with
+    | None -> ()
+    | Some index ->
+      let ts = match !task_set with
+        | Some ts -> ts
+        | None -> fail lineno "period before tasks line"
+      in
+      (match Period.make ~index ~task_set:ts (List.rev !cur_events) with
+       | Ok p -> periods := p :: !periods
+       | Error e ->
+         fail lineno (Printf.sprintf "invalid period %d: %s" index
+                        (Period.string_of_error e)));
+      cur_index := None;
+      cur_events := []
+  in
+  let parse_msg_id lineno tok =
+    match int_of_string_opt tok with
+    | Some m -> m
+    | None -> fail lineno ("bad message id: " ^ tok)
+  in
+  let parse_task lineno tok =
+    match !task_set with
+    | None -> fail lineno "event before tasks line"
+    | Some ts ->
+      (match Rt_task.Task_set.index ts tok with
+       | Some i -> i
+       | None -> fail lineno ("unknown task: " ^ tok))
+  in
+  try
+    List.iteri (fun i raw ->
+        let lineno = i + 1 in
+        let line = String.trim raw in
+        if line = "" || String.length line > 0 && line.[0] = '#' then ()
+        else
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | "tasks" :: names ->
+            if !task_set <> None then fail lineno "duplicate tasks line";
+            if names = [] then fail lineno "tasks line without names";
+            (match Rt_task.Task_set.of_names (Array.of_list names) with
+             | ts -> task_set := Some ts
+             | exception Invalid_argument m -> fail lineno m)
+          | [ "period"; idx ] ->
+            flush_period lineno;
+            (match int_of_string_opt idx with
+             | Some n -> cur_index := Some n
+             | None -> fail lineno ("bad period index: " ^ idx))
+          | [ time; verb; arg ] ->
+            if !cur_index = None then fail lineno "event before a period line";
+            let time = match int_of_string_opt time with
+              | Some t when t >= 0 -> t
+              | Some _ -> fail lineno "negative timestamp"
+              | None -> fail lineno ("bad timestamp: " ^ time)
+            in
+            let kind =
+              match verb with
+              | "start" -> Event.Task_start (parse_task lineno arg)
+              | "end" -> Event.Task_end (parse_task lineno arg)
+              | "rise" -> Event.Msg_rise (parse_msg_id lineno arg)
+              | "fall" -> Event.Msg_fall (parse_msg_id lineno arg)
+              | _ -> fail lineno ("unknown event kind: " ^ verb)
+            in
+            cur_events := { Event.time; kind } :: !cur_events
+          | _ -> fail lineno ("unparseable line: " ^ line))
+      lines;
+    flush_period (List.length lines);
+    (match !task_set with
+     | None -> fail (List.length lines) "missing tasks line"
+     | Some ts -> Ok (Trace.of_periods ~task_set:ts (List.rev !periods)))
+  with Fail e -> Error e
+
+let of_string_exn s =
+  match of_string s with
+  | Ok t -> t
+  | Error e ->
+    invalid_arg (Printf.sprintf "Trace_io.of_string_exn: line %d: %s" e.line e.message)
+
+let load path =
+  let ic = open_in path in
+  let content =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  of_string content

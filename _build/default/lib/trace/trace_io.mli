@@ -1,0 +1,33 @@
+(** Textual trace format, the stand-in for the GM logging device's dump.
+
+    {v
+    # rtgen-trace v1
+    tasks t1 t2 t3 t4
+    period 0
+    100 start t1
+    250 end t1
+    260 rise 0x101
+    300 fall 0x101
+    period 1
+    ...
+    v}
+
+    Task events name the task; message events give the bus id in hex.
+    Timestamps are microseconds relative to the period start. *)
+
+val to_string : Trace.t -> string
+
+val output : out_channel -> Trace.t -> unit
+
+val save : string -> Trace.t -> unit
+(** Write to a file path. *)
+
+type parse_error = { line : int; message : string }
+
+val of_string : string -> (Trace.t, parse_error) result
+
+val of_string_exn : string -> Trace.t
+(** @raise Invalid_argument with position information. *)
+
+val load : string -> (Trace.t, parse_error) result
+(** Read from a file path. *)

@@ -1,0 +1,88 @@
+(* VCD identifier codes: printable ASCII starting at '!'. *)
+let code k =
+  let base = Char.code '!' in
+  let span = 94 in
+  if k < span then String.make 1 (Char.chr (base + k))
+  else
+    String.make 1 (Char.chr (base + (k / span)))
+    ^ String.make 1 (Char.chr (base + (k mod span)))
+
+let default_period_len t =
+  let tmax =
+    List.fold_left (fun acc (p : Period.t) ->
+        List.fold_left (fun acc (e : Event.t) -> max acc e.time) acc p.events)
+      0 (Trace.periods t)
+  in
+  let rec pow10 x = if x > tmax then x else pow10 (x * 10) in
+  pow10 10
+
+let to_string ?period_len (t : Trace.t) =
+  let period_len =
+    match period_len with Some l -> l | None -> default_period_len t
+  in
+  let names = Rt_task.Task_set.names t.task_set in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$timescale 1us $end\n";
+  Buffer.add_string buf "$scope module trace $end\n";
+  Array.iteri (fun i name ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire 1 %s task_%s $end\n" (code i) name))
+    names;
+  (* Collect the distinct bus ids in first-seen order. *)
+  let ids = ref [] in
+  List.iter (fun (p : Period.t) ->
+      Array.iter (fun (m : Period.msg) ->
+          if not (List.mem m.bus_id !ids) then ids := m.bus_id :: !ids)
+        p.msgs)
+    (Trace.periods t);
+  let ids = List.rev !ids in
+  let ntasks = Array.length names in
+  List.iteri (fun k id ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire 1 %s can_0x%x $end\n" (code (ntasks + k)) id))
+    ids;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  Buffer.add_string buf "$dumpvars\n";
+  Array.iteri (fun i _ -> Buffer.add_string buf (Printf.sprintf "0%s\n" (code i)))
+    names;
+  List.iteri (fun k _ ->
+      Buffer.add_string buf (Printf.sprintf "0%s\n" (code (ntasks + k))))
+    ids;
+  Buffer.add_string buf "$end\n";
+  let id_code bus_id =
+    let rec find k = function
+      | [] -> invalid_arg "Vcd: unknown bus id"
+      | x :: rest -> if x = bus_id then code (ntasks + k) else find (k + 1) rest
+    in
+    find 0 ids
+  in
+  (* Emit changes grouped by timestamp across the whole trace. *)
+  let changes =
+    List.concat_map (fun (p : Period.t) ->
+        let base = p.index * period_len in
+        List.map (fun (e : Event.t) ->
+            match e.kind with
+            | Event.Task_start i -> (base + e.time, '1', code i)
+            | Event.Task_end i -> (base + e.time, '0', code i)
+            | Event.Msg_rise m -> (base + e.time, '1', id_code m)
+            | Event.Msg_fall m -> (base + e.time, '0', id_code m))
+          p.events)
+      (Trace.periods t)
+  in
+  let changes = List.stable_sort (fun (t1, _, _) (t2, _, _) -> Int.compare t1 t2) changes in
+  let last_time = ref (-1) in
+  List.iter (fun (time, bit, c) ->
+      if time <> !last_time then begin
+        Buffer.add_string buf (Printf.sprintf "#%d\n" time);
+        last_time := time
+      end;
+      Buffer.add_char buf bit;
+      Buffer.add_string buf c;
+      Buffer.add_char buf '\n')
+    changes;
+  Buffer.contents buf
+
+let save ?period_len path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string ?period_len t))

@@ -1,0 +1,13 @@
+(** Value Change Dump (IEEE 1364) export: view a trace as waveforms in
+    GTKWave or any EDA waveform viewer. One 1-bit signal per task (high
+    while executing) and one per bus identifier (high while a frame with
+    that identifier is on the wire). Timescale: 1 us.
+
+    Period events carry period-relative timestamps; the waveform lays
+    periods out end to end every [period_len] microseconds. The default
+    is the smallest power of ten that fits the largest event time. *)
+
+val to_string : ?period_len:int -> Trace.t -> string
+
+val save : ?period_len:int -> string -> Trace.t -> unit
+(** Write to a file path. *)

@@ -1,0 +1,1 @@
+lib/util/pcg32.ml: Array Float Int64 List

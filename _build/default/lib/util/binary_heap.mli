@@ -1,0 +1,27 @@
+(** Imperative binary min-heap, the event queue of the discrete-event
+    simulator. Elements are ordered by a user-supplied comparison. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> capacity:int -> 'a t
+(** Empty heap; [capacity] is an initial size hint. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Minimum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: all elements in ascending order. *)

@@ -1,0 +1,82 @@
+(* PCG-XSH-RR 64/32 (O'Neill 2014). State advances by a 64-bit LCG; output
+   is a xorshifted, randomly-rotated 32-bit projection of the state. *)
+
+type t = { mutable state : int64; inc : int64 }
+
+let multiplier = 6364136223846793005L
+
+let step t = t.state <- Int64.add (Int64.mul t.state multiplier) t.inc
+
+let make ~seed ~stream =
+  (* Per the reference implementation: inc must be odd. *)
+  let t = { state = 0L; inc = Int64.logor (Int64.shift_left stream 1) 1L } in
+  step t;
+  t.state <- Int64.add t.state seed;
+  step t;
+  t
+
+let of_int seed =
+  let s = Int64.of_int seed in
+  make ~seed:s ~stream:(Int64.logxor s 0x9E3779B97F4A7C15L)
+
+let copy t = { state = t.state; inc = t.inc }
+
+let next_uint32 t =
+  let old = t.state in
+  step t;
+  let xorshifted =
+    Int64.to_int
+      (Int64.logand
+         (Int64.shift_right_logical (Int64.logxor (Int64.shift_right_logical old 18) old) 27)
+         0xFFFFFFFFL)
+  in
+  let rot = Int64.to_int (Int64.shift_right_logical old 59) in
+  let x = (xorshifted lsr rot) lor (xorshifted lsl (-rot land 31)) in
+  x land 0xFFFFFFFF
+
+let split t =
+  let seed =
+    Int64.logor
+      (Int64.shift_left (Int64.of_int (next_uint32 t)) 32)
+      (Int64.of_int (next_uint32 t))
+  in
+  let stream =
+    Int64.logor
+      (Int64.shift_left (Int64.of_int (next_uint32 t)) 32)
+      (Int64.of_int (next_uint32 t))
+  in
+  make ~seed ~stream
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Pcg32.int: bound must be positive";
+  (* Rejection sampling over the 32-bit range for exact uniformity. *)
+  let threshold = 0x100000000 mod bound in
+  let rec loop () =
+    let x = next_uint32 t in
+    if x >= threshold then x mod bound else loop ()
+  in
+  loop ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Pcg32.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = next_uint32 t land 1 = 1
+
+let float t x = Float.of_int (next_uint32 t) /. 4294967296.0 *. x
+
+let chance t p = if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t = function
+  | [] -> invalid_arg "Pcg32.pick: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let subset t ~p l = List.filter (fun _ -> chance t p) l

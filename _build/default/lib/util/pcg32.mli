@@ -1,0 +1,51 @@
+(** Deterministic, splittable PCG32 pseudo-random number generator.
+
+    The simulator and workload generators must be reproducible across runs
+    and platforms, so we implement the PCG-XSH-RR 64/32 generator rather
+    than relying on [Stdlib.Random] state semantics. *)
+
+type t
+(** Mutable generator state. *)
+
+val make : seed:int64 -> stream:int64 -> t
+(** [make ~seed ~stream] creates a generator. Distinct [stream] values give
+    statistically independent sequences for the same [seed]. *)
+
+val of_int : int -> t
+(** [of_int seed] is [make] with a derived stream; convenient entry point. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split rng] draws from [rng] to derive a fresh, independent generator.
+    Used to give each simulated component its own stream. *)
+
+val next_uint32 : t -> int
+(** Next raw 32-bit output in [0, 2^32). *)
+
+val int : t -> int -> int
+(** [int rng bound] is uniform in [0, bound). Requires [bound > 0].
+    Uses rejection sampling, so it is exactly uniform. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in rng lo hi] is uniform in [lo, hi] inclusive. Requires
+    [lo <= hi]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance rng p] is true with probability [p] (clamped to [0,1]). *)
+
+val float : t -> float -> float
+(** [float rng x] is uniform in [0, x). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. Raises [Invalid_argument] on []. *)
+
+val subset : t -> p:float -> 'a list -> 'a list
+(** Each element kept independently with probability [p], order preserved. *)

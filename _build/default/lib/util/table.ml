@@ -1,0 +1,55 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?(aligns = []) ~header rows =
+  let ncols = List.length header in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.make ncols 0 in
+  let account row =
+    List.iteri (fun i cell ->
+        if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  account header;
+  List.iter account rows;
+  let align_of i =
+    match List.nth_opt aligns i with Some a -> a | None -> Left
+  in
+  let line ch =
+    let parts = Array.to_list (Array.map (fun w -> String.make (w + 2) ch) widths) in
+    "+" ^ String.concat "+" parts ^ "+"
+  in
+  let fmt_row row =
+    let cells =
+      List.mapi (fun i cell -> " " ^ pad (align_of i) widths.(i) cell ^ " ") row
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (fmt_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  List.iter (fun row ->
+      Buffer.add_string buf (fmt_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let render_kv kvs =
+  render ~header:[ "key"; "value" ] (List.map (fun (k, v) -> [ k; v ]) kvs)

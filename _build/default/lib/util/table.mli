@@ -1,0 +1,11 @@
+(** Plain-text table rendering for benchmark and experiment reports. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out a boxed ASCII table. Column widths fit
+    the widest cell; [aligns] defaults to left for every column. Rows
+    shorter than the header are padded with empty cells. *)
+
+val render_kv : (string * string) list -> string
+(** Two-column key/value table. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array List Rt_analysis Rt_case Rt_lattice Rt_task Rt_trace String Test_support

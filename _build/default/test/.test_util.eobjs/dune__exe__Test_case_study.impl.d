@@ -1,0 +1,1 @@
+test/test_case_study.ml: Alcotest Array Lazy List Option Printf Rt_analysis Rt_case Rt_lattice Rt_learn Rt_mining Rt_sim Rt_task Rt_trace String Test_support

@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest List QCheck Rt_lattice String Test_support

@@ -1,0 +1,1 @@
+test/test_learner.ml: Alcotest Array List Option Printf Rt_lattice Rt_learn Rt_task Rt_trace Test_support

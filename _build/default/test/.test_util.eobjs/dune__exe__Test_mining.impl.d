@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest List Option QCheck Rt_lattice Rt_learn Rt_mining Rt_task Rt_trace Test_support

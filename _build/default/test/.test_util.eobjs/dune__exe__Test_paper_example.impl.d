@@ -1,0 +1,1 @@
+test/test_paper_example.ml: Alcotest Hashtbl List Printf Rt_case Rt_lattice Rt_learn String Test_support

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array List QCheck Rt_lattice Rt_learn Rt_sat Rt_task Rt_trace Rt_util Test_support

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Int List Rt_lattice Rt_learn Rt_mining Rt_sim Rt_task Rt_trace Test_support

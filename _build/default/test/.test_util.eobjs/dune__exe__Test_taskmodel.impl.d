@@ -1,0 +1,1 @@
+test/test_taskmodel.ml: Alcotest Array List Printf Rt_lattice Rt_task Rt_util String Test_support

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest List QCheck Rt_lattice Rt_learn Rt_sim Rt_task Rt_trace Rt_util Test_support

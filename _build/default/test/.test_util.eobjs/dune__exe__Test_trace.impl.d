@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Filename Hashtbl List Option QCheck Rt_task Rt_trace String Sys Test_support

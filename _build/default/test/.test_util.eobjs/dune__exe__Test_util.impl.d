@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Int List QCheck Rt_util String Test_support

@@ -1,0 +1,469 @@
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+module Dg = Rt_analysis.Dep_graph
+module Cl = Rt_analysis.Classify
+module R = Rt_analysis.Reachability
+module Mo = Rt_analysis.Modes
+module L = Rt_analysis.Latency
+module D = Rt_task.Design
+open Test_support
+
+(* The worked example's dLUB (Fig. 4). *)
+let dlub = df [ [ p; fq; fq; f ]; [ b; p; p; f ]; [ b; p; p; f ]; [ b; bq; bq; p ] ]
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* --- Dep_graph --- *)
+
+let test_determines () =
+  Alcotest.(check (list int)) "t1 determines t4" [ 3 ] (Dg.determines dlub 0);
+  Alcotest.(check (list int)) "t2 determines t4" [ 3 ] (Dg.determines dlub 1);
+  Alcotest.(check (list int)) "t4 determines nothing" [] (Dg.determines dlub 3)
+
+let test_depends_on () =
+  Alcotest.(check (list int)) "t4 depends on t1" [ 0 ] (Dg.depends_on dlub 3);
+  Alcotest.(check (list int)) "t2 depends on t1" [ 0 ] (Dg.depends_on dlub 1);
+  Alcotest.(check (list int)) "t1 depends on nothing" [] (Dg.depends_on dlub 0)
+
+let test_may_determine () =
+  Alcotest.(check (list int)) "t1 may determine t2,t3" [ 1; 2 ]
+    (Dg.may_determine dlub 0);
+  Alcotest.(check (list int)) "t4 may depend on t2,t3" [ 1; 2 ]
+    (Dg.may_depend_on dlub 3)
+
+let test_definite_edges () =
+  let edges = Dg.definite_edges dlub in
+  Alcotest.(check bool) "t1->t4 in" true (List.mem (0, 3) edges);
+  Alcotest.(check bool) "t4->t1 in (bwd)" true (List.mem (3, 0) edges);
+  Alcotest.(check int) "count" 6 (List.length edges)
+
+let test_dot_output () =
+  let s = Dg.to_dot ~names:[| "t1"; "t2"; "t3"; "t4" |] dlub in
+  Alcotest.(check bool) "digraph" true (contains ~needle:"digraph" s);
+  Alcotest.(check bool) "t1->t4 edge" true (contains ~needle:"t1 -> t4" s);
+  (* t2 and t3 are unrelated: no edge either way. *)
+  Alcotest.(check bool) "no t2-t3 edge" false
+    (contains ~needle:"t2 -> t3" s || contains ~needle:"t3 -> t2" s)
+
+let test_summary () =
+  let s = Dg.summary dlub in
+  Alcotest.(check bool) "mentions relation" true (contains ~needle:"->" s)
+
+(* --- Classify --- *)
+
+let test_classify_disjunction () =
+  (* t1 has two →? successors: the archetypal disjunction node. *)
+  let i = Cl.classify_task dlub 0 in
+  Alcotest.(check bool) "t1 disjunction" true (i.kind = Cl.Disjunction);
+  Alcotest.(check (list int)) "choices" [ 1; 2 ] i.may_determine
+
+let test_classify_conjunction () =
+  let i = Cl.classify_task dlub 3 in
+  Alcotest.(check bool) "t4 conjunction" true (i.kind = Cl.Conjunction);
+  Alcotest.(check (list int)) "joins" [ 1; 2 ] i.may_depend_on
+
+let test_classify_plain () =
+  let i = Cl.classify_task dlub 1 in
+  Alcotest.(check bool) "t2 plain" true (i.kind = Cl.Plain)
+
+let test_classify_lists () =
+  Alcotest.(check (list int)) "disjunctions" [ 0 ] (Cl.disjunction_nodes dlub);
+  Alcotest.(check (list int)) "conjunctions" [ 3 ] (Cl.conjunction_nodes dlub)
+
+let test_classify_both () =
+  (* A node with 2 →? out and 2 ←? in is both. *)
+  let d = Df.create 5 in
+  Df.set d 0 1 Dv.Fwd_maybe;
+  Df.set d 0 2 Dv.Fwd_maybe;
+  Df.set d 0 3 Dv.Bwd_maybe;
+  Df.set d 0 4 Dv.Bwd_maybe;
+  Alcotest.(check bool) "both" true ((Cl.classify_task d 0).kind = Cl.Both)
+
+(* --- Reachability --- *)
+
+let test_consistent () =
+  Alcotest.(check bool) "empty consistent" true
+    (R.consistent dlub [| false; false; false; false |]);
+  Alcotest.(check bool) "t1 alone inconsistent (needs t4)" false
+    (R.consistent dlub [| true; false; false; false |]);
+  Alcotest.(check bool) "t1+t4 inconsistent (t4 needs t1: ok; but t4 bwd t1 ok) "
+    true
+    (R.consistent dlub [| true; false; false; true |]);
+  Alcotest.(check bool) "t2 alone inconsistent" false
+    (R.consistent dlub [| false; true; false; false |])
+
+let test_closure () =
+  let c = R.closure dlub [| true; false; false; false |] in
+  Alcotest.(check bool) "t4 added" true c.(3);
+  Alcotest.(check bool) "t2 not added" false c.(1);
+  Alcotest.(check bool) "closure consistent" true (R.consistent dlub c)
+
+let test_count_consistent () =
+  (* For dLUB the consistent states are exactly: {}, {t1,t4}, {t1,t2,t4},
+     {t1,t3,t4}, {t1,t2,t3,t4} and {t2,t1,t4}... enumerate and check
+     against the brute-force definition. *)
+  let count = R.count_consistent dlub in
+  let states = R.consistent_states dlub in
+  Alcotest.(check int) "count matches list" count (List.length states);
+  List.iter (fun s -> Alcotest.(check bool) "all consistent" true (R.consistent dlub s))
+    states;
+  Alcotest.(check bool) "fewer than total" true (count < R.total_states 4)
+
+let test_count_consistent_bottom_top () =
+  (* Bottom has no definite cells: all 2^n states consistent. *)
+  Alcotest.(check int) "bottom" 16 (R.count_consistent (Df.create 4));
+  (* Top has none definite either. *)
+  Alcotest.(check int) "top" 16 (R.count_consistent (Df.top 4))
+
+let test_reduction () =
+  Alcotest.(check bool) "reduction > 1" true (R.reduction dlub > 1.0);
+  Alcotest.(check (float 0.001)) "no reduction for bottom" 1.0
+    (R.reduction (Df.create 4))
+
+let test_reachability_guard () =
+  Alcotest.check_raises "too many tasks"
+    (Invalid_argument "Reachability.count_consistent: too many tasks")
+    (fun () -> ignore (R.count_consistent (Df.create 25)))
+
+(* --- Modes --- *)
+
+let test_co_execution_classes () =
+  (* dLUB: t1 and t4 force each other (→ both effective directions). *)
+  let classes = Mo.co_execution_classes dlub in
+  Alcotest.(check bool) "t1,t4 together" true (List.mem [ 0; 3 ] classes);
+  Alcotest.(check bool) "t2 alone" true (List.mem [ 1 ] classes);
+  Alcotest.(check int) "3 classes" 3 (List.length classes)
+
+let test_exclusive_pairs () =
+  let trace = fig2_trace () in
+  (* t2 and t3 co-execute in period 3, so nothing is exclusive. *)
+  Alcotest.(check (list (pair int int))) "none" [] (Mo.exclusive_pairs trace)
+
+let test_exclusive_pairs_found () =
+  (* Drop period 3: t2 and t3 never co-execute in periods 1-2. *)
+  let trace = fig2_trace () in
+  let two =
+    Rt_trace.Trace.of_periods ~task_set:trace.task_set
+      (List.filteri (fun i _ -> i < 2) (Rt_trace.Trace.periods trace))
+  in
+  Alcotest.(check (list (pair int int))) "t2/t3 exclusive" [ (1, 2) ]
+    (Mo.exclusive_pairs two)
+
+let test_mode_alternatives () =
+  let trace = fig2_trace () in
+  let two =
+    Rt_trace.Trace.of_periods ~task_set:trace.task_set
+      (List.filteri (fun i _ -> i < 2) (Rt_trace.Trace.periods trace))
+  in
+  (* On the 2-period trace t1's choices t2/t3 are mutually exclusive:
+     two singleton alternatives. *)
+  let alts = Mo.mode_alternatives dlub two 0 in
+  Alcotest.(check (list (list int))) "alternatives" [ [ 1 ]; [ 2 ] ] alts;
+  (* With period 3 present they can co-occur: one group. *)
+  let alts3 = Mo.mode_alternatives dlub trace 0 in
+  Alcotest.(check (list (list int))) "one group" [ [ 1; 2 ] ] alts3
+
+(* --- Latency --- *)
+
+(* Two tasks on one ECU: hp (priority 1, wcet 30) and lo (priority 2,
+   wcet 100), plus a downstream sink fed by lo. *)
+let latency_design () =
+  let t name ecu priority wcet =
+    { D.name; policy = D.Broadcast; ecu; priority; wcet; offset = 0 }
+  in
+  D.make
+    ~tasks:[| t "hp" 0 1 30; t "lo" 0 2 100; t "sink" 1 1 50 |]
+    ~edges:[| { D.src = 1; dst = 2; can_id = 0x10; tx_time = 20; medium = D.Bus };
+              { D.src = 0; dst = 2; can_id = 0x20; tx_time = 40; medium = D.Bus } |]
+    ~period:10_000
+
+let test_response_time_pessimistic () =
+  let d = latency_design () in
+  Alcotest.(check int) "hp undisturbed" 30 (L.response_time d 0);
+  Alcotest.(check int) "lo suffers hp" 130 (L.response_time d 1);
+  Alcotest.(check int) "sink alone on ecu1" 50 (L.response_time d 2)
+
+let test_response_time_informed () =
+  let d = latency_design () in
+  (* A learned definite dependency between lo and hp removes the
+     preemption term. *)
+  let dep = Df.create 3 in
+  Df.set dep 1 0 Dv.Bwd;
+  Df.set dep 0 1 Dv.Fwd;
+  Alcotest.(check int) "lo no longer disturbed" 100 (L.response_time ~dep d 1)
+
+let test_frame_delay () =
+  let d = latency_design () in
+  (* Frame 0x10: blocking by slower lower-priority frame 0x20 (40) + own
+     tx (20). *)
+  Alcotest.(check int) "high prio frame" 60 (L.frame_delay d d.edges.(0));
+  (* Frame 0x20: interference from 0x10 (20) + own tx (40). *)
+  Alcotest.(check int) "low prio frame" 60 (L.frame_delay d d.edges.(1))
+
+let test_analyze_path () =
+  let d = latency_design () in
+  let r = L.analyze d ~path:[ 1; 2 ] in
+  (* lo (130) + frame 0x10 (60) + sink (50). *)
+  Alcotest.(check int) "total" 240 r.total;
+  Alcotest.(check int) "hops" 1 (List.length r.bus_delay)
+
+let test_analyze_invalid_path () =
+  let d = latency_design () in
+  Alcotest.check_raises "no edge"
+    (Invalid_argument "Latency.analyze: no design edge hp -> lo")
+    (fun () -> ignore (L.analyze d ~path:[ 0; 1 ]))
+
+let test_improvement () =
+  let d = latency_design () in
+  let dep = Df.create 3 in
+  Df.set dep 1 0 Dv.Bwd;
+  Df.set dep 0 1 Dv.Fwd;
+  let pess, inf, gain = L.improvement d ~dep ~path:[ 1; 2 ] in
+  Alcotest.(check int) "pessimistic" 240 pess;
+  Alcotest.(check int) "informed" 210 inf;
+  Alcotest.(check bool) "gain > 1" true (gain > 1.0)
+
+let test_critical_path () =
+  let d = latency_design () in
+  let path = L.critical_path d in
+  Alcotest.(check bool) "ends at sink" true
+    (match List.rev path with last :: _ -> last = 2 | [] -> false)
+
+let test_critical_path_fig1 () =
+  let d = fig1_design () in
+  let path = L.critical_path d in
+  Alcotest.(check bool) "from t1 to t4" true
+    (match path, List.rev path with
+     | first :: _, last :: _ -> first = 0 && last = 3
+     | _ -> false)
+
+(* --- transitive reduction --- *)
+
+let test_reduced_determines_chain () =
+  (* a -> b -> c with the transitive a -> c: reduction drops (a,c). *)
+  let d = Df.create 3 in
+  Df.set d 0 1 Dv.Fwd;
+  Df.set d 1 2 Dv.Fwd;
+  Df.set d 0 2 Dv.Fwd;
+  Alcotest.(check (list (pair int int))) "skeleton" [ (0, 1); (1, 2) ]
+    (List.sort compare (Dg.reduced_determines d))
+
+let test_reduced_determines_keeps_mutual () =
+  let d = Df.create 2 in
+  Df.set d 0 1 Dv.Fwd;
+  Df.set d 1 0 Dv.Fwd;
+  Alcotest.(check (list (pair int int))) "both kept" [ (0, 1); (1, 0) ]
+    (List.sort compare (Dg.reduced_determines d))
+
+let test_reduced_determines_no_edges () =
+  Alcotest.(check (list (pair int int))) "empty" []
+    (Dg.reduced_determines (Df.top 3))
+
+let test_reduced_determines_dlub () =
+  (* dLUB has t1->t4, t2->t4, t3->t4 (no chains): nothing to drop. *)
+  Alcotest.(check (list (pair int int))) "fan kept" [ (0, 3); (1, 3); (2, 3) ]
+    (List.sort compare (Dg.reduced_determines dlub))
+
+(* --- utilization / schedulability --- *)
+
+let test_utilization () =
+  let d = latency_design () in
+  (* ECU 0: hp (30) + lo (100) over 10000; ECU 1: sink (50). *)
+  Alcotest.(check int) "two ecus" 2 (List.length (L.ecu_utilization d));
+  let u0 = List.assoc 0 (L.ecu_utilization d) in
+  Alcotest.(check (float 0.0001)) "ecu0" 0.013 u0;
+  Alcotest.(check (float 0.0001)) "bus" 0.006 (L.bus_utilization d)
+
+let test_schedulable () =
+  let d = latency_design () in
+  Alcotest.(check bool) "comfortably schedulable" true (L.schedulable d);
+  Alcotest.(check bool) "gm schedulable" true
+    (L.schedulable (Rt_case.Gm_model.design ()))
+
+let test_not_schedulable () =
+  let t name ecu priority wcet =
+    { D.name; policy = D.Broadcast; ecu; priority; wcet; offset = 0 }
+  in
+  let d =
+    D.make ~tasks:[| t "a" 0 1 900; t "b" 0 2 900 |]
+      ~edges:[| { D.src = 0; dst = 1; can_id = 1; tx_time = 10; medium = D.Bus } |]
+      ~period:1000
+  in
+  Alcotest.(check bool) "over-utilized" false (L.schedulable d)
+
+(* --- Query language --- *)
+
+module Q = Rt_analysis.Query
+
+let names4 = [| "t1"; "t2"; "t3"; "t4" |]
+
+let eval_one q =
+  match Q.eval ~model:dlub ~names:names4 (Q.parse_exn q) with
+  | Ok [ v ] -> v.Q.holds
+  | Ok _ -> Alcotest.fail "expected one verdict"
+  | Error m -> Alcotest.fail m
+
+let test_query_cell_eq () =
+  Alcotest.(check bool) "d(t1,t4) = ->" true (eval_one "d(t1, t4) = ->");
+  Alcotest.(check bool) "d(t1,t4) = || fails" false (eval_one "d(t1, t4) = ||");
+  Alcotest.(check bool) "d(t1,t2) = ->?" true (eval_one "d(t1,t2) = ->?");
+  Alcotest.(check bool) "d(t4,t2) = <-?" true (eval_one "d(t4,t2) = <-?")
+
+let test_query_cell_leq () =
+  Alcotest.(check bool) "-> below <->?" true (eval_one "d(t1,t4) <= <->?");
+  Alcotest.(check bool) "->? not below ->" false (eval_one "d(t1,t2) <= ->")
+
+let test_query_cell_set () =
+  Alcotest.(check bool) "in set" true (eval_one "d(t1,t2) = {->, ->?}");
+  Alcotest.(check bool) "not in set" false (eval_one "d(t1,t2) = {||, <-}")
+
+let test_query_predicates () =
+  Alcotest.(check bool) "disjunction t1" true (eval_one "disjunction(t1)");
+  Alcotest.(check bool) "disjunction t2" false (eval_one "disjunction(t2)");
+  Alcotest.(check bool) "conjunction t4" true (eval_one "conjunction(t4)");
+  Alcotest.(check bool) "determines" true (eval_one "determines(t1, t4)");
+  Alcotest.(check bool) "not determines" false (eval_one "determines(t1, t2)");
+  Alcotest.(check bool) "depends" true (eval_one "depends(t4, t1)");
+  Alcotest.(check bool) "together" true (eval_one "together(t1, t4)");
+  Alcotest.(check bool) "not together" false (eval_one "together(t1, t2)")
+
+let test_query_conjunction_of_clauses () =
+  let q = Q.parse_exn "d(t1,t4) = -> & conjunction(t4) & disjunction(t1)" in
+  (match Q.holds ~model:dlub ~names:names4 q with
+   | Ok b -> Alcotest.(check bool) "all hold" true b
+   | Error m -> Alcotest.fail m);
+  let q = Q.parse_exn "d(t1,t4) = -> & d(t1,t4) = ||" in
+  (match Q.holds ~model:dlub ~names:names4 q with
+   | Ok b -> Alcotest.(check bool) "one fails" false b
+   | Error m -> Alcotest.fail m)
+
+let test_query_exclusive_needs_trace () =
+  let q = Q.parse_exn "exclusive(t2, t3)" in
+  (match Q.eval ~model:dlub ~names:names4 q with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "should require a trace");
+  let trace = fig2_trace () in
+  let two =
+    Rt_trace.Trace.of_periods ~task_set:trace.task_set
+      (List.filteri (fun i _ -> i < 2) (Rt_trace.Trace.periods trace))
+  in
+  (match Q.holds ~model:dlub ~names:names4 ~trace:two q with
+   | Ok b -> Alcotest.(check bool) "exclusive on 2 periods" true b
+   | Error m -> Alcotest.fail m);
+  (match Q.holds ~model:dlub ~names:names4 ~trace q with
+   | Ok b -> Alcotest.(check bool) "not exclusive on 3" false b
+   | Error m -> Alcotest.fail m)
+
+let test_query_parse_errors () =
+  let bad q =
+    match Q.parse q with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" q
+  in
+  bad "";
+  bad "d(t1 t2) = ->";
+  bad "d(t1, t2) ->";
+  bad "frobnicate(t1)";
+  bad "d(t1, t2) = -> &";
+  bad "d(t1, t2) = {}";
+  bad "d(t1, t2) = {->,}"
+
+let test_query_unknown_task () =
+  match Q.eval ~model:dlub ~names:names4 (Q.parse_exn "d(zz, t1) = ->") with
+  | Error m -> Alcotest.(check bool) "mentions name" true
+                 (String.length m > 0)
+  | Ok _ -> Alcotest.fail "unknown task accepted"
+
+let test_query_round_trip_print () =
+  List.iter (fun q ->
+      let parsed = Q.parse_exn q in
+      let printed = String.concat " & " (List.map Q.clause_to_string parsed) in
+      let reparsed = Q.parse_exn printed in
+      Alcotest.(check int) "same clause count" (List.length parsed)
+        (List.length reparsed))
+    [ "d(t1,t2) = ->?"; "together(t1, t4) & exclusive(t2, t3)";
+      "d(t1,t2) = {->, ->?} & conjunction(t4)" ]
+
+let () =
+  Alcotest.run "rt_analysis"
+    [
+      ( "dep_graph",
+        [
+          Alcotest.test_case "determines" `Quick test_determines;
+          Alcotest.test_case "depends_on" `Quick test_depends_on;
+          Alcotest.test_case "may determine" `Quick test_may_determine;
+          Alcotest.test_case "definite edges" `Quick test_definite_edges;
+          Alcotest.test_case "dot output" `Quick test_dot_output;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "reduction: chain" `Quick
+            test_reduced_determines_chain;
+          Alcotest.test_case "reduction: mutual kept" `Quick
+            test_reduced_determines_keeps_mutual;
+          Alcotest.test_case "reduction: empty" `Quick
+            test_reduced_determines_no_edges;
+          Alcotest.test_case "reduction: dlub fan" `Quick
+            test_reduced_determines_dlub;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "disjunction" `Quick test_classify_disjunction;
+          Alcotest.test_case "conjunction" `Quick test_classify_conjunction;
+          Alcotest.test_case "plain" `Quick test_classify_plain;
+          Alcotest.test_case "node lists" `Quick test_classify_lists;
+          Alcotest.test_case "both kinds" `Quick test_classify_both;
+        ] );
+      ( "reachability",
+        [
+          Alcotest.test_case "consistent" `Quick test_consistent;
+          Alcotest.test_case "closure" `Quick test_closure;
+          Alcotest.test_case "count" `Quick test_count_consistent;
+          Alcotest.test_case "bottom/top" `Quick
+            test_count_consistent_bottom_top;
+          Alcotest.test_case "reduction" `Quick test_reduction;
+          Alcotest.test_case "size guard" `Quick test_reachability_guard;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "co-execution classes" `Quick
+            test_co_execution_classes;
+          Alcotest.test_case "no exclusive pairs" `Quick test_exclusive_pairs;
+          Alcotest.test_case "exclusive pairs" `Quick
+            test_exclusive_pairs_found;
+          Alcotest.test_case "mode alternatives" `Quick test_mode_alternatives;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "cell equality" `Quick test_query_cell_eq;
+          Alcotest.test_case "cell leq" `Quick test_query_cell_leq;
+          Alcotest.test_case "cell set" `Quick test_query_cell_set;
+          Alcotest.test_case "predicates" `Quick test_query_predicates;
+          Alcotest.test_case "clause conjunction" `Quick
+            test_query_conjunction_of_clauses;
+          Alcotest.test_case "exclusive needs trace" `Quick
+            test_query_exclusive_needs_trace;
+          Alcotest.test_case "parse errors" `Quick test_query_parse_errors;
+          Alcotest.test_case "unknown task" `Quick test_query_unknown_task;
+          Alcotest.test_case "print round trip" `Quick
+            test_query_round_trip_print;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "pessimistic response" `Quick
+            test_response_time_pessimistic;
+          Alcotest.test_case "informed response" `Quick
+            test_response_time_informed;
+          Alcotest.test_case "frame delay" `Quick test_frame_delay;
+          Alcotest.test_case "path analysis" `Quick test_analyze_path;
+          Alcotest.test_case "invalid path" `Quick test_analyze_invalid_path;
+          Alcotest.test_case "improvement" `Quick test_improvement;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "fig1 critical path" `Quick
+            test_critical_path_fig1;
+          Alcotest.test_case "utilization" `Quick test_utilization;
+          Alcotest.test_case "schedulable" `Quick test_schedulable;
+          Alcotest.test_case "not schedulable" `Quick test_not_schedulable;
+        ] );
+    ]

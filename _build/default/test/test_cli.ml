@@ -1,0 +1,138 @@
+(* Integration tests of the rtgen binary: the full simulate -> learn ->
+   check pipeline as a user would run it. The test dune rule declares the
+   executable as a dependency, so it is available relative to the test's
+   working directory. *)
+
+(* Under `dune runtest` the working directory is _build/default/test; under
+   `dune exec test/test_cli.exe` it is the project root. *)
+let rtgen =
+  let candidates =
+    [ "../bin/rtgen.exe"; "_build/default/bin/rtgen.exe"; "bin/rtgen.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> failwith "rtgen.exe not found; run `dune build` first"
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("rtgen_test_" ^ name)
+
+let run ?(expect_fail = false) args =
+  let out = tmp "stdout" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" rtgen args out (tmp "stderr")
+  in
+  let code = Sys.command cmd in
+  if expect_fail then
+    Alcotest.(check bool) ("non-zero exit: " ^ args) true (code <> 0)
+  else Alcotest.(check int) ("exit code: " ^ args) 0 code;
+  let ic = open_in out in
+  let content =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  content
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let trace_file = tmp "gm.trace"
+let model_file = tmp "gm.model"
+
+let test_simulate () =
+  let _ = run (Printf.sprintf "simulate --case-study --periods 6 --seed 2007 -o %s" trace_file) in
+  Alcotest.(check bool) "trace file exists" true (Sys.file_exists trace_file);
+  let out = run "simulate --tasks 6 --periods 2" in
+  Alcotest.(check bool) "stdout trace" true (contains ~needle:"# rtgen-trace v1" out)
+
+let test_simulate_dot () =
+  let out = run "simulate --tasks 6 --dot" in
+  Alcotest.(check bool) "dot graph" true (contains ~needle:"digraph design" out)
+
+let test_learn () =
+  let out = run (Printf.sprintf "learn %s --bound 1 -o %s" trace_file model_file) in
+  Alcotest.(check bool) "prints matrix" true (contains ~needle:"least upper bound" out);
+  Alcotest.(check bool) "model saved" true (Sys.file_exists model_file)
+
+let test_learn_dot () =
+  let out = run (Printf.sprintf "learn %s --bound 1 --dot" trace_file) in
+  Alcotest.(check bool) "dot deps" true (contains ~needle:"digraph dependencies" out)
+
+let test_check_pass () =
+  let out =
+    run (Printf.sprintf "check %s \"d(A,L) = -> & conjunction(Q)\" --model %s"
+           trace_file model_file)
+  in
+  Alcotest.(check bool) "both ok" true (contains ~needle:"[ok]" out);
+  Alcotest.(check bool) "no failures" false (contains ~needle:"[FAIL]" out)
+
+let test_check_fail () =
+  let _ =
+    run ~expect_fail:true
+      (Printf.sprintf "check %s \"d(A,L) = ||\" --model %s" trace_file model_file)
+  in
+  ()
+
+let test_check_bad_query () =
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "check %s \"frobnicate(A)\" --model %s" trace_file
+          model_file))
+
+let test_analyze () =
+  let out = run (Printf.sprintf "analyze %s --bound 1" trace_file) in
+  Alcotest.(check bool) "classification" true
+    (contains ~needle:"node classification" out);
+  Alcotest.(check bool) "state space" true (contains ~needle:"state space" out)
+
+let test_stats () =
+  let out = run (Printf.sprintf "stats %s" trace_file) in
+  Alcotest.(check bool) "bus line" true (contains ~needle:"bus:" out)
+
+let test_vcd () =
+  let out = run (Printf.sprintf "vcd %s" trace_file) in
+  Alcotest.(check bool) "vcd header" true (contains ~needle:"$timescale" out)
+
+let test_gantt () =
+  let out = run (Printf.sprintf "gantt %s --period 1" trace_file) in
+  Alcotest.(check bool) "svg" true (contains ~needle:"<svg" out);
+  ignore
+    (run ~expect_fail:true (Printf.sprintf "gantt %s --period 99" trace_file))
+
+let test_example () =
+  let out = run "example" in
+  Alcotest.(check bool) "5 hypotheses" true
+    (contains ~needle:"5 most specific hypotheses" out)
+
+let test_anonymize () =
+  let out = run (Printf.sprintf "anonymize %s" trace_file) in
+  Alcotest.(check bool) "anonymized trace" true
+    (contains ~needle:"# rtgen-trace v1" out);
+  (* Original GM task names must be gone. *)
+  Alcotest.(check bool) "no 'tasks S A B'" false
+    (contains ~needle:"tasks S A B" out)
+
+let test_missing_file () =
+  ignore (run ~expect_fail:true "learn /nonexistent/file.trace")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "simulate" `Quick test_simulate;
+          Alcotest.test_case "simulate --dot" `Quick test_simulate_dot;
+          Alcotest.test_case "learn" `Quick test_learn;
+          Alcotest.test_case "learn --dot" `Quick test_learn_dot;
+          Alcotest.test_case "check passes" `Quick test_check_pass;
+          Alcotest.test_case "check fails" `Quick test_check_fail;
+          Alcotest.test_case "check bad query" `Quick test_check_bad_query;
+          Alcotest.test_case "analyze" `Quick test_analyze;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "vcd" `Quick test_vcd;
+          Alcotest.test_case "gantt" `Quick test_gantt;
+          Alcotest.test_case "example" `Quick test_example;
+          Alcotest.test_case "anonymize" `Quick test_anonymize;
+          Alcotest.test_case "missing file" `Quick test_missing_file;
+        ] );
+    ]

@@ -1,0 +1,447 @@
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+module H = Rt_learn.Hypothesis
+module M = Rt_learn.Matching
+module V = Rt_learn.Violations
+module P = Rt_trace.Period
+module E = Rt_trace.Event
+open Test_support
+
+let ts4 = Rt_task.Task_set.numbered 4
+
+let ev time kind = { E.time; kind }
+
+(* Fig.2 period 1: t1 [10,20], m1 (21,24), t2 [25,35], m2 (36,39),
+   t4 [40,50]. *)
+let period1 () =
+  P.make_exn ~index:0 ~task_set:ts4
+    [ ev 10 (E.Task_start 0); ev 20 (E.Task_end 0); ev 21 (E.Msg_rise 1);
+      ev 24 (E.Msg_fall 1); ev 25 (E.Task_start 1); ev 35 (E.Task_end 1);
+      ev 36 (E.Msg_rise 2); ev 39 (E.Msg_fall 2); ev 40 (E.Task_start 3);
+      ev 50 (E.Task_end 3) ]
+
+(* --- Hypothesis --- *)
+
+let test_hyp_bottom () =
+  let h = H.bottom 4 in
+  Alcotest.(check int) "weight 0" 0 (H.weight h);
+  Alcotest.(check (list (pair int int))) "no assumptions" [] (H.assumptions h)
+
+let test_hyp_generalize_message () =
+  let h = H.bottom 4 in
+  match H.generalize_message h ~sender:0 ~receiver:1 with
+  | None -> Alcotest.fail "generalization expected"
+  | Some h' ->
+    Alcotest.(check depval) "fwd" Dv.Fwd (Df.get (H.depfun h') 0 1);
+    Alcotest.(check depval) "bwd" Dv.Bwd (Df.get (H.depfun h') 1 0);
+    Alcotest.(check int) "weight 2" 2 (H.weight h');
+    Alcotest.(check bool) "assumption recorded" true (H.assumed h' 0 1);
+    (* Parent untouched. *)
+    Alcotest.(check int) "parent weight" 0 (H.weight h);
+    Alcotest.(check depval) "parent cell" Dv.Par (Df.get (H.depfun h) 0 1)
+
+let test_hyp_assumption_blocks_pair () =
+  let h = H.bottom 4 in
+  let h' = Option.get (H.generalize_message h ~sender:0 ~receiver:1) in
+  Alcotest.(check bool) "blocked" true
+    (H.generalize_message h' ~sender:0 ~receiver:1 = None);
+  Alcotest.(check bool) "reverse allowed" true
+    (H.generalize_message h' ~sender:1 ~receiver:0 <> None)
+
+let test_hyp_weight_cache_consistent () =
+  let h = H.bottom 4 in
+  let h = Option.get (H.generalize_message h ~sender:0 ~receiver:1) in
+  let h = Option.get (H.generalize_message h ~sender:2 ~receiver:3) in
+  Alcotest.(check int) "cached = recomputed" (Df.weight (H.depfun h)) (H.weight h)
+
+let test_hyp_weaken_violations () =
+  let h = H.bottom 3 in
+  let h = Option.get (H.generalize_message h ~sender:0 ~receiver:1) in
+  let violated = Array.make_matrix 3 3 false in
+  violated.(0).(1) <- true;
+  H.weaken_violations h ~violated;
+  Alcotest.(check depval) "fwd weakened" Dv.Fwd_maybe (Df.get (H.depfun h) 0 1);
+  Alcotest.(check depval) "bwd kept" Dv.Bwd (Df.get (H.depfun h) 1 0);
+  Alcotest.(check int) "weight updated" (Df.weight (H.depfun h)) (H.weight h)
+
+let test_hyp_merge_lub () =
+  let h0 = H.bottom 3 in
+  let h1 = Option.get (H.generalize_message h0 ~sender:0 ~receiver:1) in
+  let h2 = Option.get (H.generalize_message h0 ~sender:1 ~receiver:2) in
+  let m = H.merge_lub h1 h2 in
+  Alcotest.(check depval) "cell 01" Dv.Fwd (Df.get (H.depfun m) 0 1);
+  Alcotest.(check depval) "cell 12" Dv.Fwd (Df.get (H.depfun m) 1 2);
+  Alcotest.(check int) "weight" 4 (H.weight m);
+  (* Intersection of disjoint assumption sets is empty. *)
+  Alcotest.(check (list (pair int int))) "assumptions intersected" []
+    (H.assumptions m)
+
+let test_hyp_clear_assumptions () =
+  let h = H.bottom 3 in
+  let h = Option.get (H.generalize_message h ~sender:0 ~receiver:1) in
+  H.clear_assumptions h;
+  Alcotest.(check (list (pair int int))) "cleared" [] (H.assumptions h)
+
+(* --- Violations --- *)
+
+let test_violations () =
+  let v = V.create 3 in
+  Alcotest.(check bool) "initially false" false (V.get v 0 1);
+  V.observe v ~executed:[| true; false; true |];
+  Alcotest.(check bool) "0 without 1" true (V.get v 0 1);
+  Alcotest.(check bool) "2 without 1" true (V.get v 2 1);
+  Alcotest.(check bool) "0 with 2" false (V.get v 0 2);
+  Alcotest.(check bool) "non-executed row" false (V.get v 1 0);
+  (* Sticky across periods. *)
+  V.observe v ~executed:[| true; true; true |];
+  Alcotest.(check bool) "sticky" true (V.get v 0 1)
+
+let test_violations_of_periods () =
+  let t = fig2_trace () in
+  let v = V.of_periods 4 (Rt_trace.Trace.periods t) in
+  Alcotest.(check bool) "t1 without t2 (period 2)" true (V.get v 0 1);
+  Alcotest.(check bool) "t1 without t3 (period 1)" true (V.get v 0 2);
+  Alcotest.(check bool) "never t2 without t1" false (V.get v 1 0);
+  Alcotest.(check bool) "never t1 without t4" false (V.get v 0 3)
+
+(* --- Matching --- *)
+
+let test_matching_bottom_fails_on_messages () =
+  (* d⊥ cannot explain any message: no pair has → below it. *)
+  Alcotest.(check bool) "bottom rejected" false
+    (M.matches (Df.create 4) (period1 ()))
+
+let test_matching_bottom_matches_messageless_period () =
+  let pd =
+    P.make_exn ~index:0 ~task_set:ts4
+      [ ev 1 (E.Task_start 0); ev 2 (E.Task_end 0) ]
+  in
+  Alcotest.(check bool) "no messages, matches" true (M.matches (Df.create 4) pd)
+
+let test_matching_top_matches () =
+  Alcotest.(check bool) "top matches" true (M.matches (Df.top 4) (period1 ()))
+
+let test_matching_closure_violation () =
+  (* d(t1,t3) = → requires t3 to execute whenever t1 does; period 1 has
+     t1 without t3. *)
+  let d = Df.top 4 in
+  Df.set d 0 2 Dv.Fwd;
+  Alcotest.(check bool) "closure fails" false (M.closure_ok d (period1 ()));
+  Alcotest.(check bool) "match fails" false (M.matches d (period1 ()))
+
+let test_matching_backward_closure_violation () =
+  (* d(t1,t3) = ← also requires t3 whenever t1 executes. *)
+  let d = Df.top 4 in
+  Df.set d 0 2 Dv.Bwd;
+  Alcotest.(check bool) "closure fails" false (M.closure_ok d (period1 ()))
+
+let test_matching_needs_distinct_pairs () =
+  (* Only the pair (t1,t2) enabled: m1 can use it but then m2 has no pair
+     left (m2's candidates are (t1,t4) and (t2,t4)). *)
+  let d = Df.create 4 in
+  Df.set d 0 1 Dv.Fwd;
+  Df.set d 1 0 Dv.Bwd;
+  Alcotest.(check bool) "insufficient pairs" false (M.matches d (period1 ()))
+
+let test_matching_witness () =
+  let d = Df.create 4 in
+  Df.set d 0 1 Dv.Fwd;
+  Df.set d 1 0 Dv.Bwd;
+  Df.set d 1 3 Dv.Fwd;
+  Df.set d 3 1 Dv.Bwd;
+  (match M.explain d (period1 ()) with
+   | Some w ->
+     Alcotest.(check (array (pair int int))) "witness" [| (0, 1); (1, 3) |] w
+   | None -> Alcotest.fail "expected a witness")
+
+let test_matching_maybe_values_allow_messages () =
+  (* →? on (s,r) is enough to explain a message s→r. *)
+  let d = Df.create 4 in
+  Df.set d 0 1 Dv.Fwd_maybe;
+  Df.set d 1 0 Dv.Bwd_maybe;
+  Df.set d 1 3 Dv.Fwd_maybe;
+  Df.set d 3 1 Dv.Bwd_maybe;
+  Alcotest.(check bool) "maybe suffices" true (M.matches d (period1 ()))
+
+let test_matching_requires_both_directions () =
+  (* → on (s,r) without ← on (r,s) does not explain the message. *)
+  let d = Df.create 4 in
+  Df.set d 0 1 Dv.Fwd;
+  Df.set d 1 3 Dv.Fwd;
+  Alcotest.(check bool) "one-sided rejected" false (M.matches d (period1 ()))
+
+let test_matching_trace () =
+  let t = fig2_trace () in
+  Alcotest.(check bool) "top matches trace" true (M.matches_trace (Df.top 4) t);
+  Alcotest.(check bool) "bottom fails trace" false
+    (M.matches_trace (Df.create 4) t)
+
+let test_count_assignments () =
+  let pd = period1 () in
+  (* Under d⊤ every candidate combination with distinct pairs counts:
+     m1 ∈ {(0,1),(0,3)}, m2 ∈ {(0,3),(1,3)} minus double-use of (0,3). *)
+  Alcotest.(check int) "3 assignments" 3 (M.count_assignments (Df.top 4) pd);
+  Alcotest.(check int) "capped" 2 (M.count_assignments ~limit:2 (Df.top 4) pd)
+
+(* --- Exact algorithm on controlled designs --- *)
+
+let test_exact_two_task_converges () =
+  (* With two tasks every message has a unique candidate pair, so the
+     version space is a singleton. *)
+  let d = pipeline_design 2 in
+  let trace = simulate ~periods:4 d in
+  let o = Rt_learn.Exact.run trace in
+  match Rt_learn.Exact.converged o with
+  | None ->
+    Alcotest.failf "expected convergence, got %d hypotheses"
+      (List.length o.hypotheses)
+  | Some dep ->
+    Alcotest.(check depval) "t1->t2" Dv.Fwd (Df.get dep 0 1);
+    Alcotest.(check depval) "t2<-t1" Dv.Bwd (Df.get dep 1 0)
+
+let test_exact_pipeline_ambiguity () =
+  (* A 3-task pipeline never converges: the two messages admit three
+     incomparable most specific explanations (t1->t2 & t2->t3,
+     t1->t2 & t1->t3, t1->t3 & t2->t3) — the paper's footnote 3
+     situation. Their LUB still recovers every true edge. *)
+  let d = pipeline_design 3 in
+  let trace = simulate ~periods:6 d in
+  let o = Rt_learn.Exact.run trace in
+  Alcotest.(check int) "three explanations" 3 (List.length o.hypotheses);
+  let lub = Df.lub o.hypotheses in
+  Alcotest.(check depval) "t1->t2" Dv.Fwd (Df.get lub 0 1);
+  Alcotest.(check depval) "t2->t3" Dv.Fwd (Df.get lub 1 2);
+  Alcotest.(check depval) "t1->t3 (transitive)" Dv.Fwd (Df.get lub 0 2)
+
+let test_exact_empty_trace () =
+  let trace = Rt_trace.Trace.of_periods ~task_set:ts4 [] in
+  let o = Rt_learn.Exact.run trace in
+  Alcotest.(check int) "just bottom" 1 (List.length o.hypotheses);
+  Alcotest.(check depfun) "bottom" (Df.create 4) (List.hd o.hypotheses)
+
+let test_exact_inconsistent_trace () =
+  (* A message with no admissible sender (nobody ended before its rise)
+     empties the version space. *)
+  let pd =
+    P.make_exn ~index:0 ~task_set:ts4
+      [ ev 5 (E.Msg_rise 1); ev 8 (E.Msg_fall 1); ev 10 (E.Task_start 0);
+        ev 20 (E.Task_end 0) ]
+  in
+  let trace = Rt_trace.Trace.of_periods ~task_set:ts4 [ pd ] in
+  let o = Rt_learn.Exact.run trace in
+  Alcotest.(check int) "no hypotheses" 0 (List.length o.hypotheses)
+
+let test_exact_blowup_guard () =
+  let trace = fig2_trace () in
+  (match Rt_learn.Exact.run ~limit:2 trace with
+   | exception Rt_learn.Exact.Blowup { limit = 2; _ } -> ()
+   | _ -> Alcotest.fail "expected Blowup")
+
+let test_heuristic_bound_validation () =
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Heuristic.init: bound must be >= 1")
+    (fun () -> ignore (Rt_learn.Heuristic.run ~bound:0 (fig2_trace ())))
+
+let test_heuristic_respects_bound () =
+  let trace = fig2_trace () in
+  List.iter (fun bound ->
+      let o = Rt_learn.Heuristic.run ~bound trace in
+      Alcotest.(check bool)
+        (Printf.sprintf "at most %d" bound)
+        true
+        (List.length o.hypotheses <= bound))
+    [ 1; 2; 3 ]
+
+let test_heuristic_merge_policies_sound () =
+  let trace = fig2_trace () in
+  List.iter (fun policy ->
+      let o = Rt_learn.Heuristic.run ~policy ~bound:2 trace in
+      List.iter (fun d ->
+          Alcotest.(check bool) "policy sound" true (M.matches_trace d trace))
+        o.hypotheses)
+    [ Rt_learn.Heuristic.Lightest_pair; Rt_learn.Heuristic.Heaviest_pair;
+      Rt_learn.Heuristic.First_last ]
+
+(* --- Online (incremental) learning --- *)
+
+let test_online_equals_batch () =
+  let trace = fig2_trace () in
+  let st = Rt_learn.Heuristic.init ~bound:3 ~ntasks:4 () in
+  List.iter (Rt_learn.Heuristic.feed st) (Rt_trace.Trace.periods trace);
+  let online = Rt_learn.Heuristic.snapshot st in
+  let batch = Rt_learn.Heuristic.run ~bound:3 trace in
+  let norm o = List.sort Df.compare o.Rt_learn.Heuristic.hypotheses in
+  Alcotest.(check int) "same count" (List.length (norm batch))
+    (List.length (norm online));
+  List.iter2 (fun a b -> Alcotest.(check depfun) "same hypotheses" a b)
+    (norm batch) (norm online);
+  Alcotest.(check int) "same merges" batch.stats.merges online.stats.merges
+
+let test_online_progressive () =
+  let trace = fig2_trace () in
+  let st = Rt_learn.Heuristic.init ~bound:1 ~ntasks:4 () in
+  Alcotest.(check int) "starts at bottom" 1
+    (List.length (Rt_learn.Heuristic.current st));
+  Alcotest.(check depfun) "bottom" (Df.create 4)
+    (List.hd (Rt_learn.Heuristic.current st));
+  let snapshots =
+    List.map (fun p ->
+        Rt_learn.Heuristic.feed st p;
+        List.hd (Rt_learn.Heuristic.current st))
+      (Rt_trace.Trace.periods trace)
+  in
+  (* Evidence only generalizes: the model never moves down the lattice. *)
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "monotone growth" true (Df.leq a b);
+      mono rest
+    | [ _ ] | [] -> ()
+  in
+  mono snapshots;
+  Alcotest.(check int) "periods counted" 3
+    (Rt_learn.Heuristic.stats st).periods_processed
+
+let test_online_validates () =
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Heuristic.init: bound must be >= 1")
+    (fun () -> ignore (Rt_learn.Heuristic.init ~bound:0 ~ntasks:2 ()));
+  Alcotest.check_raises "bad ntasks"
+    (Invalid_argument "Heuristic.init: need at least one task")
+    (fun () -> ignore (Rt_learn.Heuristic.init ~bound:1 ~ntasks:0 ()))
+
+let test_online_current_is_a_copy () =
+  let st = Rt_learn.Heuristic.init ~bound:1 ~ntasks:3 () in
+  (match Rt_learn.Heuristic.current st with
+   | [ d ] -> Df.set d 0 1 Dv.Bi_maybe
+   | _ -> Alcotest.fail "singleton expected");
+  (match Rt_learn.Heuristic.current st with
+   | [ d ] -> Alcotest.(check depval) "state unaffected" Dv.Par (Df.get d 0 1)
+   | _ -> Alcotest.fail "singleton expected")
+
+(* --- Window-restricted learning --- *)
+
+let test_window_learning_more_specific () =
+  let d = pipeline_design 3 in
+  let trace = simulate ~periods:6 d in
+  let wide = Rt_learn.Heuristic.run ~bound:1 trace in
+  let narrow = Rt_learn.Heuristic.run ~window:20 ~bound:1 trace in
+  match wide.hypotheses, narrow.hypotheses with
+  | [ dw ], [ dn ] ->
+    Alcotest.(check bool) "narrow below wide" true (Df.leq dn dw);
+    (* Both remain sound for the window they were learned with. *)
+    Alcotest.(check bool) "wide sound" true (M.matches_trace dw trace);
+    Alcotest.(check bool) "narrow sound for its window" true
+      (M.matches_trace ~window:20 dn trace)
+  | _, [] ->
+    (* An over-narrow window can exclude the true pair: acceptable,
+       reported as inconsistent. *)
+    ()
+  | _ -> Alcotest.fail "unexpected shapes"
+
+(* --- Version space extension --- *)
+
+let test_version_space_negative_filter () =
+  let trace = fig2_trace () in
+  (* Forbid the pattern "t1 and t4 execute without t2 and t3" — an
+     impossible behaviour under d(t1,t4)=→ hypotheses with a message
+     explained only by (t1,t4). *)
+  let negative =
+    P.make_exn ~index:99 ~task_set:ts4
+      [ ev 10 (E.Task_start 0); ev 20 (E.Task_end 0); ev 21 (E.Msg_rise 1);
+        ev 24 (E.Msg_fall 1); ev 30 (E.Task_start 3); ev 40 (E.Task_end 3) ]
+  in
+  let r = Rt_learn.Version_space.learn ~negatives:[ negative ] trace in
+  Alcotest.(check int) "total preserved" 5
+    (List.length r.accepted + List.length r.rejected);
+  (* Hypotheses that can explain a lone t1->t4 message are rejected. *)
+  Alcotest.(check bool) "some rejected" true (List.length r.rejected > 0);
+  List.iter (fun d ->
+      Alcotest.(check bool) "accepted do not match negative" false
+        (M.matches d negative))
+    r.accepted
+
+let test_version_space_no_negatives () =
+  let trace = fig2_trace () in
+  let r = Rt_learn.Version_space.learn ~negatives:[] trace in
+  Alcotest.(check int) "all accepted" 5 (List.length r.accepted);
+  Alcotest.(check int) "none rejected" 0 (List.length r.rejected)
+
+let () =
+  Alcotest.run "rt_learn"
+    [
+      ( "hypothesis",
+        [
+          Alcotest.test_case "bottom" `Quick test_hyp_bottom;
+          Alcotest.test_case "generalize message" `Quick
+            test_hyp_generalize_message;
+          Alcotest.test_case "assumption blocks pair" `Quick
+            test_hyp_assumption_blocks_pair;
+          Alcotest.test_case "weight cache" `Quick
+            test_hyp_weight_cache_consistent;
+          Alcotest.test_case "weaken violations" `Quick
+            test_hyp_weaken_violations;
+          Alcotest.test_case "merge lub" `Quick test_hyp_merge_lub;
+          Alcotest.test_case "clear assumptions" `Quick
+            test_hyp_clear_assumptions;
+        ] );
+      ( "violations",
+        [
+          Alcotest.test_case "observe" `Quick test_violations;
+          Alcotest.test_case "of fig2 trace" `Quick test_violations_of_periods;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "bottom vs messages" `Quick
+            test_matching_bottom_fails_on_messages;
+          Alcotest.test_case "bottom vs silence" `Quick
+            test_matching_bottom_matches_messageless_period;
+          Alcotest.test_case "top matches" `Quick test_matching_top_matches;
+          Alcotest.test_case "closure violation" `Quick
+            test_matching_closure_violation;
+          Alcotest.test_case "backward closure" `Quick
+            test_matching_backward_closure_violation;
+          Alcotest.test_case "distinct pairs" `Quick
+            test_matching_needs_distinct_pairs;
+          Alcotest.test_case "witness" `Quick test_matching_witness;
+          Alcotest.test_case "maybe values" `Quick
+            test_matching_maybe_values_allow_messages;
+          Alcotest.test_case "both directions" `Quick
+            test_matching_requires_both_directions;
+          Alcotest.test_case "whole trace" `Quick test_matching_trace;
+          Alcotest.test_case "count assignments" `Quick test_count_assignments;
+        ] );
+      ( "algorithms",
+        [
+          Alcotest.test_case "two tasks converge" `Quick
+            test_exact_two_task_converges;
+          Alcotest.test_case "pipeline ambiguity" `Quick
+            test_exact_pipeline_ambiguity;
+          Alcotest.test_case "empty trace" `Quick test_exact_empty_trace;
+          Alcotest.test_case "inconsistent trace" `Quick
+            test_exact_inconsistent_trace;
+          Alcotest.test_case "blowup guard" `Quick test_exact_blowup_guard;
+          Alcotest.test_case "bound validation" `Quick
+            test_heuristic_bound_validation;
+          Alcotest.test_case "bound respected" `Quick
+            test_heuristic_respects_bound;
+          Alcotest.test_case "merge policies sound" `Quick
+            test_heuristic_merge_policies_sound;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "online = batch" `Quick test_online_equals_batch;
+          Alcotest.test_case "progressive growth" `Quick test_online_progressive;
+          Alcotest.test_case "validation" `Quick test_online_validates;
+          Alcotest.test_case "current copies" `Quick
+            test_online_current_is_a_copy;
+          Alcotest.test_case "window learning" `Quick
+            test_window_learning_more_specific;
+        ] );
+      ( "version_space",
+        [
+          Alcotest.test_case "negative filter" `Quick
+            test_version_space_negative_filter;
+          Alcotest.test_case "no negatives" `Quick
+            test_version_space_no_negatives;
+        ] );
+    ]

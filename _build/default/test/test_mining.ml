@@ -1,0 +1,155 @@
+module F = Rt_mining.Follows
+module Om = Rt_mining.Order_miner
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+open Test_support
+
+let trace () = fig2_trace ()
+
+(* --- Follows statistics --- *)
+
+let test_executed_counts () =
+  let s = F.of_trace (trace ()) in
+  Alcotest.(check int) "t1 in all 3" 3 (F.executed s 0);
+  Alcotest.(check int) "t2 in 2" 2 (F.executed s 1);
+  Alcotest.(check int) "t3 in 2" 2 (F.executed s 2);
+  Alcotest.(check int) "t4 in all 3" 3 (F.executed s 3)
+
+let test_co_executed () =
+  let s = F.of_trace (trace ()) in
+  Alcotest.(check int) "t1/t4 always" 3 (F.co_executed s 0 3);
+  Alcotest.(check int) "t2/t3 once" 1 (F.co_executed s 1 2);
+  Alcotest.(check int) "symmetric" (F.co_executed s 2 1) (F.co_executed s 1 2)
+
+let test_preceded () =
+  let s = F.of_trace (trace ()) in
+  (* t1 always ends before t4 starts in the Fig.2 timings. *)
+  Alcotest.(check int) "t1 before t4" 3 (F.preceded s 0 3);
+  Alcotest.(check int) "t4 never before t1" 0 (F.preceded s 3 0)
+
+let test_implies () =
+  let s = F.of_trace (trace ()) in
+  Alcotest.(check bool) "t1 -> t4 implied" true (F.implies s 0 3);
+  Alcotest.(check bool) "t1 -> t2 not implied" false (F.implies s 0 1);
+  Alcotest.(check bool) "t2 -> t1 implied" true (F.implies s 1 0)
+
+let test_always_precedes () =
+  let s = F.of_trace (trace ()) in
+  Alcotest.(check bool) "t1 before t4" true (F.always_precedes s 0 3);
+  Alcotest.(check bool) "t3 before t2 (only co-period)" true
+    (F.always_precedes s 2 1);
+  Alcotest.(check bool) "t2 not before t3" false (F.always_precedes s 1 2)
+
+(* --- Order_miner --- *)
+
+let test_miner_on_fig2 () =
+  let mined = Om.infer (trace ()) in
+  (* t1 always precedes t4 and implies it: definite forward. *)
+  Alcotest.(check depval) "d(t1,t4)" Dv.Fwd (Df.get mined 0 3);
+  (* t4 implies t1 and t1 precedes it: definite backward. *)
+  Alcotest.(check depval) "d(t4,t1)" Dv.Bwd (Df.get mined 3 0);
+  (* t1 only sometimes runs with t2: conditional. *)
+  Alcotest.(check depval) "d(t1,t2)" Dv.Fwd_maybe (Df.get mined 0 1)
+
+let test_miner_never_co_executed_is_par () =
+  let trace = trace () in
+  let two =
+    Rt_trace.Trace.of_periods ~task_set:trace.task_set
+      (List.filteri (fun i _ -> i < 2) (Rt_trace.Trace.periods trace))
+  in
+  let mined = Om.infer two in
+  Alcotest.(check depval) "t2/t3 par" Dv.Par (Df.get mined 1 2);
+  Alcotest.(check depval) "t3/t2 par" Dv.Par (Df.get mined 2 1)
+
+let test_miner_output_sound_for_matching () =
+  (* The mined function is built from ordering statistics, but it should
+     still satisfy the execution-closure half of matching on the very
+     trace it was mined from. *)
+  let t = trace () in
+  let mined = Om.infer t in
+  List.iter (fun pd ->
+      Alcotest.(check bool) "closure holds" true
+        (Rt_learn.Matching.closure_ok mined pd))
+    (Rt_trace.Trace.periods t)
+
+let test_miner_overclaims_vs_learner () =
+  (* The headline comparison: on a scheduled system the pure-ordering
+     baseline reports scheduling coincidences as dependencies; the
+     message-guided learner does not suffer the same direction of error
+     on design ground truth. *)
+  let design = pipeline_design 3 in
+  let t = simulate ~periods:8 design in
+  let truth = Option.get (Rt_task.Design.ground_truth design) in
+  let mined = Om.infer t in
+  let learner =
+    match (Rt_learn.Heuristic.run ~bound:1 t).hypotheses with
+    | [ d ] -> d
+    | _ -> Alcotest.fail "learner inconsistent"
+  in
+  let m_mined = Om.score ~predicted:mined ~truth in
+  let m_learn = Om.score ~predicted:learner ~truth in
+  (* Both find all true definite edges on this easy design... *)
+  Alcotest.(check (float 0.01)) "miner recall" 1.0 m_mined.definite_recall;
+  Alcotest.(check (float 0.01)) "learner recall" 1.0 m_learn.definite_recall;
+  (* ...and both over-claim transitives; the score machinery quantifies it. *)
+  Alcotest.(check bool) "precision defined" true
+    (m_mined.definite_precision <= 1.0 && m_learn.definite_precision <= 1.0)
+
+let test_score_perfect () =
+  let d = df [ [ p; f ]; [ b; p ] ] in
+  let m = Om.score ~predicted:d ~truth:d in
+  Alcotest.(check (float 0.001)) "accuracy" 1.0 m.cell_accuracy;
+  Alcotest.(check (float 0.001)) "definite precision" 1.0 m.definite_precision;
+  Alcotest.(check (float 0.001)) "definite recall" 1.0 m.definite_recall
+
+let test_score_mismatch () =
+  let predicted = df [ [ p; f ]; [ b; p ] ] in
+  let truth = df [ [ p; p ]; [ p; p ] ] in
+  let m = Om.score ~predicted ~truth in
+  Alcotest.(check (float 0.001)) "accuracy 0" 0.0 m.cell_accuracy;
+  Alcotest.(check (float 0.001)) "precision 0" 0.0 m.definite_precision;
+  (* truth has no definite edges: recall is vacuous 1.0 *)
+  Alcotest.(check (float 0.001)) "recall vacuous" 1.0 m.definite_recall
+
+let test_score_size_mismatch () =
+  Alcotest.check_raises "sizes"
+    (Invalid_argument "Order_miner.score: size mismatch")
+    (fun () ->
+       ignore (Om.score ~predicted:(Df.create 2) ~truth:(Df.create 3)))
+
+let miner_closure_sound =
+  qcheck_case "mined function passes closure on its own trace" ~count:40
+    (QCheck.int_range 0 5_000)
+    (fun seed ->
+       let design = small_design (seed mod 30) in
+       let t = simulate ~periods:6 ~seed design in
+       let mined = Om.infer t in
+       List.for_all (fun pd -> Rt_learn.Matching.closure_ok mined pd)
+         (Rt_trace.Trace.periods t))
+
+let () =
+  Alcotest.run "rt_mining"
+    [
+      ( "follows",
+        [
+          Alcotest.test_case "executed counts" `Quick test_executed_counts;
+          Alcotest.test_case "co-executed" `Quick test_co_executed;
+          Alcotest.test_case "preceded" `Quick test_preceded;
+          Alcotest.test_case "implies" `Quick test_implies;
+          Alcotest.test_case "always precedes" `Quick test_always_precedes;
+        ] );
+      ( "order_miner",
+        [
+          Alcotest.test_case "fig2 inference" `Quick test_miner_on_fig2;
+          Alcotest.test_case "par when never together" `Quick
+            test_miner_never_co_executed_is_par;
+          Alcotest.test_case "closure sound" `Quick
+            test_miner_output_sound_for_matching;
+          Alcotest.test_case "vs learner on ground truth" `Quick
+            test_miner_overclaims_vs_learner;
+          Alcotest.test_case "perfect score" `Quick test_score_perfect;
+          Alcotest.test_case "mismatch score" `Quick test_score_mismatch;
+          Alcotest.test_case "size mismatch" `Quick test_score_size_mismatch;
+          miner_closure_sound;
+        ] );
+    ]

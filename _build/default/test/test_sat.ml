@@ -1,0 +1,220 @@
+module Cnf = Rt_sat.Cnf
+module Dimacs = Rt_sat.Dimacs
+module Dpll = Rt_sat.Dpll
+module Me = Rt_sat.Match_encoding
+module Df = Rt_lattice.Depfun
+module Dv = Rt_lattice.Depval
+module P = Rt_trace.Period
+module E = Rt_trace.Event
+open Test_support
+
+(* --- Cnf --- *)
+
+let test_cnf_validation () =
+  Alcotest.check_raises "zero literal" (Invalid_argument "Cnf.make: zero literal")
+    (fun () -> ignore (Cnf.make ~nvars:2 [ [ 1; 0 ] ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Cnf.make: literal out of range")
+    (fun () -> ignore (Cnf.make ~nvars:2 [ [ 3 ] ]))
+
+let test_cnf_eval () =
+  let f = Cnf.make ~nvars:2 [ [ 1; 2 ]; [ -1; -2 ] ] in
+  Alcotest.(check bool) "xor true" true (Cnf.eval f [| false; true; false |]);
+  Alcotest.(check bool) "xor false" false (Cnf.eval f [| false; true; true |]);
+  Alcotest.(check bool) "empty clause" false
+    (Cnf.eval (Cnf.make ~nvars:1 [ [] ]) [| false; true |])
+
+(* --- Dpll --- *)
+
+let check_sat f expected =
+  match Dpll.solve f, expected with
+  | Dpll.Sat model, true ->
+    Alcotest.(check bool) "model evaluates" true (Cnf.eval f model)
+  | Dpll.Unsat, false -> ()
+  | Dpll.Sat _, false -> Alcotest.fail "expected unsat"
+  | Dpll.Unsat, true -> Alcotest.fail "expected sat"
+
+let test_dpll_trivial () =
+  check_sat (Cnf.make ~nvars:0 []) true;
+  check_sat (Cnf.make ~nvars:1 [ [ 1 ] ]) true;
+  check_sat (Cnf.make ~nvars:1 [ [ 1 ]; [ -1 ] ]) false;
+  check_sat (Cnf.make ~nvars:1 [ [] ]) false
+
+let test_dpll_unit_chain () =
+  (* x1, x1→x2, x2→x3 forces all true. *)
+  let f = Cnf.make ~nvars:3 [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ] in
+  (match Dpll.solve f with
+   | Dpll.Sat m ->
+     Alcotest.(check bool) "all forced" true (m.(1) && m.(2) && m.(3))
+   | Dpll.Unsat -> Alcotest.fail "sat expected")
+
+let test_dpll_pigeonhole () =
+  (* 3 pigeons, 2 holes: classic unsat. Vars p_{i,j} = 2*(i-1)+j. *)
+  let v i j = (2 * (i - 1)) + j in
+  let clauses =
+    (* each pigeon somewhere *)
+    [ [ v 1 1; v 1 2 ]; [ v 2 1; v 2 2 ]; [ v 3 1; v 3 2 ] ]
+    (* no two pigeons share a hole *)
+    @ List.concat_map (fun j ->
+        [ [ -v 1 j; -v 2 j ]; [ -v 1 j; -v 3 j ]; [ -v 2 j; -v 3 j ] ])
+      [ 1; 2 ]
+  in
+  check_sat (Cnf.make ~nvars:6 clauses) false
+
+let test_dpll_stats () =
+  let f = Cnf.make ~nvars:3 [ [ 1; 2; 3 ] ] in
+  let _, stats = Dpll.solve_with_stats f in
+  Alcotest.(check bool) "some work recorded" true
+    (stats.decisions >= 1 || stats.propagations >= 0)
+
+let random_cnf rng nvars nclauses =
+  let clause () =
+    let len = 1 + Rt_util.Pcg32.int rng 3 in
+    List.init len (fun _ ->
+        let v = 1 + Rt_util.Pcg32.int rng nvars in
+        if Rt_util.Pcg32.bool rng then v else -v)
+  in
+  Cnf.make ~nvars (List.init nclauses (fun _ -> clause ()))
+
+let dpll_vs_brute_force =
+  qcheck_case "dpll agrees with brute force" ~count:200 (QCheck.int_range 0 100_000)
+    (fun seed ->
+       let rng = Rt_util.Pcg32.of_int seed in
+       let nvars = 1 + Rt_util.Pcg32.int rng 8 in
+       let f = random_cnf rng nvars (1 + Rt_util.Pcg32.int rng 16) in
+       let d = Dpll.is_satisfiable f in
+       let b = match Dpll.brute_force f with Dpll.Sat _ -> true | Dpll.Unsat -> false in
+       d = b)
+
+let dpll_models_valid =
+  qcheck_case "dpll models satisfy the formula" ~count:200
+    (QCheck.int_range 0 100_000)
+    (fun seed ->
+       let rng = Rt_util.Pcg32.of_int seed in
+       let nvars = 1 + Rt_util.Pcg32.int rng 10 in
+       let f = random_cnf rng nvars (1 + Rt_util.Pcg32.int rng 20) in
+       match Dpll.solve f with
+       | Dpll.Sat m -> Cnf.eval f m
+       | Dpll.Unsat -> true)
+
+(* --- Dimacs --- *)
+
+let test_dimacs_round_trip () =
+  let f = Cnf.make ~nvars:3 [ [ 1; -2 ]; [ 2; 3 ]; [ -1 ] ] in
+  match Dimacs.of_string (Dimacs.to_string f) with
+  | Ok f' ->
+    Alcotest.(check int) "nvars" f.Cnf.nvars f'.Cnf.nvars;
+    Alcotest.(check bool) "clauses" true (f.Cnf.clauses = f'.Cnf.clauses)
+  | Error _ -> Alcotest.fail "round trip failed"
+
+let test_dimacs_comments () =
+  let f = Dimacs.of_string_exn "c hi\np cnf 2 1\nc mid\n1 -2 0\n" in
+  Alcotest.(check int) "one clause" 1 (Cnf.num_clauses f)
+
+let test_dimacs_errors () =
+  (match Dimacs.of_string "1 2 0\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "missing header accepted");
+  (match Dimacs.of_string "p cnf x y\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "bad header accepted")
+
+(* --- Match_encoding --- *)
+
+let ts4 = Rt_task.Task_set.numbered 4
+
+let ev time kind = { E.time; kind }
+
+let period1 () =
+  P.make_exn ~index:0 ~task_set:ts4
+    [ ev 10 (E.Task_start 0); ev 20 (E.Task_end 0); ev 21 (E.Msg_rise 1);
+      ev 24 (E.Msg_fall 1); ev 25 (E.Task_start 1); ev 35 (E.Task_end 1);
+      ev 36 (E.Msg_rise 2); ev 39 (E.Msg_fall 2); ev 40 (E.Task_start 3);
+      ev 50 (E.Task_end 3) ]
+
+let test_encoding_shape () =
+  let enc = Me.encode (Df.top 4) (period1 ()) in
+  (* m1 has 2 admissible pairs, m2 has 2: 4 variables. *)
+  Alcotest.(check int) "4 vars" 4 enc.cnf.Cnf.nvars;
+  Alcotest.(check bool) "has clauses" true (Cnf.num_clauses enc.cnf >= 2)
+
+let test_sat_matches_agree_on_example () =
+  let pd = period1 () in
+  let cases =
+    [ Df.top 4; Df.create 4;
+      (let d = Df.create 4 in
+       Df.set d 0 1 Dv.Fwd; Df.set d 1 0 Dv.Bwd;
+       Df.set d 1 3 Dv.Fwd; Df.set d 3 1 Dv.Bwd; d);
+      (let d = Df.create 4 in
+       Df.set d 0 1 Dv.Fwd; Df.set d 1 0 Dv.Bwd; d) ]
+  in
+  List.iter (fun d ->
+      Alcotest.(check bool) "sat = backtracking"
+        (Rt_learn.Matching.matches d pd) (Me.matches_sat d pd))
+    cases
+
+let test_witness_decoding () =
+  let pd = period1 () in
+  let enc = Me.encode (Df.top 4) pd in
+  (match Dpll.solve enc.cnf with
+   | Dpll.Sat model ->
+     let w = Me.witness_of_model enc model in
+     Alcotest.(check int) "one pair per message" 2 (Array.length w);
+     Array.iter (fun (s, r) ->
+         Alcotest.(check bool) "pair decoded" true (s >= 0 && r >= 0 && s <> r))
+       w
+   | Dpll.Unsat -> Alcotest.fail "top must match")
+
+(* Differential test over random traces and random hypotheses. *)
+let sat_vs_backtracking =
+  qcheck_case "sat encoding = backtracking matcher" ~count:60
+    (QCheck.int_range 0 10_000)
+    (fun seed ->
+       let design = small_design (seed mod 40) in
+       let trace = simulate ~periods:3 ~seed design in
+       let n = Rt_trace.Trace.task_count trace in
+       let rng = Rt_util.Pcg32.of_int (seed * 13) in
+       let d = Df.create n in
+       let values = [| Dv.Par; Dv.Fwd; Dv.Bwd; Dv.Fwd_maybe; Dv.Bwd_maybe; Dv.Bi_maybe |] in
+       for a = 0 to n - 1 do
+         for b = 0 to n - 1 do
+           if a <> b then
+             Df.set d a b values.(Rt_util.Pcg32.int rng (Array.length values))
+         done
+       done;
+       List.for_all (fun pd ->
+           Rt_learn.Matching.matches d pd = Me.matches_sat d pd)
+         (Rt_trace.Trace.periods trace))
+
+let () =
+  Alcotest.run "rt_sat"
+    [
+      ( "cnf",
+        [
+          Alcotest.test_case "validation" `Quick test_cnf_validation;
+          Alcotest.test_case "eval" `Quick test_cnf_eval;
+        ] );
+      ( "dpll",
+        [
+          Alcotest.test_case "trivial" `Quick test_dpll_trivial;
+          Alcotest.test_case "unit chain" `Quick test_dpll_unit_chain;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_dpll_pigeonhole;
+          Alcotest.test_case "stats" `Quick test_dpll_stats;
+          dpll_vs_brute_force;
+          dpll_models_valid;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "round trip" `Quick test_dimacs_round_trip;
+          Alcotest.test_case "comments" `Quick test_dimacs_comments;
+          Alcotest.test_case "errors" `Quick test_dimacs_errors;
+        ] );
+      ( "match_encoding",
+        [
+          Alcotest.test_case "shape" `Quick test_encoding_shape;
+          Alcotest.test_case "agrees on example" `Quick
+            test_sat_matches_agree_on_example;
+          Alcotest.test_case "witness decoding" `Quick test_witness_decoding;
+          sat_vs_backtracking;
+        ] );
+    ]

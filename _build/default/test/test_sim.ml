@@ -1,0 +1,409 @@
+module D = Rt_task.Design
+module Sim = Rt_sim.Simulator
+module Bus = Rt_sim.Can_bus
+module Sched = Rt_sim.Scheduler
+module P = Rt_trace.Period
+module T = Rt_trace.Trace
+open Test_support
+
+(* --- Can_bus unit tests --- *)
+
+let frame can_id tx_time tag = { Bus.can_id; tx_time; tag }
+
+let test_bus_idle () =
+  let bus = Bus.create () in
+  Alcotest.(check bool) "idle" true (Bus.is_idle bus);
+  Alcotest.(check int) "no pending" 0 (Bus.pending bus);
+  Alcotest.(check bool) "nothing to start" true (Bus.try_start bus ~now:0 = None)
+
+let test_bus_priority_arbitration () =
+  let bus = Bus.create () in
+  Bus.submit bus (frame 0x20 5 0);
+  Bus.submit bus (frame 0x10 5 1);
+  Bus.submit bus (frame 0x30 5 2);
+  (match Bus.try_start bus ~now:100 with
+   | Some (f, fin) ->
+     Alcotest.(check int) "lowest id wins" 0x10 f.can_id;
+     Alcotest.(check int) "completion time" 105 fin
+   | None -> Alcotest.fail "bus should start");
+  Alcotest.(check int) "2 pending" 2 (Bus.pending bus)
+
+let test_bus_nonpreemptive () =
+  let bus = Bus.create () in
+  Bus.submit bus (frame 0x20 5 0);
+  ignore (Bus.try_start bus ~now:0);
+  (* A higher-priority frame arriving mid-transmission must wait. *)
+  Bus.submit bus (frame 0x01 5 1);
+  Alcotest.(check bool) "no second start" true (Bus.try_start bus ~now:2 = None);
+  let f = Bus.complete bus in
+  Alcotest.(check int) "first one finished" 0x20 f.can_id;
+  (match Bus.try_start bus ~now:5 with
+   | Some (f, _) -> Alcotest.(check int) "then the urgent one" 0x01 f.can_id
+   | None -> Alcotest.fail "second start expected")
+
+let test_bus_complete_idle () =
+  let bus = Bus.create () in
+  Alcotest.check_raises "complete on idle"
+    (Invalid_argument "Can_bus.complete: bus is idle")
+    (fun () -> ignore (Bus.complete bus))
+
+(* --- Scheduler unit tests --- *)
+
+let test_sched_runs_single_task () =
+  let s = Sched.create ~ecus:1 ~priority:[| 1 |] ~ecu_of:[| 0 |] in
+  Sched.release s ~now:0 ~task:0 ~work:10;
+  Sched.dispatch s ~now:0;
+  Alcotest.(check (list (pair int int))) "started" [ (0, 0) ] (Sched.take_starts s);
+  Alcotest.(check (option int)) "completion" (Some 10) (Sched.next_completion s);
+  Sched.advance s ~now:10;
+  Alcotest.(check (list int)) "completed" [ 0 ] (Sched.take_completions s ~now:10);
+  Alcotest.(check bool) "idle" false (Sched.busy s)
+
+let test_sched_preemption () =
+  (* Task 0 (prio 2, work 100) runs from t=0; task 1 (prio 1, work 30)
+     arrives at t=20 and preempts; task 0 finishes at 130. *)
+  let s = Sched.create ~ecus:1 ~priority:[| 2; 1 |] ~ecu_of:[| 0; 0 |] in
+  Sched.release s ~now:0 ~task:0 ~work:100;
+  Sched.dispatch s ~now:0;
+  Sched.advance s ~now:20;
+  Sched.release s ~now:20 ~task:1 ~work:30;
+  Sched.dispatch s ~now:20;
+  Alcotest.(check (option int)) "task1 completion first" (Some 50)
+    (Sched.next_completion s);
+  Sched.advance s ~now:50;
+  Alcotest.(check (list int)) "task1 done" [ 1 ] (Sched.take_completions s ~now:50);
+  Alcotest.(check (option int)) "task0 resumes, 80 left" (Some 130)
+    (Sched.next_completion s);
+  Sched.advance s ~now:130;
+  Alcotest.(check (list int)) "task0 done" [ 0 ]
+    (Sched.take_completions s ~now:130);
+  (* Starts were logged once each, at first dispatch. *)
+  Alcotest.(check (list (pair int int))) "starts" [ (0, 0); (20, 1) ]
+    (Sched.take_starts s)
+
+let test_sched_two_ecus_parallel () =
+  let s = Sched.create ~ecus:2 ~priority:[| 1; 1 |] ~ecu_of:[| 0; 1 |] in
+  Sched.release s ~now:0 ~task:0 ~work:50;
+  Sched.release s ~now:0 ~task:1 ~work:50;
+  Sched.dispatch s ~now:0;
+  Alcotest.(check (option int)) "both finish at 50" (Some 50)
+    (Sched.next_completion s);
+  Sched.advance s ~now:50;
+  Alcotest.(check (list int)) "both complete" [ 0; 1 ]
+    (List.sort Int.compare (Sched.take_completions s ~now:50))
+
+let test_sched_priority_tie_break () =
+  (* Equal priorities: lower task index dispatched first. *)
+  let s = Sched.create ~ecus:1 ~priority:[| 1; 1 |] ~ecu_of:[| 0; 0 |] in
+  Sched.release s ~now:0 ~task:1 ~work:10;
+  Sched.release s ~now:0 ~task:0 ~work:10;
+  Sched.dispatch s ~now:0;
+  Alcotest.(check (list (pair int int))) "task 0 first" [ (0, 0) ]
+    (Sched.take_starts s)
+
+(* --- Simulator end-to-end --- *)
+
+let no_jitter = { Sim.default_config with wcet_jitter = false; release_jitter = 0 }
+
+let test_sim_deterministic () =
+  let d = small_design 4 in
+  let t1 = Sim.run d { no_jitter with periods = 10; seed = 9 } in
+  let t2 = Sim.run d { no_jitter with periods = 10; seed = 9 } in
+  Alcotest.(check string) "same trace" (Rt_trace.Trace_io.to_string t1)
+    (Rt_trace.Trace_io.to_string t2)
+
+let test_sim_seeds_differ () =
+  let d = Rt_task.Generator.generate Rt_task.Generator.default ~seed:4 in
+  let t1 = Sim.run d { Sim.default_config with periods = 10; seed = 1 } in
+  let t2 = Sim.run d { Sim.default_config with periods = 10; seed = 2 } in
+  Alcotest.(check bool) "different traces" true
+    (Rt_trace.Trace_io.to_string t1 <> Rt_trace.Trace_io.to_string t2)
+
+let test_sim_period_count () =
+  let d = small_design 5 in
+  let t = Sim.run d { no_jitter with periods = 13 } in
+  Alcotest.(check int) "13 periods" 13 (T.period_count t)
+
+let test_sim_invalid_periods () =
+  let d = small_design 5 in
+  Alcotest.check_raises "0 periods"
+    (Invalid_argument "Simulator.run: periods must be positive")
+    (fun () -> ignore (Sim.run d { no_jitter with periods = 0 }))
+
+let test_sim_overrun () =
+  (* A task slower than its period must raise Overrun. *)
+  let tasks = [| { D.name = "t1"; policy = D.Broadcast; ecu = 0;
+                   priority = 1; wcet = 500; offset = 0 } |] in
+  let d = D.make ~tasks ~edges:[||] ~period:100 in
+  (match Sim.run d { no_jitter with periods = 1 } with
+   | exception Sim.Overrun { period = 0; _ } -> ()
+   | exception e -> raise e
+   | _ -> Alcotest.fail "expected Overrun")
+
+let test_sim_pipeline_ordering () =
+  (* In a pipeline t1 -> t2 -> t3 the trace must show strictly causal
+     timing: end(t1) <= rise(m1) < fall(m1) <= start(t2), etc. *)
+  let d = pipeline_design 3 in
+  let t = Sim.run d { no_jitter with periods = 5 } in
+  List.iter (fun (pd : P.t) ->
+      Alcotest.(check int) "2 msgs" 2 (P.msg_count pd);
+      Alcotest.(check (list int)) "all executed" [ 0; 1; 2 ]
+        (P.executed_tasks pd);
+      Array.iter (fun (m : P.msg) ->
+          Alcotest.(check bool) "rise < fall" true (m.rise < m.fall))
+        pd.msgs;
+      let m0 = pd.msgs.(0) and m1 = pd.msgs.(1) in
+      Alcotest.(check bool) "t1 before m0" true (pd.end_time.(0) <= m0.rise);
+      Alcotest.(check bool) "m0 before t2" true (m0.fall <= pd.start_time.(1));
+      Alcotest.(check bool) "t2 before m1" true (pd.end_time.(1) <= m1.rise);
+      Alcotest.(check bool) "m1 before t3" true (m1.fall <= pd.start_time.(2)))
+    (T.periods t)
+
+let test_sim_frames_serialized () =
+  (* On a single bus, transmissions never overlap. *)
+  for seed = 0 to 5 do
+    let d = Rt_task.Generator.generate Rt_task.Generator.default ~seed in
+    let t = Sim.run d { Sim.default_config with periods = 8; seed } in
+    List.iter (fun (pd : P.t) ->
+        let sorted = Array.to_list pd.msgs in
+        let rec check = function
+          | (a : P.msg) :: (b :: _ as rest) ->
+            Alcotest.(check bool) "no overlap" true (a.fall <= b.rise);
+            check rest
+          | [ _ ] | [] -> ()
+        in
+        check sorted)
+      (T.periods t)
+  done
+
+let test_sim_truth_in_candidates () =
+  (* The real sender/receiver must always be inferable. *)
+  for seed = 0 to 5 do
+    let d = Rt_task.Generator.generate Rt_task.Generator.default ~seed in
+    let trace, truths = Sim.run_with_truth d { Sim.default_config with periods = 10; seed } in
+    List.iteri (fun i (pd : P.t) ->
+        let tr = truths.(i) in
+        Alcotest.(check int) "truth arity" (P.msg_count pd)
+          (Array.length tr.senders_receivers);
+        Array.iteri (fun k (m : P.msg) ->
+            let pair = tr.senders_receivers.(k) in
+            Alcotest.(check bool) "truth in candidates" true
+              (List.mem pair (Rt_trace.Candidates.pairs pd m)))
+          pd.msgs)
+      (T.periods trace)
+  done
+
+let test_sim_truth_outcome_consistent () =
+  let d = small_design 8 in
+  let trace, truths = Sim.run_with_truth d { no_jitter with periods = 10 } in
+  List.iteri (fun i (pd : P.t) ->
+      let (tr : Sim.period_truth) = truths.(i) in
+      (* Executed tasks in the trace = executed tasks in the outcome. *)
+      Array.iteri (fun v ex ->
+          Alcotest.(check bool) "executed agrees" ex pd.executed.(v))
+        tr.outcome.executed;
+      (* Message count = chosen edge count. *)
+      Alcotest.(check int) "message count" (List.length tr.outcome.sent)
+        (P.msg_count pd))
+    (T.periods trace)
+
+let test_sim_wcet_jitter_bounds () =
+  (* Task busy time never exceeds WCET (and with jitter, is at least 60%). *)
+  let d = pipeline_design 3 in
+  let t = Sim.run d { Sim.default_config with periods = 10; seed = 3 } in
+  List.iter (fun (pd : P.t) ->
+      List.iter (fun v ->
+          let dur = pd.end_time.(v) - pd.start_time.(v) in
+          let w = d.tasks.(v).wcet in
+          Alcotest.(check bool) "within [0.6w, w]" true
+            (dur >= w * 6 / 10 && dur <= w))
+        (P.executed_tasks pd))
+    (T.periods t)
+
+let test_sim_can_arbitration_order () =
+  (* Two sources on different ECUs finish at the same time and send
+     simultaneously: the frame with the lower CAN id transmits first. *)
+  let task name ecu priority = { D.name; policy = D.Broadcast; ecu; priority; wcet = 10; offset = 0 } in
+  let tasks = [| task "a" 0 1; task "b" 1 1; task "c" 0 3 |] in
+  let edges =
+    [| { D.src = 0; dst = 2; can_id = 0x50; tx_time = 5; medium = D.Bus };
+       { D.src = 1; dst = 2; can_id = 0x10; tx_time = 5; medium = D.Bus } |]
+  in
+  let d = D.make ~tasks ~edges ~period:1000 in
+  let t = Sim.run d { no_jitter with periods = 3 } in
+  List.iter (fun (pd : P.t) ->
+      Alcotest.(check int) "low id first" 0x10 pd.msgs.(0).bus_id;
+      Alcotest.(check int) "high id second" 0x50 pd.msgs.(1).bus_id)
+    (T.periods t)
+
+(* --- local (off-bus) edges --- *)
+
+(* t1 -(local)-> t2 -(bus)-> t3: the first hop is ECU-internal and never
+   logged; the logger only sees one frame per period. *)
+let local_pipeline () =
+  let task name priority =
+    { D.name; policy = D.Broadcast; ecu = 0; priority; wcet = 10;
+      offset = (if name = "t1" then 5 else 0) }
+  in
+  D.make
+    ~tasks:[| task "t1" 1; task "t2" 2; task "t3" 3 |]
+    ~edges:[|
+      { D.src = 0; dst = 1; can_id = 1; tx_time = 4; medium = D.Local };
+      { D.src = 1; dst = 2; can_id = 2; tx_time = 4; medium = D.Bus };
+    |]
+    ~period:1000
+
+let test_local_edges_invisible () =
+  let d = local_pipeline () in
+  let t = Sim.run d { no_jitter with periods = 5 } in
+  List.iter (fun (pd : P.t) ->
+      Alcotest.(check int) "one logged frame" 1 (P.msg_count pd);
+      Alcotest.(check (list int)) "all tasks ran" [ 0; 1; 2 ]
+        (P.executed_tasks pd);
+      (* The local hop still delays t2: start(t2) >= end(t1) + ipc. *)
+      Alcotest.(check bool) "ipc latency respected" true
+        (pd.start_time.(1) >= pd.end_time.(0) + 4))
+    (T.periods t)
+
+let test_local_edges_truth_only_bus () =
+  let d = local_pipeline () in
+  let _, truths = Sim.run_with_truth d { no_jitter with periods = 5 } in
+  Array.iter (fun (tr : Sim.period_truth) ->
+      Alcotest.(check int) "one bus message in truth" 1
+        (Array.length tr.senders_receivers);
+      Alcotest.(check (pair int int)) "it is t2 -> t3" (1, 2)
+        tr.senders_receivers.(0);
+      (* The outcome still records both edges as sent. *)
+      Alcotest.(check int) "two design edges fired" 2
+        (List.length tr.outcome.sent))
+    truths
+
+let test_local_edges_learner_blind_miner_not () =
+  (* The learner cannot see the local t1 -> t2 dependency (no frame to
+     explain it); the ordering-based miner recovers it from start/end
+     times. An honest win for the baseline. *)
+  let d = local_pipeline () in
+  let t = Sim.run d { no_jitter with periods = 8 } in
+  (match (Rt_learn.Heuristic.run ~bound:1 t).hypotheses with
+   | [ model ] ->
+     Alcotest.(check bool) "learner misses t1->t2" false
+       (Rt_lattice.Depval.is_definite (Rt_lattice.Depfun.get model 0 1))
+   | _ -> Alcotest.fail "learning failed");
+  let mined = Rt_mining.Order_miner.infer t in
+  Alcotest.(check bool) "miner finds t1->t2" true
+    (Rt_lattice.Depval.is_definite (Rt_lattice.Depfun.get mined 0 1))
+
+(* --- fault injection --- *)
+
+let test_drop_rate_zero_is_clean () =
+  let d = pipeline_design 3 in
+  let t0 = Sim.run d { no_jitter with periods = 5 } in
+  let t1 = Sim.run d { no_jitter with periods = 5; drop_rate = 0.0 } in
+  Alcotest.(check string) "identical" (Rt_trace.Trace_io.to_string t0)
+    (Rt_trace.Trace_io.to_string t1)
+
+let test_drop_rate_loses_frames () =
+  let d = pipeline_design 4 in
+  let clean = Sim.run d { no_jitter with periods = 20 } in
+  let lossy = Sim.run d { no_jitter with periods = 20; drop_rate = 0.4 } in
+  let n_clean = T.total_messages clean and n_lossy = T.total_messages lossy in
+  Alcotest.(check bool) "fewer logged frames" true (n_lossy < n_clean);
+  (* Periods stay well formed: validation already ran inside Period.make;
+     executions are unchanged because drops only hide log entries. *)
+  List.iter2 (fun (pc : P.t) (pl : P.t) ->
+      Alcotest.(check (list int)) "same executions" (P.executed_tasks pc)
+        (P.executed_tasks pl))
+    (T.periods clean) (T.periods lossy)
+
+let test_drop_rate_all () =
+  let d = pipeline_design 3 in
+  let lossy = Sim.run d { no_jitter with periods = 5; drop_rate = 1.0 } in
+  Alcotest.(check int) "no frames logged" 0 (T.total_messages lossy);
+  Alcotest.(check bool) "tasks still logged" true (T.total_events lossy > 0)
+
+let test_drop_rate_truth_matches_log () =
+  (* Ground truth must describe the LOGGED messages only. *)
+  let d = pipeline_design 4 in
+  let trace, truths =
+    Sim.run_with_truth d { no_jitter with periods = 20; drop_rate = 0.3 }
+  in
+  List.iteri (fun i (pd : P.t) ->
+      Alcotest.(check int) "arity" (P.msg_count pd)
+        (Array.length truths.(i).senders_receivers))
+    (T.periods trace)
+
+let test_dropped_input_breaks_learnability () =
+  (* If the frame feeding t2 is missing from the log, the learner sees t2
+     firing without a cause: for a 2-task pipeline the version space
+     empties (1 message per period, so a dropped frame leaves a period
+     where t2 runs with no message at all — consistent with ‖ actually).
+     What must NOT happen is a crash; and with every frame dropped the
+     learned model is the bottom function. *)
+  let d = pipeline_design 2 in
+  let lossy = Sim.run d { no_jitter with periods = 6; drop_rate = 1.0 } in
+  let o = Rt_learn.Exact.run lossy in
+  (match o.hypotheses with
+   | [ dep ] ->
+     Alcotest.(check bool) "bottom model" true
+       (Rt_lattice.Depfun.equal dep (Rt_lattice.Depfun.create 2))
+   | l -> Alcotest.failf "expected singleton, got %d" (List.length l))
+
+let () =
+  Alcotest.run "rt_sim"
+    [
+      ( "can_bus",
+        [
+          Alcotest.test_case "idle" `Quick test_bus_idle;
+          Alcotest.test_case "priority arbitration" `Quick
+            test_bus_priority_arbitration;
+          Alcotest.test_case "non-preemptive" `Quick test_bus_nonpreemptive;
+          Alcotest.test_case "complete on idle" `Quick test_bus_complete_idle;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "single task" `Quick test_sched_runs_single_task;
+          Alcotest.test_case "preemption" `Quick test_sched_preemption;
+          Alcotest.test_case "two ecus" `Quick test_sched_two_ecus_parallel;
+          Alcotest.test_case "tie break" `Quick test_sched_priority_tie_break;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_sim_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_sim_seeds_differ;
+          Alcotest.test_case "period count" `Quick test_sim_period_count;
+          Alcotest.test_case "invalid periods" `Quick test_sim_invalid_periods;
+          Alcotest.test_case "overrun detection" `Quick test_sim_overrun;
+          Alcotest.test_case "pipeline causality" `Quick
+            test_sim_pipeline_ordering;
+          Alcotest.test_case "frames serialized" `Quick
+            test_sim_frames_serialized;
+          Alcotest.test_case "truth in candidates" `Quick
+            test_sim_truth_in_candidates;
+          Alcotest.test_case "truth vs outcome" `Quick
+            test_sim_truth_outcome_consistent;
+          Alcotest.test_case "wcet jitter bounds" `Quick
+            test_sim_wcet_jitter_bounds;
+          Alcotest.test_case "arbitration order" `Quick
+            test_sim_can_arbitration_order;
+        ] );
+      ( "local_edges",
+        [
+          Alcotest.test_case "invisible to logger" `Quick
+            test_local_edges_invisible;
+          Alcotest.test_case "truth covers bus only" `Quick
+            test_local_edges_truth_only_bus;
+          Alcotest.test_case "learner blind, miner not" `Quick
+            test_local_edges_learner_blind_miner_not;
+        ] );
+      ( "fault_injection",
+        [
+          Alcotest.test_case "drop 0 is clean" `Quick test_drop_rate_zero_is_clean;
+          Alcotest.test_case "drops lose frames" `Quick
+            test_drop_rate_loses_frames;
+          Alcotest.test_case "drop all" `Quick test_drop_rate_all;
+          Alcotest.test_case "truth matches log" `Quick
+            test_drop_rate_truth_matches_log;
+          Alcotest.test_case "learning under loss" `Quick
+            test_dropped_input_breaks_learnability;
+        ] );
+    ]

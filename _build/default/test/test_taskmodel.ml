@@ -1,0 +1,277 @@
+module Ts = Rt_task.Task_set
+module D = Rt_task.Design
+module G = Rt_task.Generator
+module Dv = Rt_lattice.Depval
+module Df = Rt_lattice.Depfun
+open Test_support
+
+(* --- Task_set --- *)
+
+let test_ts_numbered () =
+  let ts = Ts.numbered 3 in
+  Alcotest.(check int) "size" 3 (Ts.size ts);
+  Alcotest.(check string) "name" "t2" (Ts.name ts 1);
+  Alcotest.(check (option int)) "index" (Some 2) (Ts.index ts "t3");
+  Alcotest.(check (option int)) "missing" None (Ts.index ts "zz")
+
+let test_ts_duplicates_rejected () =
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Task_set.of_names: duplicate name a")
+    (fun () -> ignore (Ts.of_names [| "a"; "a" |]))
+
+let test_ts_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Task_set.of_names: empty")
+    (fun () -> ignore (Ts.of_names [||]))
+
+let test_ts_name_range () =
+  let ts = Ts.numbered 2 in
+  Alcotest.check_raises "range"
+    (Invalid_argument "Task_set.name: index out of range")
+    (fun () -> ignore (Ts.name ts 5))
+
+let test_ts_names_copy () =
+  let ts = Ts.numbered 2 in
+  let names = Ts.names ts in
+  names.(0) <- "mutated";
+  Alcotest.(check string) "internal untouched" "t1" (Ts.name ts 0)
+
+(* --- Design validation --- *)
+
+let task ?(policy = D.Broadcast) ?(ecu = 0) ~priority name =
+  { D.name; policy; ecu; priority; wcet = 10; offset = 0 }
+
+let edge ?(tx = 3) ?(medium = D.Bus) src dst can_id =
+  { D.src; dst; can_id; tx_time = tx; medium }
+
+let two_tasks () = [| task "a" ~priority:1; task "b" ~priority:2 |]
+
+let test_design_cycle_rejected () =
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Design.make: design graph has a cycle")
+    (fun () ->
+       ignore
+         (D.make ~tasks:(two_tasks ())
+            ~edges:[| edge 0 1 1; edge 1 0 2 |]
+            ~period:1000))
+
+let test_design_self_edge_rejected () =
+  Alcotest.check_raises "self" (Invalid_argument "Design.make: self edge")
+    (fun () ->
+       ignore (D.make ~tasks:(two_tasks ()) ~edges:[| edge 0 0 1 |] ~period:1000))
+
+let test_design_duplicate_can_id () =
+  let tasks = [| task "a" ~priority:1; task "b" ~priority:2; task "c" ~priority:3 |] in
+  Alcotest.check_raises "dup id"
+    (Invalid_argument "Design.make: duplicate CAN id")
+    (fun () ->
+       ignore (D.make ~tasks ~edges:[| edge 0 1 7; edge 0 2 7 |] ~period:1000))
+
+let test_design_duplicate_pair () =
+  Alcotest.check_raises "dup pair"
+    (Invalid_argument "Design.make: duplicate (src, dst) edge")
+    (fun () ->
+       ignore
+         (D.make ~tasks:(two_tasks ()) ~edges:[| edge 0 1 1; edge 0 1 2 |]
+            ~period:1000))
+
+let test_design_bad_period () =
+  Alcotest.check_raises "period"
+    (Invalid_argument "Design.make: period must be positive")
+    (fun () -> ignore (D.make ~tasks:(two_tasks ()) ~edges:[||] ~period:0))
+
+let test_design_edge_range () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Design.make: edge endpoint out of range")
+    (fun () ->
+       ignore (D.make ~tasks:(two_tasks ()) ~edges:[| edge 0 5 1 |] ~period:1000))
+
+(* --- Fig. 1 structure --- *)
+
+let test_fig1_shape () =
+  let d = fig1_design () in
+  Alcotest.(check int) "4 tasks" 4 (D.size d);
+  Alcotest.(check (list int)) "sources" [ 0 ] (D.sources d);
+  Alcotest.(check int) "t1 out-degree" 2 (List.length (D.outgoing d 0));
+  Alcotest.(check int) "t4 in-degree" 2 (List.length (D.incoming d 3));
+  Alcotest.(check bool) "t1 disjunction" true (D.is_disjunction d 0);
+  Alcotest.(check bool) "t2 not disjunction" false (D.is_disjunction d 1);
+  Alcotest.(check bool) "t4 conjunction" true (D.is_conjunction d 3);
+  Alcotest.(check bool) "t2 not conjunction" false (D.is_conjunction d 1)
+
+let test_fig1_topological_order () =
+  let d = fig1_design () in
+  let order = D.topological_order d in
+  let pos v =
+    let rec go i = function
+      | [] -> Alcotest.failf "task %d missing from topo order" v
+      | x :: rest -> if x = v then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  Array.iter (fun (e : D.edge) ->
+      Alcotest.(check bool) "src before dst" true (pos e.src < pos e.dst))
+    d.edges
+
+let test_fig1_outcomes () =
+  let d = fig1_design () in
+  match D.all_outcomes d ~limit:100 with
+  | None -> Alcotest.fail "should enumerate"
+  | Some outcomes ->
+    (* t1 chooses a nonempty subset of {t2, t3}: three outcomes. *)
+    Alcotest.(check int) "3 outcomes" 3 (List.length outcomes);
+    List.iter (fun (o : D.outcome) ->
+        Alcotest.(check bool) "t1 executes" true o.executed.(0);
+        Alcotest.(check bool) "t4 executes" true o.executed.(3);
+        Alcotest.(check bool) "t2 or t3" true (o.executed.(1) || o.executed.(2)))
+      outcomes
+
+let test_fig1_ground_truth () =
+  let d = fig1_design () in
+  match D.ground_truth d with
+  | None -> Alcotest.fail "small design must have ground truth"
+  | Some gt ->
+    (* Hand-derived fixpoint over the three outcomes. *)
+    let expected =
+      df
+        [
+          [ p; fq; fq; p ];
+          [ b; p; p; f ];
+          [ b; p; p; f ];
+          [ p; bq; bq; p ];
+        ]
+    in
+    Alcotest.(check depfun) "ground truth" expected gt
+
+let test_pipeline_ground_truth () =
+  let d = pipeline_design 3 in
+  match D.ground_truth d with
+  | None -> Alcotest.fail "must enumerate"
+  | Some gt ->
+    let expected = df [ [ p; f; p ]; [ b; p; f ]; [ p; b; p ] ] in
+    Alcotest.(check depfun) "chain" expected gt
+
+let test_sample_outcome_valid () =
+  let d = fig1_design () in
+  let rng = Rt_util.Pcg32.of_int 5 in
+  for _ = 1 to 50 do
+    let o = D.sample_outcome d rng in
+    Alcotest.(check bool) "t1" true o.executed.(0);
+    List.iter (fun (e : D.edge) ->
+        Alcotest.(check bool) "sender executed" true o.executed.(e.src);
+        Alcotest.(check bool) "receiver executed" true o.executed.(e.dst))
+      o.sent
+  done
+
+let test_choose_one_policy () =
+  let tasks =
+    [| task "a" ~policy:D.Choose_one ~priority:1;
+       task "b" ~priority:2; task "c" ~priority:3 |]
+  in
+  let d = D.make ~tasks ~edges:[| edge 0 1 1; edge 0 2 2 |] ~period:1000 in
+  (match D.all_outcomes d ~limit:10 with
+   | Some outcomes -> Alcotest.(check int) "two outcomes" 2 (List.length outcomes)
+   | None -> Alcotest.fail "enumerable");
+  let rng = Rt_util.Pcg32.of_int 1 in
+  for _ = 1 to 20 do
+    let o = D.sample_outcome d rng in
+    Alcotest.(check int) "exactly one edge" 1 (List.length o.sent)
+  done
+
+let test_all_outcomes_limit () =
+  (* A wide Choose_any fan has 2^k - 1 outcomes; the limit must kick in. *)
+  let k = 12 in
+  let tasks =
+    Array.init (k + 1) (fun i ->
+        if i = 0 then task "src" ~policy:D.Choose_any ~priority:1
+        else task (Printf.sprintf "s%d" i) ~priority:(i + 1))
+  in
+  let edges = Array.init k (fun i -> edge 0 (i + 1) (i + 1)) in
+  let d = D.make ~tasks ~edges ~period:100_000 in
+  Alcotest.(check bool) "exceeds limit" true (D.all_outcomes d ~limit:100 = None)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_to_dot () =
+  let s = D.to_dot (fig1_design ()) in
+  Alcotest.(check bool) "digraph" true
+    (String.length s > 8 && String.sub s 0 7 = "digraph");
+  Alcotest.(check bool) "has edge" true (contains ~needle:"t1 -> t2" s)
+
+(* --- Generator --- *)
+
+let test_generator_deterministic () =
+  let d1 = G.generate G.default ~seed:3 in
+  let d2 = G.generate G.default ~seed:3 in
+  Alcotest.(check int) "same size" (D.size d1) (D.size d2);
+  Alcotest.(check bool) "same dot" true (D.to_dot d1 = D.to_dot d2)
+
+let test_generator_seeds_differ () =
+  let d1 = G.generate G.default ~seed:1 in
+  let d2 = G.generate G.default ~seed:2 in
+  Alcotest.(check bool) "different" true (D.to_dot d1 <> D.to_dot d2)
+
+let test_generator_every_nonsource_reachable () =
+  for seed = 0 to 20 do
+    let d = G.generate G.default ~seed in
+    let srcs = D.sources d in
+    for v = 0 to D.size d - 1 do
+      if not (List.mem v srcs) then
+        Alcotest.(check bool) "has predecessor" true (D.incoming d v <> [])
+    done
+  done
+
+let test_generator_valid_designs () =
+  (* Design.make validates; generation must never raise. *)
+  for seed = 0 to 30 do
+    ignore (G.generate G.default ~seed)
+  done
+
+let test_generator_sized () =
+  let d = G.sized ~ntasks:18 ~seed:5 in
+  Alcotest.(check bool) "roughly 18 tasks" true
+    (D.size d >= 12 && D.size d <= 26)
+
+let () =
+  Alcotest.run "rt_task"
+    [
+      ( "task_set",
+        [
+          Alcotest.test_case "numbered" `Quick test_ts_numbered;
+          Alcotest.test_case "duplicates" `Quick test_ts_duplicates_rejected;
+          Alcotest.test_case "empty" `Quick test_ts_empty_rejected;
+          Alcotest.test_case "name range" `Quick test_ts_name_range;
+          Alcotest.test_case "names copy" `Quick test_ts_names_copy;
+        ] );
+      ( "design",
+        [
+          Alcotest.test_case "cycle rejected" `Quick test_design_cycle_rejected;
+          Alcotest.test_case "self edge" `Quick test_design_self_edge_rejected;
+          Alcotest.test_case "dup can id" `Quick test_design_duplicate_can_id;
+          Alcotest.test_case "dup pair" `Quick test_design_duplicate_pair;
+          Alcotest.test_case "bad period" `Quick test_design_bad_period;
+          Alcotest.test_case "edge range" `Quick test_design_edge_range;
+          Alcotest.test_case "fig1 shape" `Quick test_fig1_shape;
+          Alcotest.test_case "fig1 topo order" `Quick test_fig1_topological_order;
+          Alcotest.test_case "fig1 outcomes" `Quick test_fig1_outcomes;
+          Alcotest.test_case "fig1 ground truth" `Quick test_fig1_ground_truth;
+          Alcotest.test_case "pipeline ground truth" `Quick
+            test_pipeline_ground_truth;
+          Alcotest.test_case "sampled outcomes valid" `Quick
+            test_sample_outcome_valid;
+          Alcotest.test_case "choose_one" `Quick test_choose_one_policy;
+          Alcotest.test_case "outcome limit" `Quick test_all_outcomes_limit;
+          Alcotest.test_case "dot export" `Quick test_to_dot;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_generator_seeds_differ;
+          Alcotest.test_case "reachability" `Quick
+            test_generator_every_nonsource_reachable;
+          Alcotest.test_case "valid designs" `Quick test_generator_valid_designs;
+          Alcotest.test_case "sized" `Quick test_generator_sized;
+        ] );
+    ]

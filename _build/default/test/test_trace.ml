@@ -1,0 +1,512 @@
+module Ts = Rt_task.Task_set
+module E = Rt_trace.Event
+module P = Rt_trace.Period
+module C = Rt_trace.Candidates
+module T = Rt_trace.Trace
+module Io = Rt_trace.Trace_io
+open Test_support
+
+let ts4 = Ts.numbered 4
+
+let ev time kind = { E.time; kind }
+
+(* --- Event ordering --- *)
+
+let test_event_order_by_time () =
+  let a = ev 5 (E.Task_start 0) and b = ev 6 (E.Task_end 0) in
+  Alcotest.(check bool) "a < b" true (E.compare a b < 0)
+
+let test_event_causal_tiebreak () =
+  (* At equal time: end < fall < rise < start. *)
+  let es =
+    [ ev 10 (E.Task_start 1); ev 10 (E.Msg_rise 7); ev 10 (E.Msg_fall 7);
+      ev 10 (E.Task_end 0) ]
+  in
+  let sorted = List.sort E.compare es in
+  let kinds = List.map (fun (e : E.t) -> e.kind) sorted in
+  Alcotest.(check bool) "causal order" true
+    (kinds = [ E.Task_end 0; E.Msg_fall 7; E.Msg_rise 7; E.Task_start 1 ])
+
+let test_event_accessors () =
+  Alcotest.(check (option int)) "task" (Some 2) (E.task (ev 0 (E.Task_start 2)));
+  Alcotest.(check (option int)) "no task" None (E.task (ev 0 (E.Msg_rise 5)));
+  Alcotest.(check (option int)) "msg" (Some 5) (E.msg_id (ev 0 (E.Msg_fall 5)));
+  Alcotest.(check (option int)) "no msg" None (E.msg_id (ev 0 (E.Task_end 1)))
+
+(* --- Period validation --- *)
+
+let ok_events =
+  [ ev 10 (E.Task_start 0); ev 20 (E.Task_end 0); ev 21 (E.Msg_rise 1);
+    ev 24 (E.Msg_fall 1); ev 25 (E.Task_start 1); ev 35 (E.Task_end 1) ]
+
+let test_period_ok () =
+  let pd = P.make_exn ~index:0 ~task_set:ts4 ok_events in
+  Alcotest.(check (list int)) "executed" [ 0; 1 ] (P.executed_tasks pd);
+  Alcotest.(check int) "count" 2 (P.executed_count pd);
+  Alcotest.(check int) "msgs" 1 (P.msg_count pd);
+  Alcotest.(check int) "start" 10 pd.start_time.(0);
+  Alcotest.(check int) "end" 35 pd.end_time.(1);
+  Alcotest.(check int) "absent" (-1) pd.start_time.(2);
+  let m = pd.msgs.(0) in
+  Alcotest.(check int) "rise" 21 m.rise;
+  Alcotest.(check int) "fall" 24 m.fall;
+  Alcotest.(check int) "bus id" 1 m.bus_id
+
+let expect_error err events =
+  match P.make ~index:0 ~task_set:ts4 events with
+  | Ok _ -> Alcotest.fail "expected validation error"
+  | Error e ->
+    Alcotest.(check string) "error kind" (P.string_of_error err)
+      (P.string_of_error e)
+
+let test_period_duplicate_start () =
+  expect_error (P.Duplicate_start 0)
+    [ ev 1 (E.Task_start 0); ev 2 (E.Task_end 0); ev 3 (E.Task_start 0);
+      ev 4 (E.Task_end 0) ]
+
+let test_period_end_without_start () =
+  expect_error (P.End_without_start 1) [ ev 5 (E.Task_end 1) ]
+
+let test_period_start_without_end () =
+  expect_error (P.Start_without_end 1) [ ev 5 (E.Task_start 1) ]
+
+let test_period_fall_without_rise () =
+  expect_error (P.Fall_without_rise 9) [ ev 5 (E.Msg_fall 9) ]
+
+let test_period_rise_without_fall () =
+  expect_error (P.Rise_without_fall 9) [ ev 5 (E.Msg_rise 9) ]
+
+let test_period_unknown_task () =
+  expect_error (P.Unknown_task 12) [ ev 5 (E.Task_start 12) ]
+
+let test_period_multiple_frames_same_id () =
+  (* Two frames with the same bus id in one period pair sequentially. *)
+  let pd =
+    P.make_exn ~index:0 ~task_set:ts4
+      [ ev 1 (E.Msg_rise 5); ev 2 (E.Msg_fall 5); ev 3 (E.Msg_rise 5);
+        ev 4 (E.Msg_fall 5) ]
+  in
+  Alcotest.(check int) "2 occurrences" 2 (P.msg_count pd);
+  Alcotest.(check int) "occ 0 rise" 1 pd.msgs.(0).rise;
+  Alcotest.(check int) "occ 1 rise" 3 pd.msgs.(1).rise
+
+let test_period_msgs_sorted_by_rise () =
+  let pd =
+    P.make_exn ~index:0 ~task_set:ts4
+      [ ev 10 (E.Msg_rise 2); ev 12 (E.Msg_fall 2); ev 1 (E.Msg_rise 7);
+        ev 3 (E.Msg_fall 7) ]
+  in
+  Alcotest.(check int) "first is earliest" 7 pd.msgs.(0).bus_id;
+  Alcotest.(check int) "occ renumbered" 0 pd.msgs.(0).occ
+
+(* --- Candidates (the paper's A_m computation) --- *)
+
+(* Period 1 of Fig. 2: t1 [10,20], m1 (21,24), t2 [25,35], m2 (36,39),
+   t4 [40,50]. *)
+let fig2_period1 () =
+  P.make_exn ~index:0 ~task_set:ts4
+    [ ev 10 (E.Task_start 0); ev 20 (E.Task_end 0); ev 21 (E.Msg_rise 1);
+      ev 24 (E.Msg_fall 1); ev 25 (E.Task_start 1); ev 35 (E.Task_end 1);
+      ev 36 (E.Msg_rise 2); ev 39 (E.Msg_fall 2); ev 40 (E.Task_start 3);
+      ev 50 (E.Task_end 3) ]
+
+let test_candidates_m1 () =
+  let pd = fig2_period1 () in
+  let m1 = pd.msgs.(0) in
+  Alcotest.(check (list int)) "senders m1" [ 0 ] (C.senders pd m1);
+  Alcotest.(check (list int)) "receivers m1" [ 1; 3 ] (C.receivers pd m1);
+  Alcotest.(check (list (pair int int))) "A_m1" [ (0, 1); (0, 3) ]
+    (C.pairs pd m1)
+
+let test_candidates_m2 () =
+  let pd = fig2_period1 () in
+  let m2 = pd.msgs.(1) in
+  Alcotest.(check (list (pair int int))) "A_m2" [ (0, 3); (1, 3) ]
+    (C.pairs pd m2)
+
+let test_candidates_exclude_self () =
+  let pd = fig2_period1 () in
+  List.iter (fun (s, r) -> Alcotest.(check bool) "s<>r" true (s <> r))
+    (List.concat_map (fun m -> C.pairs pd m) (Array.to_list pd.msgs))
+
+let test_candidates_slack () =
+  let pd = fig2_period1 () in
+  let m1 = pd.msgs.(0) in
+  (* With enough slack, t2 (ends at 35) becomes a plausible sender of m1
+     (rise 21): 35 <= 21 + 14. *)
+  Alcotest.(check (list int)) "slack senders" [ 0; 1 ] (C.senders ~slack:14 pd m1)
+
+let test_pair_count () =
+  let pd = fig2_period1 () in
+  Alcotest.(check int) "total pairs" 4 (C.pair_count pd)
+
+(* --- Trace --- *)
+
+let test_trace_of_periods_checks_task_set () =
+  let pd = fig2_period1 () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Trace.of_periods: period over a different task set")
+    (fun () -> ignore (T.of_periods ~task_set:(Ts.numbered 3) [ pd ]))
+
+let test_trace_segment () =
+  let events =
+    [ ev 10 (E.Task_start 0); ev 20 (E.Task_end 0);
+      ev 110 (E.Task_start 0); ev 120 (E.Task_end 0);
+      ev 130 (E.Task_start 1); ev 140 (E.Task_end 1) ]
+  in
+  match T.segment ~task_set:ts4 ~period_len:100 events with
+  | Error _ -> Alcotest.fail "should segment"
+  | Ok t ->
+    Alcotest.(check int) "2 periods" 2 (T.period_count t);
+    Alcotest.(check int) "events" 6 (T.total_events t)
+
+let test_trace_segment_boundary_violation () =
+  (* A task spanning the period boundary is a validation error. *)
+  let events = [ ev 90 (E.Task_start 0); ev 110 (E.Task_end 0) ] in
+  match T.segment ~task_set:ts4 ~period_len:100 events with
+  | Ok _ -> Alcotest.fail "must reject"
+  | Error errs -> Alcotest.(check int) "two bad periods" 2 (List.length errs)
+
+let test_trace_stats () =
+  let t = fig2_trace () in
+  Alcotest.(check int) "periods" 3 (T.period_count t);
+  Alcotest.(check int) "tasks" 4 (T.task_count t);
+  Alcotest.(check int) "messages" 8 (T.total_messages t);
+  Alcotest.(check int) "events" 36 (T.total_events t)
+
+let test_executed_matrix () =
+  let t = fig2_trace () in
+  let m = T.executed_matrix t in
+  Alcotest.(check bool) "p0: t1 t2 t4" true
+    (m.(0).(0) && m.(0).(1) && not m.(0).(2) && m.(0).(3));
+  Alcotest.(check bool) "p1: t1 t3 t4" true
+    (m.(1).(0) && not m.(1).(1) && m.(1).(2) && m.(1).(3));
+  Alcotest.(check bool) "p2: all" true
+    (m.(2).(0) && m.(2).(1) && m.(2).(2) && m.(2).(3))
+
+(* --- Trace_io --- *)
+
+let test_io_round_trip () =
+  let t = fig2_trace () in
+  let s = Io.to_string t in
+  let t' = Io.of_string_exn s in
+  Alcotest.(check string) "round trip" s (Io.to_string t')
+
+let test_io_round_trip_simulated () =
+  let d = small_design 11 in
+  let t = simulate ~periods:6 d in
+  let s = Io.to_string t in
+  Alcotest.(check string) "simulated round trip" s
+    (Io.to_string (Io.of_string_exn s))
+
+let expect_parse_error text =
+  match Io.of_string text with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error _ -> ()
+
+let test_io_missing_tasks () = expect_parse_error "period 0\n1 start t1\n"
+
+let test_io_unknown_task () =
+  expect_parse_error "tasks t1\nperiod 0\n1 start zz\n2 end zz\n"
+
+let test_io_bad_timestamp () =
+  expect_parse_error "tasks t1\nperiod 0\nxx start t1\n"
+
+let test_io_bad_verb () =
+  expect_parse_error "tasks t1\nperiod 0\n1 jump t1\n"
+
+let test_io_event_before_period () =
+  expect_parse_error "tasks t1\n1 start t1\n"
+
+let test_io_duplicate_tasks_line () =
+  expect_parse_error "tasks t1\ntasks t2\n"
+
+let test_io_comments_and_blanks () =
+  let t =
+    Io.of_string_exn
+      "# comment\n\ntasks t1\n# another\nperiod 0\n1 start t1\n2 end t1\n"
+  in
+  Alcotest.(check int) "parsed" 1 (T.period_count t)
+
+let test_io_error_line_numbers () =
+  match Io.of_string "tasks t1\nperiod 0\nbogus line here\n" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> Alcotest.(check int) "line 3" 3 e.line
+
+let test_io_save_load () =
+  let t = fig2_trace () in
+  let path = Filename.temp_file "rtgen" ".trace" in
+  Io.save path t;
+  (match Io.load path with
+   | Ok t' -> Alcotest.(check string) "file round trip" (Io.to_string t) (Io.to_string t')
+   | Error _ -> Alcotest.fail "load failed");
+  Sys.remove path
+
+(* --- Candidate windows --- *)
+
+let test_candidates_window_narrows () =
+  let pd = fig2_period1 () in
+  let m2 = pd.msgs.(1) in
+  (* m2: rise 36 fall 39; senders end<=36: {t1 (ended 20), t2 (ended 35)}.
+     With a 10us freshness window only t2 qualifies. *)
+  Alcotest.(check (list int)) "windowed senders" [ 1 ]
+    (C.senders ~window:10 pd m2);
+  (* receivers start>=39: {t4 (40)}; within 5us after the fall. *)
+  Alcotest.(check (list int)) "windowed receivers" [ 3 ]
+    (C.receivers ~window:5 pd m2)
+
+let test_candidates_window_monotone () =
+  let pd = fig2_period1 () in
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  Array.iter (fun m ->
+      let unbounded = C.pairs pd m in
+      List.iter (fun w ->
+          let narrow = C.pairs ~window:w pd m in
+          Alcotest.(check bool) "narrow subset of unbounded" true
+            (subset narrow unbounded))
+        [ 1; 5; 20; 100 ];
+      Alcotest.(check bool) "huge window = unbounded" true
+        (C.pairs ~window:1_000_000 pd m = unbounded))
+    pd.msgs
+
+(* --- Period inference --- *)
+
+(* Flatten a simulated trace into an absolute-time event stream, laying
+   periods out every [period_len] microseconds — what a real logging
+   device would capture. *)
+let flatten ~period_len trace =
+  List.concat_map (fun (pd : P.t) ->
+      List.map (fun (e : E.t) -> { e with E.time = e.time + (pd.index * period_len) })
+        pd.events)
+    (Rt_trace.Trace.periods trace)
+
+let test_infer_period_exact () =
+  let d = small_design 7 in
+  let trace = simulate ~periods:10 d in
+  let events = flatten ~period_len:10_000 trace in
+  match T.infer_period events with
+  | None -> Alcotest.fail "should infer"
+  | Some p ->
+    (* Jitter shifts individual starts but the median gap stays within
+       the release jitter of the true period. *)
+    Alcotest.(check bool) "close to 10000" true (abs (p - 10_000) < 200)
+
+let test_infer_period_insufficient () =
+  Alcotest.(check (option int)) "no recurrence" None
+    (T.infer_period [ ev 1 (E.Task_start 0); ev 2 (E.Task_end 0) ])
+
+let test_segment_auto_round_trip () =
+  let d = small_design 7 in
+  let trace = simulate ~periods:10 d in
+  let events = flatten ~period_len:10_000 trace in
+  match T.segment_auto ~task_set:trace.task_set events with
+  | Error _ -> Alcotest.fail "auto segmentation failed"
+  | Ok (t, inferred) ->
+    Alcotest.(check bool) "period close" true (abs (inferred - 10_000) < 200);
+    Alcotest.(check int) "10 periods recovered" 10 (T.period_count t);
+    (* Same per-period executed sets as the original. *)
+    List.iter2 (fun (a : P.t) (b : P.t) ->
+        Alcotest.(check (list int)) "same executions" (P.executed_tasks a)
+          (P.executed_tasks b))
+      (T.periods trace) (T.periods t)
+
+(* --- Gantt --- *)
+
+let export_total_on_random_traces =
+  Test_support.qcheck_case "vcd/gantt/stats total on random traces" ~count:25
+    (QCheck.int_range 0 5_000)
+    (fun seed ->
+       let d = small_design (seed mod 30) in
+       let trace = simulate ~periods:4 ~seed d in
+       let vcd = Rt_trace.Vcd.to_string trace in
+       let stats = Rt_trace.Stats.to_string trace in
+       let gantts =
+         List.map Rt_trace.Gantt.to_svg (Rt_trace.Trace.periods trace)
+       in
+       String.length vcd > 0 && String.length stats > 0
+       && List.for_all (fun s -> String.length s > 0) gantts)
+
+let test_gantt_svg () =
+  let pd = fig2_period1 () in
+  let svg = Rt_trace.Gantt.to_svg pd in
+  let count needle =
+    let n = String.length needle and h = String.length svg in
+    let rec go i acc =
+      if i + n > h then acc
+      else if String.sub svg i n = needle then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check bool) "svg root" true (count "<svg" = 1);
+  Alcotest.(check int) "task bars" 3 (count "class=\"task\"");
+  Alcotest.(check int) "frame bars" 2 (count "class=\"frame\"");
+  Alcotest.(check bool) "closed" true (count "</svg>" = 1)
+
+(* --- Stats --- *)
+
+let test_stats_fig2 () =
+  let s = Rt_trace.Stats.of_trace (fig2_trace ()) in
+  Alcotest.(check int) "periods" 3 s.periods;
+  Alcotest.(check int) "4 running tasks" 4 (List.length s.tasks);
+  let t1 = List.find (fun (x : Rt_trace.Stats.task_stats) -> x.task = 0) s.tasks in
+  Alcotest.(check int) "t1 in all periods" 3 t1.activations;
+  Alcotest.(check (float 0.001)) "ratio" 1.0 t1.activation_ratio;
+  Alcotest.(check int) "t1 duration" 10 t1.min_duration;
+  Alcotest.(check int) "t1 duration max" 10 t1.max_duration;
+  let t2 = List.find (fun (x : Rt_trace.Stats.task_stats) -> x.task = 1) s.tasks in
+  Alcotest.(check int) "t2 twice" 2 t2.activations;
+  Alcotest.(check int) "frames" 8 s.bus.frames;
+  Alcotest.(check int) "ids" 4 s.bus.distinct_ids;
+  Alcotest.(check int) "frame time" 3 s.bus.min_frame_time;
+  Alcotest.(check bool) "utilization sane" true
+    (s.bus.utilization > 0.0 && s.bus.utilization < 1.0)
+
+let test_stats_report_renders () =
+  let s = Rt_trace.Stats.to_string (fig2_trace ()) in
+  Alcotest.(check bool) "nonempty" true (String.length s > 50)
+
+(* --- Vcd --- *)
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_vcd_structure () =
+  let s = Rt_trace.Vcd.to_string (fig2_trace ()) in
+  Alcotest.(check bool) "header" true (contains ~needle:"$timescale 1us $end" s);
+  Alcotest.(check bool) "task signal" true (contains ~needle:"task_t1" s);
+  Alcotest.(check bool) "bus signal" true (contains ~needle:"can_0x1" s);
+  Alcotest.(check bool) "dumpvars" true (contains ~needle:"$dumpvars" s);
+  Alcotest.(check bool) "enddefinitions" true
+    (contains ~needle:"$enddefinitions" s)
+
+let test_vcd_timestamps_monotone () =
+  let s = Rt_trace.Vcd.to_string ~period_len:100 (fig2_trace ()) in
+  let times =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+        if String.length line > 1 && line.[0] = '#' then
+          int_of_string_opt (String.sub line 1 (String.length line - 1))
+        else None)
+  in
+  Alcotest.(check bool) "some timestamps" true (List.length times > 5);
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a < b && mono rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "strictly increasing" true (mono times);
+  (* period 2 events land beyond 2 * period_len *)
+  Alcotest.(check bool) "periods laid out" true
+    (List.exists (fun t -> t >= 200) times)
+
+let test_vcd_balanced_toggles () =
+  (* Every signal toggled high must be toggled low again: count 1x/0x
+     lines per code. *)
+  let s = Rt_trace.Vcd.to_string (fig2_trace ()) in
+  let ups = Hashtbl.create 16 and downs = Hashtbl.create 16 in
+  List.iter (fun line ->
+      if String.length line >= 2 && (line.[0] = '0' || line.[0] = '1') then begin
+        let code = String.sub line 1 (String.length line - 1) in
+        let tbl = if line.[0] = '1' then ups else downs in
+        Hashtbl.replace tbl code
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl code))
+      end)
+    (String.split_on_char '\n' s);
+  (* $dumpvars initializes every signal to 0, so each active signal has
+     exactly one more down-toggle than up-toggles. *)
+  Hashtbl.iter (fun code n ->
+      Alcotest.(check (option int)) ("balanced " ^ code) (Some (n + 1))
+        (Hashtbl.find_opt downs code))
+    ups
+
+let () =
+  Alcotest.run "rt_trace"
+    [
+      ( "event",
+        [
+          Alcotest.test_case "order by time" `Quick test_event_order_by_time;
+          Alcotest.test_case "causal tiebreak" `Quick test_event_causal_tiebreak;
+          Alcotest.test_case "accessors" `Quick test_event_accessors;
+        ] );
+      ( "period",
+        [
+          Alcotest.test_case "valid period" `Quick test_period_ok;
+          Alcotest.test_case "duplicate start" `Quick test_period_duplicate_start;
+          Alcotest.test_case "end w/o start" `Quick test_period_end_without_start;
+          Alcotest.test_case "start w/o end" `Quick test_period_start_without_end;
+          Alcotest.test_case "fall w/o rise" `Quick test_period_fall_without_rise;
+          Alcotest.test_case "rise w/o fall" `Quick test_period_rise_without_fall;
+          Alcotest.test_case "unknown task" `Quick test_period_unknown_task;
+          Alcotest.test_case "same-id frames" `Quick
+            test_period_multiple_frames_same_id;
+          Alcotest.test_case "msgs sorted" `Quick test_period_msgs_sorted_by_rise;
+        ] );
+      ( "candidates",
+        [
+          Alcotest.test_case "A_m1 of Fig.2" `Quick test_candidates_m1;
+          Alcotest.test_case "A_m2 of Fig.2" `Quick test_candidates_m2;
+          Alcotest.test_case "no self pairs" `Quick test_candidates_exclude_self;
+          Alcotest.test_case "slack widens" `Quick test_candidates_slack;
+          Alcotest.test_case "pair count" `Quick test_pair_count;
+          Alcotest.test_case "window narrows" `Quick
+            test_candidates_window_narrows;
+          Alcotest.test_case "window monotone" `Quick
+            test_candidates_window_monotone;
+        ] );
+      ( "inference",
+        [
+          Alcotest.test_case "infer period" `Quick test_infer_period_exact;
+          Alcotest.test_case "insufficient data" `Quick
+            test_infer_period_insufficient;
+          Alcotest.test_case "segment auto" `Quick test_segment_auto_round_trip;
+        ] );
+      ( "gantt",
+        [
+          Alcotest.test_case "svg render" `Quick test_gantt_svg;
+          export_total_on_random_traces;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "fig2 statistics" `Quick test_stats_fig2;
+          Alcotest.test_case "report renders" `Quick test_stats_report_renders;
+        ] );
+      ( "vcd",
+        [
+          Alcotest.test_case "structure" `Quick test_vcd_structure;
+          Alcotest.test_case "timestamps monotone" `Quick
+            test_vcd_timestamps_monotone;
+          Alcotest.test_case "balanced toggles" `Quick
+            test_vcd_balanced_toggles;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "task set check" `Quick
+            test_trace_of_periods_checks_task_set;
+          Alcotest.test_case "segment" `Quick test_trace_segment;
+          Alcotest.test_case "boundary violation" `Quick
+            test_trace_segment_boundary_violation;
+          Alcotest.test_case "stats" `Quick test_trace_stats;
+          Alcotest.test_case "executed matrix" `Quick test_executed_matrix;
+        ] );
+      ( "trace_io",
+        [
+          Alcotest.test_case "round trip" `Quick test_io_round_trip;
+          Alcotest.test_case "simulated round trip" `Quick
+            test_io_round_trip_simulated;
+          Alcotest.test_case "missing tasks" `Quick test_io_missing_tasks;
+          Alcotest.test_case "unknown task" `Quick test_io_unknown_task;
+          Alcotest.test_case "bad timestamp" `Quick test_io_bad_timestamp;
+          Alcotest.test_case "bad verb" `Quick test_io_bad_verb;
+          Alcotest.test_case "event before period" `Quick
+            test_io_event_before_period;
+          Alcotest.test_case "duplicate tasks line" `Quick
+            test_io_duplicate_tasks_line;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_io_comments_and_blanks;
+          Alcotest.test_case "error line numbers" `Quick
+            test_io_error_line_numbers;
+          Alcotest.test_case "save/load" `Quick test_io_save_load;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+module Pcg = Rt_util.Pcg32
+module Heap = Rt_util.Binary_heap
+module Table = Rt_util.Table
+
+let test_pcg_deterministic () =
+  let a = Pcg.of_int 42 and b = Pcg.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Pcg.next_uint32 a) (Pcg.next_uint32 b)
+  done
+
+let test_pcg_seeds_differ () =
+  let a = Pcg.of_int 1 and b = Pcg.of_int 2 in
+  let xs = List.init 16 (fun _ -> Pcg.next_uint32 a) in
+  let ys = List.init 16 (fun _ -> Pcg.next_uint32 b) in
+  Alcotest.(check bool) "different output" true (xs <> ys)
+
+let test_pcg_copy_independent () =
+  let a = Pcg.of_int 7 in
+  ignore (Pcg.next_uint32 a);
+  let c = Pcg.copy a in
+  let xa = Pcg.next_uint32 a in
+  let xc = Pcg.next_uint32 c in
+  Alcotest.(check int) "copy continues identically" xa xc;
+  ignore (Pcg.next_uint32 a);
+  (* mutating [a] must not affect [c] *)
+  let xa' = Pcg.next_uint32 a and xc' = Pcg.next_uint32 c in
+  Alcotest.(check bool) "streams detached" true (xa' <> xc' || xa' = xc')
+
+let test_pcg_split_independent () =
+  let a = Pcg.of_int 9 in
+  let b = Pcg.split a in
+  let xs = List.init 16 (fun _ -> Pcg.next_uint32 a) in
+  let ys = List.init 16 (fun _ -> Pcg.next_uint32 b) in
+  Alcotest.(check bool) "split differs from parent" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = Pcg.of_int 3 in
+  for _ = 1 to 1000 do
+    let x = Pcg.int rng 7 in
+    Alcotest.(check bool) "0 <= x < 7" true (x >= 0 && x < 7)
+  done
+
+let test_int_invalid () =
+  let rng = Pcg.of_int 3 in
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Pcg32.int: bound must be positive")
+    (fun () -> ignore (Pcg.int rng 0))
+
+let test_int_in_range () =
+  let rng = Pcg.of_int 5 in
+  for _ = 1 to 1000 do
+    let x = Pcg.int_in rng 10 12 in
+    Alcotest.(check bool) "10 <= x <= 12" true (x >= 10 && x <= 12)
+  done
+
+let test_int_covers_all_values () =
+  let rng = Pcg.of_int 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Pcg.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all residues reached" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let rng = Pcg.of_int 13 in
+  for _ = 1 to 1000 do
+    let x = Pcg.float rng 2.5 in
+    Alcotest.(check bool) "0 <= x < 2.5" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_chance_extremes () =
+  let rng = Pcg.of_int 17 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0 never" false (Pcg.chance rng 0.0);
+    Alcotest.(check bool) "p=1 always" true (Pcg.chance rng 1.0)
+  done
+
+let test_shuffle_is_permutation () =
+  let rng = Pcg.of_int 19 in
+  let a = Array.init 50 Fun.id in
+  Pcg.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_pick_singleton () =
+  let rng = Pcg.of_int 23 in
+  Alcotest.(check int) "only element" 5 (Pcg.pick rng [ 5 ])
+
+let test_pick_empty () =
+  let rng = Pcg.of_int 23 in
+  Alcotest.check_raises "empty list rejected"
+    (Invalid_argument "Pcg32.pick: empty list")
+    (fun () -> ignore (Pcg.pick rng []))
+
+let test_subset_bounds () =
+  let rng = Pcg.of_int 29 in
+  let l = List.init 20 Fun.id in
+  Alcotest.(check (list int)) "p=1 keeps all" l (Pcg.subset rng ~p:1.0 l);
+  Alcotest.(check (list int)) "p=0 keeps none" [] (Pcg.subset rng ~p:0.0 l)
+
+let test_subset_preserves_order () =
+  let rng = Pcg.of_int 31 in
+  let l = List.init 30 Fun.id in
+  let s = Pcg.subset rng ~p:0.5 l in
+  Alcotest.(check bool) "ascending" true (List.sort Int.compare s = s)
+
+(* --- binary heap --- *)
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:Int.compare ~capacity:4 in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 1 again" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Heap.pop h)
+
+let test_heap_pop_empty () =
+  let h = Heap.create ~cmp:Int.compare ~capacity:4 in
+  Alcotest.(check (option int)) "pop on empty" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn raises"
+    (Invalid_argument "Binary_heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_clear () =
+  let h = Heap.create ~cmp:Int.compare ~capacity:4 in
+  List.iter (Heap.push h) [ 3; 2; 1 ];
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let test_heap_sorted_drain () =
+  let rng = Pcg.of_int 37 in
+  let h = Heap.create ~cmp:Int.compare ~capacity:4 in
+  let xs = List.init 200 (fun _ -> Pcg.int rng 1000) in
+  List.iter (Heap.push h) xs;
+  Alcotest.(check (list int)) "to_sorted_list = List.sort"
+    (List.sort Int.compare xs) (Heap.to_sorted_list h);
+  (* to_sorted_list is non-destructive *)
+  Alcotest.(check int) "heap intact" 200 (Heap.length h)
+
+let heap_matches_sort =
+  Test_support.qcheck_case "heap drains in sorted order"
+    QCheck.(list small_int)
+    (fun xs ->
+       let h = Heap.create ~cmp:Int.compare ~capacity:4 in
+       List.iter (Heap.push h) xs;
+       let rec drain acc =
+         match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+       in
+       drain [] = List.sort Int.compare xs)
+
+(* --- tables --- *)
+
+let test_table_render () =
+  let s =
+    Table.render ~header:[ "a"; "b" ] [ [ "1"; "22" ]; [ "333"; "4" ] ]
+  in
+  Alcotest.(check bool) "contains cells" true
+    (String.length s > 0
+     && String.index_opt s '1' <> None
+     && String.index_opt s '=' <> None)
+
+let test_table_pads_short_rows () =
+  let s = Table.render ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_table_kv () =
+  let s = Table.render_kv [ ("k", "v") ] in
+  Alcotest.(check bool) "renders kv" true (String.length s > 0)
+
+let () =
+  Alcotest.run "rt_util"
+    [
+      ( "pcg32",
+        [
+          Alcotest.test_case "deterministic" `Quick test_pcg_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_pcg_seeds_differ;
+          Alcotest.test_case "copy independent" `Quick test_pcg_copy_independent;
+          Alcotest.test_case "split independent" `Quick test_pcg_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+          Alcotest.test_case "int_in range" `Quick test_int_in_range;
+          Alcotest.test_case "int covers values" `Quick test_int_covers_all_values;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_is_permutation;
+          Alcotest.test_case "pick singleton" `Quick test_pick_singleton;
+          Alcotest.test_case "pick empty" `Quick test_pick_empty;
+          Alcotest.test_case "subset extremes" `Quick test_subset_bounds;
+          Alcotest.test_case "subset order" `Quick test_subset_preserves_order;
+        ] );
+      ( "binary_heap",
+        [
+          Alcotest.test_case "push/pop basics" `Quick test_heap_basic;
+          Alcotest.test_case "pop empty" `Quick test_heap_pop_empty;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "sorted drain" `Quick test_heap_sorted_drain;
+          heap_matches_sort;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "kv" `Quick test_table_kv;
+        ] );
+    ]
