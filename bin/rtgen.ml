@@ -10,6 +10,17 @@ let read_trace path =
     Error (Printf.sprintf "%s: line %d: %s" path e.line e.message)
   | exception Sys_error m -> Error m
 
+(* Shared -j/--jobs support. [jobs <= 1] stays strictly sequential (no
+   pool, no domains); learned results are identical either way — only
+   wall-clock time may differ. *)
+let with_pool jobs f =
+  if jobs <= 1 then f None
+  else begin
+    let pool = Rt_util.Domain_pool.create ~jobs in
+    Fun.protect ~finally:(fun () -> Rt_util.Domain_pool.shutdown pool)
+      (fun () -> f (Some pool))
+  end
+
 (* --- simulate --- *)
 
 let design_of_spec ~case_study ~tasks ~local_fraction ~seed =
@@ -51,7 +62,7 @@ let simulate case_study tasks seed periods output dot drop_rate local_fraction =
 
 (* --- learn --- *)
 
-let learn path exact bound window dot output =
+let learn path exact bound window jobs dot output =
   match read_trace path with
   | Error m -> `Error (false, m)
   | Ok trace ->
@@ -65,7 +76,9 @@ let learn path exact bound window dot output =
                    "exact version space exceeded %d (limit %d); use the \
                     heuristic (--bound) or a candidate --window"
                    set_size limit)
-      else Ok (Rt_learn.Heuristic.run ?window ~bound trace).hypotheses
+      else
+        Ok (with_pool jobs (fun pool ->
+                (Rt_learn.Heuristic.run ?pool ?window ~bound trace).hypotheses))
     in
     (match hypotheses with
      | Error m -> `Error (false, m)
@@ -93,12 +106,15 @@ let learn path exact bound window dot output =
 
 (* --- analyze --- *)
 
-let analyze path bound window =
+let analyze path bound window jobs =
   match read_trace path with
   | Error m -> `Error (false, m)
   | Ok trace ->
     let names = Rt_task.Task_set.names trace.task_set in
-    (match (Rt_learn.Heuristic.run ?window ~bound trace).hypotheses with
+    (match
+       with_pool jobs (fun pool ->
+           (Rt_learn.Heuristic.run ?pool ?window ~bound trace).hypotheses)
+     with
      | [] -> `Error (false, "inconsistent trace")
      | hs ->
        let model = Rt_lattice.Depfun.lub hs in
@@ -176,7 +192,7 @@ let gantt path period output =
 
 (* --- check --- *)
 
-let check path query bound window model_file =
+let check path query bound window jobs model_file =
   match read_trace path with
   | Error m -> `Error (false, m)
   | Ok trace ->
@@ -198,7 +214,10 @@ let check path query bound window model_file =
               | Error m -> Error (file ^ ": " ^ m)
             with Sys_error m -> Error m)
          | None ->
-           (match (Rt_learn.Heuristic.run ?window ~bound trace).hypotheses with
+           (match
+              with_pool jobs (fun pool ->
+                  (Rt_learn.Heuristic.run ?pool ?window ~bound trace).hypotheses)
+            with
             | [] -> Error "inconsistent trace"
             | hs ->
               Ok (Rt_lattice.Depfun.lub hs,
@@ -221,18 +240,19 @@ let check path query bound window model_file =
 
 (* --- table1 --- *)
 
-let table1 fast =
+let table1 fast jobs =
   let trace = Rt_case.Gm_model.trace () in
   Format.printf "%a@." Rt_trace.Trace.pp_summary trace;
   let bounds = if fast then [ 1; 4; 16 ] else [ 1; 4; 16; 32; 64; 100; 120; 150 ] in
   let rows =
-    List.map (fun bound ->
-        let t0 = Unix.gettimeofday () in
-        let o = Rt_learn.Heuristic.run ~bound trace in
-        let dt = Unix.gettimeofday () -. t0 in
-        [ string_of_int bound; Printf.sprintf "%.3f" dt;
-          string_of_int (List.length o.hypotheses) ])
-      bounds
+    with_pool jobs (fun pool ->
+        List.map (fun bound ->
+            let t0 = Unix.gettimeofday () in
+            let o = Rt_learn.Heuristic.run ?pool ~bound trace in
+            let dt = Unix.gettimeofday () -. t0 in
+            [ string_of_int bound; Printf.sprintf "%.3f" dt;
+              string_of_int (List.length o.hypotheses) ])
+          bounds)
   in
   print_string
     (Rt_util.Table.render
@@ -263,6 +283,11 @@ let periods_arg =
 let bound_arg =
   Arg.(value & opt int 16 & info [ "bound"; "b" ] ~docv:"B"
          ~doc:"Hypothesis-set bound for the heuristic algorithm.")
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the hypothesis fan-out (1 = sequential; \
+               results are identical for every N).")
 
 let window_arg =
   Arg.(value & opt (some int) None & info [ "window" ] ~docv:"US"
@@ -315,12 +340,12 @@ let learn_cmd =
   in
   Cmd.v (Cmd.info "learn" ~doc:"Learn a dependency model from a trace")
     Term.(ret (const learn $ trace_arg $ exact $ bound_arg $ window_arg
-               $ dot_arg $ output))
+               $ jobs_arg $ dot_arg $ output))
 
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze"
            ~doc:"Learn and analyze: classification, state space, modes")
-    Term.(ret (const analyze $ trace_arg $ bound_arg $ window_arg))
+    Term.(ret (const analyze $ trace_arg $ bound_arg $ window_arg $ jobs_arg))
 
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Print descriptive statistics of a trace")
@@ -369,12 +394,12 @@ let check_cmd =
   Cmd.v (Cmd.info "check"
            ~doc:"Check a dependency property against the learned model")
     Term.(ret (const check $ trace_arg $ query $ bound_arg $ window_arg
-               $ model_file))
+               $ jobs_arg $ model_file))
 
 let table1_cmd =
   let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Only the small bounds.") in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's runtime-vs-bound table")
-    Term.(ret (const table1 $ fast))
+    Term.(ret (const table1 $ fast $ jobs_arg))
 
 let example_cmd =
   Cmd.v (Cmd.info "example" ~doc:"Run the paper's worked example")

@@ -13,122 +13,104 @@ type outcome = {
   stats : stats;
 }
 
-type merge_policy = Lightest_pair | Heaviest_pair | First_last
-
-(* The working set: a list sorted by ascending weight. All operations keep
-   the invariant; sizes are bounded by [bound + 1] so linear scans are
-   within the paper's O(m·b² + m·b·t²) budget. *)
-module Wlist = struct
-  (* Canonical total order: weight first, then the structural order, so
-     the list contents never depend on insertion sequence and runs are
-     reproducible. *)
-  let before h h' =
-    let c = Int.compare (Hypothesis.weight h) (Hypothesis.weight h') in
-    if c <> 0 then c < 0 else Hypothesis.compare_full h h' < 0
-
-  let insert h l =
-    let rec go = function
-      | [] -> [ h ]
-      | h' :: rest as all -> if before h h' then h :: all else h' :: go rest
-    in
-    go l
-
-  (* Cheap weight/hash pre-filters keep deduplication near O(b) integer
-     compares; the full matrix comparison runs only on a true duplicate. *)
-  let mem h l =
-    let w = Hypothesis.weight h in
-    List.exists (fun h' -> Hypothesis.weight h' = w && Hypothesis.compare_full h h' = 0) l
-
-  (* Remove and return the two victims of the merge policy. *)
-  let pick_pair policy l =
-    match policy, l with
-    | _, ([] | [ _ ]) -> invalid_arg "Heuristic: cannot merge fewer than 2"
-    | Lightest_pair, a :: b :: rest -> (a, b, rest)
-    | Heaviest_pair, l ->
-      (match List.rev l with
-       | a :: b :: rest -> (a, b, List.rev rest)
-       | [] | [ _ ] -> assert false)
-    | First_last, a :: rest ->
-      (match List.rev rest with
-       | z :: mid -> (a, z, List.rev mid)
-       | [] -> assert false)
-end
+type merge_policy = Workset.victim_policy =
+  | Lightest_pair | Heaviest_pair | First_last
 
 type state = {
   policy : merge_policy;
   window : int option;
   bound : int;
+  pool : Rt_util.Domain_pool.t option;
   violations : Violations.t;
-  mutable hs : Hypothesis.t list;  (* ascending weight *)
+  scratch : Workset.t;  (* per-message working set, reused across messages *)
+  mutable hs : Hypothesis.t array;  (* ascending (weight, structural) order *)
   mutable created : int;
   mutable merges : int;
   mutable periods : int;
 }
 
-let init ?(policy = Lightest_pair) ?window ~bound ~ntasks () =
+let init ?(policy = Lightest_pair) ?window ?pool ~bound ~ntasks () =
   if bound < 1 then invalid_arg "Heuristic.init: bound must be >= 1";
   if ntasks < 1 then invalid_arg "Heuristic.init: need at least one task";
   {
     policy;
     window;
     bound;
+    pool;
     violations = Violations.create ntasks;
-    hs = [ Hypothesis.bottom ntasks ];
+    scratch = Workset.create ~bound;
+    hs = [| Hypothesis.bottom ntasks |];
     created = 1;
     merges = 0;
     periods = 0;
   }
 
 (* Insert with deduplication, then enforce the bound by merging. *)
-let rec add st h l =
-  if Wlist.mem h l then l
-  else begin
-    let l = Wlist.insert h l in
-    if List.length l <= st.bound then l
-    else begin
-      let a, b, rest = Wlist.pick_pair st.policy l in
-      st.merges <- st.merges + 1;
-      add st (Hypothesis.merge_lub a b) rest
-    end
+let rec add st h =
+  if Workset.add st.scratch h
+     && Workset.length st.scratch > st.bound then begin
+    let a, b = Workset.extract_pair st.scratch st.policy in
+    st.merges <- st.merges + 1;
+    add st (Hypothesis.merge_lub a b)
   end
 
+let fanout pairs h =
+  List.filter_map
+    (fun (s, r) -> Hypothesis.generalize_message h ~sender:s ~receiver:r)
+    pairs
+
+(* The fan-out (one fresh hypothesis per live hypothesis × candidate pair,
+   each an O(t²) matrix copy) is where the time goes and is embarrassingly
+   parallel: [generalize_message] only reads its parent. The merge into
+   the bounded set stays sequential and consumes the children in canonical
+   parent order — chunk scheduling cannot change the outcome. *)
 let step_message st hs pairs =
-  List.fold_left (fun acc h ->
-      List.fold_left (fun acc (s, r) ->
-          match Hypothesis.generalize_message h ~sender:s ~receiver:r with
-          | Some h' ->
-            st.created <- st.created + 1;
-            add st h' acc
-          | None -> acc)
-        acc pairs)
-    [] hs
+  let children =
+    match st.pool with
+    | Some pool when Array.length hs > 1 ->
+      Rt_util.Domain_pool.map pool (fanout pairs) hs
+    | Some _ | None -> Array.map (fanout pairs) hs
+  in
+  Workset.clear st.scratch;
+  Array.iter
+    (List.iter (fun h' ->
+         st.created <- st.created + 1;
+         add st h'))
+    children;
+  Workset.to_array st.scratch
 
 let feed st (p : Period.t) =
   let hs =
-    Array.fold_left (fun hs m -> step_message st hs (Candidates.pairs ?window:st.window p m))
+    Array.fold_left
+      (fun hs m -> step_message st hs (Candidates.pairs ?window:st.window p m))
       st.hs p.msgs
   in
   Violations.observe st.violations ~executed:p.executed;
   let violated = Violations.matrix st.violations in
-  List.iter (fun h ->
+  Array.iter (fun h ->
       Hypothesis.weaken_violations h ~violated;
       Hypothesis.clear_assumptions h)
     hs;
-  (* Post-processing: unify equal hypotheses, drop non-minimal ones,
-     restore the weight order (weakening changes weights). *)
-  let survivors = Postprocess.minimal_only (Postprocess.dedup hs) in
-  st.hs <- List.fold_left (fun acc h -> Wlist.insert h acc) [] survivors;
+  (* Post-processing: unify equal hypotheses, drop non-minimal ones.
+     [minimal_only] returns ascending (weight, structural) order, which is
+     exactly the state invariant (weakening changed the weights). *)
+  let survivors = Postprocess.minimal_only (Postprocess.dedup (Array.to_list hs)) in
+  st.hs <- Array.of_list survivors;
   st.periods <- st.periods + 1
 
-let current st = List.map (fun h -> Df.copy (Hypothesis.depfun h)) st.hs
+let current st =
+  Array.to_list (Array.map (fun h -> Df.copy (Hypothesis.depfun h)) st.hs)
 
 let stats st =
   { periods_processed = st.periods; merges = st.merges; created = st.created }
 
 let snapshot st = { hypotheses = current st; stats = stats st }
 
-let run ?policy ?window ~bound trace =
-  let st = init ?policy ?window ~bound ~ntasks:(Rt_trace.Trace.task_count trace) () in
+let run ?policy ?window ?pool ~bound trace =
+  let st =
+    init ?policy ?window ?pool ~bound
+      ~ntasks:(Rt_trace.Trace.task_count trace) ()
+  in
   List.iter (feed st) (Rt_trace.Trace.periods trace);
   snapshot st
 

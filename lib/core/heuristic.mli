@@ -21,14 +21,17 @@ type outcome = {
   stats : stats;
 }
 
-type merge_policy =
+type merge_policy = Workset.victim_policy =
   | Lightest_pair  (** the paper's rule: merge the two lowest-weight *)
   | Heaviest_pair  (** ablation: merge the two highest-weight *)
   | First_last     (** ablation: merge the lightest with the heaviest *)
 
-val run : ?policy:merge_policy -> ?window:int -> bound:int ->
-  Rt_trace.Trace.t -> outcome
-(** @raise Invalid_argument if [bound < 1]. *)
+val run : ?policy:merge_policy -> ?window:int ->
+  ?pool:Rt_util.Domain_pool.t -> bound:int -> Rt_trace.Trace.t -> outcome
+(** With [pool], the per-message hypothesis fan-out runs on the pool's
+    domains; results are identical to a sequential run (the working set
+    is ordered canonically, never by arrival).
+    @raise Invalid_argument if [bound < 1]. *)
 
 val converged : outcome -> Rt_lattice.Depfun.t option
 
@@ -41,8 +44,8 @@ val converged : outcome -> Rt_lattice.Depfun.t option
 type state
 
 val init :
-  ?policy:merge_policy -> ?window:int -> bound:int -> ntasks:int -> unit ->
-  state
+  ?policy:merge_policy -> ?window:int -> ?pool:Rt_util.Domain_pool.t ->
+  bound:int -> ntasks:int -> unit -> state
 (** Fresh state over [ntasks] tasks, holding only [{d⊥}]. *)
 
 val feed : state -> Rt_trace.Period.t -> unit

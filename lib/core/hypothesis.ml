@@ -24,10 +24,38 @@ let value_code = function
   | Dv.Bwd_maybe -> 6
   | Dv.Bi_maybe -> 7
 
+(* Flat per-size mixing-weight table: entry [a * n + b] is
+   [position_weight n a b], zeroed on the diagonal so a whole-matrix sum
+   over the flat cell array equals the off-diagonal-only definition above
+   (the diagonal is pinned to [Par] anyway). The cache is domain-local:
+   whole learner runs may execute on pool domains (e.g. the benchmark's
+   bound sweep), and a shared [Hashtbl] would race; one tiny table per
+   domain costs nothing and needs no lock. *)
+let pw_cache_key : (int, int array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let position_weights n =
+  let cache = Domain.DLS.get pw_cache_key in
+  match Hashtbl.find_opt cache n with
+  | Some a -> a
+  | None ->
+    let a =
+      Array.init (n * n) (fun i ->
+          if i mod (n + 1) = 0 then 0
+          else ((i + 1) * 0x9E3779B1) land max_int)
+    in
+    Hashtbl.add cache n a;
+    a
+
+(* [value_code v = Depval.index v + 1], so a matrix byte codes straight
+   into the hash. *)
 let full_hash d =
-  let n = Df.size d in
+  let cells = Df.cells d in
+  let pw = position_weights (Df.size d) in
   let h = ref 0 in
-  Df.iter_pairs (fun a b v -> h := !h + (position_weight n a b * value_code v)) d;
+  for i = 0 to Bytes.length cells - 1 do
+    h := !h + (Array.unsafe_get pw i * (Char.code (Bytes.unsafe_get cells i) + 1))
+  done;
   !h land max_int
 
 (* Assumption sets are duplicate-free, so a commutative sum of per-pair
@@ -106,10 +134,34 @@ let clear_assumptions h =
    and kill the merged hypothesis, losing the soundness the heuristic
    promises; intersection can at worst re-join evidence for a pair, which
    is idempotent and only makes the result more general. *)
+(* The single hottest operation of the bounded learner: at bound b it
+   runs once per forced merge, which is nearly once per generated child.
+   Joined cells, the Definition-8 weight and the structural hash are all
+   produced in one pass over the flat cell arrays (the separate
+   join/weight/hash passes of the naive version tripled the memory
+   traffic); the resulting hash is bit-identical to [full_hash]. *)
+let join_ix = Dv.join_ix_tbl
+let dist_ix = Dv.dist_ix_tbl
+
 let merge_lub h1 h2 =
-  let dep = Df.join h1.dep h2.dep in
+  let n = Df.size h1.dep in
+  if Df.size h2.dep <> n then invalid_arg "Hypothesis.merge_lub: size mismatch";
+  let dep = Df.create n in
+  let c1 = Df.cells h1.dep and c2 = Df.cells h2.dep and c = Df.cells dep in
+  let pw = position_weights n in
+  let w = ref 0 and h = ref 0 in
+  for i = 0 to (n * n) - 1 do
+    let j =
+      Array.unsafe_get join_ix
+        (((Char.code (Bytes.unsafe_get c1 i)) * 7)
+         + Char.code (Bytes.unsafe_get c2 i))
+    in
+    Bytes.unsafe_set c i (Char.unsafe_chr j);
+    w := !w + Array.unsafe_get dist_ix j;
+    h := !h + (Array.unsafe_get pw i * (j + 1))
+  done;
   let inter = List.filter (fun p -> List.mem p h2.assumptions) h1.assumptions in
-  { dep; weight = Df.weight dep; hash = full_hash dep;
+  { dep; weight = !w; hash = !h land max_int;
     a_hash = assumptions_hash inter; assumptions = inter }
 
 let equal h1 h2 = Df.equal h1.dep h2.dep
@@ -117,6 +169,8 @@ let equal h1 h2 = Df.equal h1.dep h2.dep
 let compare h1 h2 = Df.compare h1.dep h2.dep
 
 let hash h = h.hash
+
+let a_hash h = h.a_hash
 
 let compare_full h1 h2 =
   let c = Int.compare h1.hash h2.hash in

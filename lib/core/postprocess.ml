@@ -7,16 +7,33 @@ let dedup hs =
   in
   uniq sorted
 
+(* Strict domination implies a strictly smaller weight: every strict step
+   in the value lattice strictly increases [Depval.distance] (0 < 1 < 4
+   < 9 along all covers), so [leq h h'] with [h <> h'] forces
+   [weight h < weight h']. Sorting by weight therefore lets each element
+   look only at the strictly-lighter prefix — half the pairs of the old
+   all-vs-all scan, no [equal] calls at all, and the output comes back in
+   the learner's canonical (weight, structural) order for free. *)
 let minimal_only hs =
-  let arr = Array.of_list hs in
-  let n = Array.length arr in
-  let keep = Array.make n true in
-  for i = 0 to n - 1 do
-    if keep.(i) then
-      for j = 0 to n - 1 do
-        if i <> j && keep.(i) && keep.(j) && Hypothesis.leq arr.(j) arr.(i)
-           && not (Hypothesis.equal arr.(j) arr.(i))
-        then keep.(i) <- false
+  match hs with
+  | [] | [ _ ] -> hs
+  | hs ->
+    let arr = Array.of_list hs in
+    Array.sort Workset.canonical arr;
+    let n = Array.length arr in
+    let keep = Array.make n true in
+    for i = 1 to n - 1 do
+      let wi = Hypothesis.weight arr.(i) in
+      let j = ref 0 in
+      while keep.(i) && !j < i && Hypothesis.weight arr.(!j) < wi do
+        (* Transitivity makes skipping dropped dominators sound: whatever
+           dropped them is lighter still and dominates [arr.(i)] too. *)
+        if keep.(!j) && Hypothesis.leq arr.(!j) arr.(i) then keep.(i) <- false;
+        incr j
       done
-  done;
-  List.filteri (fun i _ -> keep.(i)) (Array.to_list arr)
+    done;
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      if keep.(i) then out := arr.(i) :: !out
+    done;
+    !out

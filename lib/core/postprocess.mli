@@ -9,4 +9,7 @@ val dedup : Hypothesis.t list -> Hypothesis.t list
 
 val minimal_only : Hypothesis.t list -> Hypothesis.t list
 (** Keep only hypotheses with no strictly-more-specific peer in the
-    list. Input should already be duplicate-free. *)
+    list. Input should already be duplicate-free. Output is sorted in
+    ascending ({!Workset.canonical}) order — lightest first — and the
+    scan exploits that order: a strict dominator is always strictly
+    lighter, so only the lighter prefix is ever compared against. *)

@@ -1,0 +1,118 @@
+(* The seed heuristic, verbatim: working set as a weight-sorted immutable
+   list with linear membership scans and [List.length] bound checks. Kept
+   only as the oracle/baseline documented in the .mli — do not optimize
+   this file; its value is being the unchanged original. *)
+
+module Df = Rt_lattice.Depfun
+module Period = Rt_trace.Period
+module Candidates = Rt_trace.Candidates
+
+module Wlist = struct
+  let before h h' =
+    let c = Int.compare (Hypothesis.weight h) (Hypothesis.weight h') in
+    if c <> 0 then c < 0 else Hypothesis.compare_full h h' < 0
+
+  let insert h l =
+    let rec go = function
+      | [] -> [ h ]
+      | h' :: rest as all -> if before h h' then h :: all else h' :: go rest
+    in
+    go l
+
+  let mem h l =
+    let w = Hypothesis.weight h in
+    List.exists
+      (fun h' -> Hypothesis.weight h' = w && Hypothesis.compare_full h h' = 0)
+      l
+
+  let pick_pair policy l =
+    match (policy : Heuristic.merge_policy), l with
+    | _, ([] | [ _ ]) -> invalid_arg "Reference: cannot merge fewer than 2"
+    | Heuristic.Lightest_pair, a :: b :: rest -> (a, b, rest)
+    | Heuristic.Heaviest_pair, l ->
+      (match List.rev l with
+       | a :: b :: rest -> (a, b, List.rev rest)
+       | [] | [ _ ] -> assert false)
+    | Heuristic.First_last, a :: rest ->
+      (match List.rev rest with
+       | z :: mid -> (a, z, List.rev mid)
+       | [] -> assert false)
+end
+
+type state = {
+  policy : Heuristic.merge_policy;
+  window : int option;
+  bound : int;
+  violations : Violations.t;
+  mutable hs : Hypothesis.t list;
+  mutable created : int;
+  mutable merges : int;
+  mutable periods : int;
+}
+
+let init ?(policy = Heuristic.Lightest_pair) ?window ~bound ~ntasks () =
+  if bound < 1 then invalid_arg "Heuristic.init: bound must be >= 1";
+  if ntasks < 1 then invalid_arg "Heuristic.init: need at least one task";
+  {
+    policy;
+    window;
+    bound;
+    violations = Violations.create ntasks;
+    hs = [ Hypothesis.bottom ntasks ];
+    created = 1;
+    merges = 0;
+    periods = 0;
+  }
+
+let rec add st h l =
+  if Wlist.mem h l then l
+  else begin
+    let l = Wlist.insert h l in
+    if List.length l <= st.bound then l
+    else begin
+      let a, b, rest = Wlist.pick_pair st.policy l in
+      st.merges <- st.merges + 1;
+      add st (Hypothesis.merge_lub a b) rest
+    end
+  end
+
+let step_message st hs pairs =
+  List.fold_left (fun acc h ->
+      List.fold_left (fun acc (s, r) ->
+          match Hypothesis.generalize_message h ~sender:s ~receiver:r with
+          | Some h' ->
+            st.created <- st.created + 1;
+            add st h' acc
+          | None -> acc)
+        acc pairs)
+    [] hs
+
+let feed st (p : Period.t) =
+  let hs =
+    Array.fold_left
+      (fun hs m -> step_message st hs (Candidates.pairs ?window:st.window p m))
+      st.hs p.msgs
+  in
+  Violations.observe st.violations ~executed:p.executed;
+  let violated = Violations.matrix st.violations in
+  List.iter (fun h ->
+      Hypothesis.weaken_violations h ~violated;
+      Hypothesis.clear_assumptions h)
+    hs;
+  let survivors = Postprocess.minimal_only (Postprocess.dedup hs) in
+  st.hs <- List.fold_left (fun acc h -> Wlist.insert h acc) [] survivors;
+  st.periods <- st.periods + 1
+
+let run ?policy ?window ~bound trace =
+  let st =
+    init ?policy ?window ~bound ~ntasks:(Rt_trace.Trace.task_count trace) ()
+  in
+  List.iter (feed st) (Rt_trace.Trace.periods trace);
+  {
+    Heuristic.hypotheses =
+      List.map (fun h -> Df.copy (Hypothesis.depfun h)) st.hs;
+    stats =
+      { Heuristic.periods_processed = st.periods;
+        merges = st.merges;
+        created = st.created };
+  }

@@ -1,0 +1,134 @@
+type victim_policy = Lightest_pair | Heaviest_pair | First_last
+
+(* Canonical ascending order: weight first, then the structural order.
+   Total on distinct hypotheses ([compare_full] = 0 only for duplicates,
+   which [insert] rejects). *)
+let canonical h h' =
+  let c = Int.compare (Hypothesis.weight h) (Hypothesis.weight h') in
+  if c <> 0 then c else Hypothesis.compare_full h h'
+
+type t = {
+  bound : int;
+  (* Sorted descending under [canonical]: the lightest hypothesis sits in
+     the last occupied slot, so the default eviction is a pop. Empty until
+     the first insertion (OCaml arrays need a witness element). *)
+  mutable data : Hypothesis.t array;
+  mutable len : int;
+  (* (hash, a_hash) -> hypotheses with those cached hashes. Buckets are
+     almost always singletons; [compare_full] resolves true collisions. *)
+  index : (int * int, Hypothesis.t list) Hashtbl.t;
+}
+
+let create ~bound =
+  { bound; data = [||]; len = 0; index = Hashtbl.create (2 * (bound + 1)) }
+
+let length t = t.len
+
+let clear t =
+  t.len <- 0;
+  Hashtbl.reset t.index
+
+let key h = (Hypothesis.hash h, Hypothesis.a_hash h)
+
+let mem t h =
+  match Hashtbl.find_opt t.index (key h) with
+  | None -> false
+  | Some bucket -> List.exists (fun h' -> Hypothesis.compare_full h h' = 0) bucket
+
+let index_add t h =
+  let k = key h in
+  Hashtbl.replace t.index k
+    (h :: (Option.value ~default:[] (Hashtbl.find_opt t.index k)))
+
+let index_remove t h =
+  let k = key h in
+  match Hashtbl.find_opt t.index k with
+  | None -> ()
+  | Some bucket ->
+    (match List.filter (fun h' -> h' != h) bucket with
+     | [] -> Hashtbl.remove t.index k
+     | rest -> Hashtbl.replace t.index k rest)
+
+let ensure_capacity t h =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let ncap = max (t.bound + 1) (max 4 (2 * cap)) in
+    let nd = Array.make ncap h in
+    Array.blit t.data 0 nd 0 t.len;
+    t.data <- nd
+  end
+
+(* Dedup check and index update share one bucket lookup — [add] is on
+   the per-child hot path of the learner. *)
+let add t h =
+  let k = key h in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt t.index k) in
+  if List.exists (fun h' -> Hypothesis.compare_full h h' = 0) bucket then false
+  else begin
+    ensure_capacity t h;
+    (* Binary search in the descending array: smallest index whose element
+       is canonically below [h]. *)
+    let lo = ref 0 and hi = ref t.len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if canonical t.data.(mid) h > 0 then lo := mid + 1 else hi := mid
+    done;
+    let pos = !lo in
+    Array.blit t.data pos t.data (pos + 1) (t.len - pos);
+    t.data.(pos) <- h;
+    t.len <- t.len + 1;
+    Hashtbl.replace t.index k (h :: bucket);
+    true
+  end
+
+let insert t h =
+  if not (add t h) then invalid_arg "Workset.insert: duplicate hypothesis"
+
+let extract_pair t policy =
+  if t.len < 2 then invalid_arg "Workset.extract_pair: fewer than 2 elements";
+  let a, b =
+    match policy with
+    | Lightest_pair ->
+      (* Last two slots; no shifting. *)
+      let a = t.data.(t.len - 1) and b = t.data.(t.len - 2) in
+      t.len <- t.len - 2;
+      (a, b)
+    | Heaviest_pair ->
+      let a = t.data.(0) and b = t.data.(1) in
+      Array.blit t.data 2 t.data 0 (t.len - 2);
+      t.len <- t.len - 2;
+      (a, b)
+    | First_last ->
+      let a = t.data.(t.len - 1) and z = t.data.(0) in
+      Array.blit t.data 1 t.data 0 (t.len - 2);
+      t.len <- t.len - 2;
+      (a, z)
+  in
+  index_remove t a;
+  index_remove t b;
+  (a, b)
+
+let to_list t =
+  let acc = ref [] in
+  for i = 0 to t.len - 1 do acc := t.data.(i) :: !acc done;
+  !acc
+
+let to_array t =
+  Array.init t.len (fun i -> t.data.(t.len - 1 - i))
+
+let of_list ~bound l =
+  let t = create ~bound in
+  (* A min-heap under the reversed order drains heaviest-first, which is
+     exactly the internal layout. *)
+  let heap = Rt_util.Binary_heap.of_list ~cmp:(fun a b -> canonical b a) l in
+  let n = Rt_util.Binary_heap.length heap in
+  if n > 0 then begin
+    t.data <- Array.make (max n (bound + 1)) (List.hd l);
+    for i = 0 to n - 1 do
+      let h = Rt_util.Binary_heap.pop_exn heap in
+      t.data.(i) <- h;
+      index_add t h
+    done;
+    t.len <- n
+  end;
+  t

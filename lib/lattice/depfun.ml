@@ -1,14 +1,30 @@
-type t = { n : int; cells : Depval.t array }
+(* Matrices are stored as flat row-major byte strings — one byte per
+   cell, holding [Depval.index] of the value. An 18-task matrix is 324
+   bytes (41 words), comfortably inside OCaml's minor-heap allocation
+   limit; the learner allocates one matrix per generated hypothesis, and
+   with a boxed [Depval.t array] every one of those was a 325-word
+   major-heap allocation (beyond [Max_young_wosize]), which made the GC
+   the dominant cost of a bounded run. Byte cells also let the hot
+   pointwise operations run on pure int tables ([Depval.join_ix_tbl] and
+   friends) with no per-cell variant dispatch. *)
+type t = { n : int; cells : Bytes.t }
+
+(* Local bindings so the per-cell loops index the tables directly. *)
+let join_ix = Depval.join_ix_tbl
+let leq_ix = Depval.leq_ix_tbl
+let dist_ix = Depval.dist_ix_tbl
+let cmp_ix = Depval.cmp_ix_tbl
 
 let create n =
   if n < 1 then invalid_arg "Depfun.create: need at least one task";
-  { n; cells = Array.make (n * n) Depval.Par }
+  { n; cells = Bytes.make (n * n) '\000' }
 
 let top n =
   let d = create n in
+  let hi = Char.chr (Depval.index Depval.Bi_maybe) in
   for a = 0 to n - 1 do
     for b = 0 to n - 1 do
-      if a <> b then d.cells.((a * n) + b) <- Depval.Bi_maybe
+      if a <> b then Bytes.set d.cells ((a * n) + b) hi
     done
   done;
   d
@@ -21,61 +37,85 @@ let check d a b =
 
 let get d a b =
   check d a b;
-  d.cells.((a * d.n) + b)
+  Depval.of_index (Char.code (Bytes.get d.cells ((a * d.n) + b)))
 
 let set d a b v =
   check d a b;
   if a = b && not (Depval.equal v Depval.Par) then
     invalid_arg "Depfun.set: diagonal must stay Par";
-  d.cells.((a * d.n) + b) <- v
+  Bytes.set d.cells ((a * d.n) + b) (Char.chr (Depval.index v))
 
 let join_cell d a b v =
   check d a b;
   let i = (a * d.n) + b in
-  let v' = Depval.join d.cells.(i) v in
-  if Depval.equal v' d.cells.(i) then false
+  let old = Char.code (Bytes.get d.cells i) in
+  let v' = join_ix.((old * 7) + Depval.index v) in
+  if v' = old then false
   else begin
     if a = b then invalid_arg "Depfun.join_cell: diagonal must stay Par";
-    d.cells.(i) <- v';
+    Bytes.set d.cells i (Char.chr v');
     true
   end
 
-let copy d = { n = d.n; cells = Array.copy d.cells }
+let copy d = { n = d.n; cells = Bytes.copy d.cells }
 
-let equal d1 d2 =
-  d1.n = d2.n
-  && (let rec loop i = i < 0 || (Depval.equal d1.cells.(i) d2.cells.(i) && loop (i - 1)) in
-      loop ((d1.n * d1.n) - 1))
+let cells d = d.cells
+
+let equal d1 d2 = d1.n = d2.n && Bytes.equal d1.cells d2.cells
 
 let compare d1 d2 =
   let c = Int.compare d1.n d2.n in
   if c <> 0 then c
   else
+    (* Per-cell [Depval.compare] (distance-major), {e not} byte order —
+       the learner's canonical tie-break depends on this order staying
+       exactly what the boxed representation used. *)
     let rec loop i =
       if i >= d1.n * d1.n then 0
       else
-        let c = Depval.compare d1.cells.(i) d2.cells.(i) in
-        if c <> 0 then c else loop (i + 1)
+        let ia = Char.code (Bytes.unsafe_get d1.cells i)
+        and ib = Char.code (Bytes.unsafe_get d2.cells i) in
+        if ia = ib then loop (i + 1) else cmp_ix.((ia * 7) + ib)
     in
     loop 0
 
 let leq d1 d2 =
   d1.n = d2.n
-  && (let rec loop i = i < 0 || (Depval.leq d1.cells.(i) d2.cells.(i) && loop (i - 1)) in
+  && (let rec loop i =
+        i < 0
+        || (leq_ix.(((Char.code (Bytes.unsafe_get d1.cells i)) * 7)
+                    + Char.code (Bytes.unsafe_get d2.cells i))
+            && loop (i - 1))
+      in
       loop ((d1.n * d1.n) - 1))
 
-let map2 name f d1 d2 =
+let map2_ix name tbl d1 d2 =
   if d1.n <> d2.n then invalid_arg name;
-  { n = d1.n; cells = Array.init (d1.n * d1.n) (fun i -> f d1.cells.(i) d2.cells.(i)) }
+  let m = d1.n * d1.n in
+  let cells = Bytes.create m in
+  for i = 0 to m - 1 do
+    Bytes.unsafe_set cells i
+      (Char.unsafe_chr
+         tbl.(((Char.code (Bytes.unsafe_get d1.cells i)) * 7)
+              + Char.code (Bytes.unsafe_get d2.cells i)))
+  done;
+  { n = d1.n; cells }
 
-let join d1 d2 = map2 "Depfun.join: size mismatch" Depval.join d1 d2
+let meet_ix_tbl =
+  Array.init 49 (fun k ->
+      Depval.index (Depval.meet (Depval.of_index (k / 7)) (Depval.of_index (k mod 7))))
 
-let meet d1 d2 = map2 "Depfun.meet: size mismatch" Depval.meet d1 d2
+let join d1 d2 = map2_ix "Depfun.join: size mismatch" join_ix d1 d2
+
+let meet d1 d2 = map2_ix "Depfun.meet: size mismatch" meet_ix_tbl d1 d2
 
 let join_into ~dst d =
   if dst.n <> d.n then invalid_arg "Depfun.join_into: size mismatch";
   for i = 0 to (d.n * d.n) - 1 do
-    dst.cells.(i) <- Depval.join dst.cells.(i) d.cells.(i)
+    Bytes.unsafe_set dst.cells i
+      (Char.unsafe_chr
+         join_ix.(((Char.code (Bytes.unsafe_get dst.cells i)) * 7)
+                  + Char.code (Bytes.unsafe_get d.cells i)))
   done
 
 let lub = function
@@ -85,12 +125,18 @@ let lub = function
     List.iter (fun d' -> join_into ~dst:acc d') rest;
     acc
 
-let weight d = Array.fold_left (fun acc v -> acc + Depval.distance v) 0 d.cells
+let weight d =
+  let w = ref 0 in
+  for i = 0 to Bytes.length d.cells - 1 do
+    w := !w + dist_ix.(Char.code (Bytes.unsafe_get d.cells i))
+  done;
+  !w
 
 let iter_pairs f d =
   for a = 0 to d.n - 1 do
     for b = 0 to d.n - 1 do
-      if a <> b then f a b d.cells.((a * d.n) + b)
+      if a <> b then
+        f a b (Depval.of_index (Char.code (Bytes.get d.cells ((a * d.n) + b))))
     done
   done
 
@@ -118,17 +164,24 @@ let of_rows rows =
   d
 
 let to_rows d =
-  List.init d.n (fun a -> List.init d.n (fun b -> d.cells.((a * d.n) + b)))
+  List.init d.n (fun a ->
+      List.init d.n (fun b ->
+          Depval.of_index (Char.code (Bytes.get d.cells ((a * d.n) + b)))))
 
 let default_names n = Array.init n (fun i -> Printf.sprintf "t%d" (i + 1))
 
 let pp ?names ppf d =
   let names = match names with Some a -> a | None -> default_names d.n in
   let name i = if i < Array.length names then names.(i) else Printf.sprintf "t%d" i in
+  let cell a b =
+    Depval.to_string (Depval.of_index (Char.code (Bytes.get d.cells ((a * d.n) + b))))
+  in
   let width = ref 0 in
-  Array.iter (fun v -> width := max !width (String.length (Depval.to_string v))) d.cells;
-  for i = 0 to d.n - 1 do
-    width := max !width (String.length (name i))
+  for a = 0 to d.n - 1 do
+    width := max !width (String.length (name a));
+    for b = 0 to d.n - 1 do
+      width := max !width (String.length (cell a b))
+    done
   done;
   let pad s = s ^ String.make (!width - String.length s) ' ' in
   Format.fprintf ppf "%s" (pad "");
@@ -138,7 +191,7 @@ let pp ?names ppf d =
   for a = 0 to d.n - 1 do
     Format.fprintf ppf "@\n%s" (pad (name a));
     for b = 0 to d.n - 1 do
-      Format.fprintf ppf " %s" (pad (Depval.to_string d.cells.((a * d.n) + b)))
+      Format.fprintf ppf " %s" (pad (cell a b))
     done
   done
 

@@ -37,6 +37,14 @@ val join_cell : t -> int -> int -> Depval.t -> bool
 
 val copy : t -> t
 
+val cells : t -> Bytes.t
+(** The backing row-major byte matrix, {e not} a copy: the byte at index
+    [a * n + b] holds [Depval.index (d (a, b))]. Exposed for the
+    learner's fused hot loops (merge = join + weight + hash in one pass
+    over bytes, driven by {!Depval.join_ix_tbl}); treat as read-only
+    everywhere else — writing through it bypasses the diagonal
+    invariant. *)
+
 val equal : t -> t -> bool
 
 val compare : t -> t -> int

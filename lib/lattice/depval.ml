@@ -24,7 +24,7 @@ let compare a b =
   if c <> 0 then c else Int.compare (index a) (index b)
 
 (* Figure 3, read as a more-specific-than order with Par at the bottom. *)
-let leq a b =
+let leq_def a b =
   match a, b with
   | Par, _ -> true
   | _, Bi_maybe -> true
@@ -35,11 +35,9 @@ let leq a b =
   | Bwd_maybe, Bwd_maybe -> true
   | (Fwd | Bwd | Bi | Fwd_maybe | Bwd_maybe | Bi_maybe), _ -> false
 
-let lt a b = leq a b && not (equal a b)
-
-let join a b =
-  if leq a b then b
-  else if leq b a then a
+let join_def a b =
+  if leq_def a b then b
+  else if leq_def b a then a
   else
     match a, b with
     | Fwd, Bwd | Bwd, Fwd -> Bi
@@ -51,6 +49,37 @@ let join a b =
     | (Par | Fwd | Bwd | Bi | Fwd_maybe | Bwd_maybe | Bi_maybe), _ ->
       (* Any remaining combination is comparable and was handled above. *)
       assert false
+
+(* [leq] and [join] sit inside the learner's per-cell hot loops (a merge
+   runs them 2·t² times); the 7×7 lattice is small enough to tabulate
+   once at module load and answer both in a single array read. *)
+let of_index_tbl = [| Par; Fwd; Bwd; Bi; Fwd_maybe; Bwd_maybe; Bi_maybe |]
+
+let of_index i = of_index_tbl.(i)
+
+let join_tbl =
+  Array.init 49 (fun k -> join_def of_index_tbl.(k / 7) of_index_tbl.(k mod 7))
+
+let leq_tbl =
+  Array.init 49 (fun k -> leq_def of_index_tbl.(k / 7) of_index_tbl.(k mod 7))
+
+let leq a b = leq_tbl.((index a * 7) + index b)
+
+let join a b = join_tbl.((index a * 7) + index b)
+
+(* Pure-int views of the same tables, for callers that keep lattice
+   values in index form (the byte-matrix kernels of [Depfun] and the
+   learner's fused merge loop). Row-major: entry [ia * 7 + ib]. *)
+let join_ix_tbl = Array.init 49 (fun k -> index join_tbl.(k))
+
+let leq_ix_tbl = leq_tbl
+
+let dist_ix_tbl = Array.init 7 (fun i -> distance of_index_tbl.(i))
+
+let cmp_ix_tbl =
+  Array.init 49 (fun k -> compare of_index_tbl.(k / 7) of_index_tbl.(k mod 7))
+
+let lt a b = leq a b && not (equal a b)
 
 let meet a b =
   if leq a b then a

@@ -66,6 +66,33 @@ val weaken : t -> t
     by an observed period: [Fwd ↦ Fwd_maybe], [Bwd ↦ Bwd_maybe],
     [Bi ↦ Bi_maybe]. Identity on the other values. *)
 
+val index : t -> int
+(** Position in declaration order: [0] for [Par] … [6] for [Bi_maybe].
+    Matches the runtime representation of the constructors; inverse of
+    {!of_index}. *)
+
+val of_index : int -> t
+(** Inverse of {!index}. The argument must be in [0..6]. *)
+
+(** {2 Tabulated kernels}
+
+    Read-only tables for hot loops that keep lattice values in index form
+    (notably {!Depfun}'s byte matrices and the learner's fused merge).
+    All pair tables are row-major 7×7: entry [ia * 7 + ib] describes
+    [(of_index ia, of_index ib)]. Treat as constants; never mutate. *)
+
+val join_ix_tbl : int array
+(** [join_ix_tbl.(ia * 7 + ib) = index (join (of_index ia) (of_index ib))]. *)
+
+val leq_ix_tbl : bool array
+(** [leq_ix_tbl.(ia * 7 + ib) = leq (of_index ia) (of_index ib)]. *)
+
+val dist_ix_tbl : int array
+(** [dist_ix_tbl.(i) = distance (of_index i)]; 7 entries. *)
+
+val cmp_ix_tbl : int array
+(** [cmp_ix_tbl.(ia * 7 + ib) = compare (of_index ia) (of_index ib)]. *)
+
 val to_string : t -> string
 (** ASCII rendering: ["||"], ["->"], ["<-"], ["<->"], ["->?"], ["<-?"],
     ["<->?"]. *)

@@ -1,14 +1,23 @@
+(* Filters run over the period's precomputed executed-index array — the
+   seed allocated [List.init (task count) Fun.id] afresh for every
+   message, for every learner step, which dominated the profile on large
+   bounds. [Array.fold_right] builds each result list in ascending order
+   without an intermediate list. *)
+let filter_executed pred (p : Period.t) =
+  Array.fold_right (fun i acc -> if pred i then i :: acc else acc)
+    p.executed_ix []
+
 let senders ?(slack = 0) ?window (p : Period.t) (m : Period.msg) =
   let lo = match window with None -> min_int | Some w -> m.rise - w in
-  List.filter (fun i ->
-      p.executed.(i) && p.end_time.(i) <= m.rise + slack && p.end_time.(i) >= lo)
-    (List.init (Rt_task.Task_set.size p.task_set) Fun.id)
+  filter_executed
+    (fun i -> p.end_time.(i) <= m.rise + slack && p.end_time.(i) >= lo)
+    p
 
 let receivers ?(slack = 0) ?window (p : Period.t) (m : Period.msg) =
   let hi = match window with None -> max_int | Some w -> m.fall + w in
-  List.filter (fun i ->
-      p.executed.(i) && p.start_time.(i) + slack >= m.fall && p.start_time.(i) <= hi)
-    (List.init (Rt_task.Task_set.size p.task_set) Fun.id)
+  filter_executed
+    (fun i -> p.start_time.(i) + slack >= m.fall && p.start_time.(i) <= hi)
+    p
 
 let pairs ?slack ?window p m =
   let ss = senders ?slack ?window p m and rs = receivers ?slack ?window p m in

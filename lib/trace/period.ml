@@ -5,6 +5,7 @@ type t = {
   task_set : Rt_task.Task_set.t;
   events : Event.t list;
   executed : bool array;
+  executed_ix : int array;
   start_time : int array;
   end_time : int array;
   msgs : msg array;
@@ -70,6 +71,15 @@ let make ~index ~task_set events =
         if st >= 0 && end_time.(i) < 0 then raise (Bad (Start_without_end i)))
       start_time;
     let executed = Array.init n (fun i -> start_time.(i) >= 0 && end_time.(i) >= 0) in
+    (* Hoisted once per period: the candidate inference walks the executed
+       tasks once per message, for every live hypothesis set. *)
+    let executed_ix =
+      let count = Array.fold_left (fun c b -> if b then c + 1 else c) 0 executed in
+      let ix = Array.make count 0 in
+      let k = ref 0 in
+      Array.iteri (fun i b -> if b then begin ix.(!k) <- i; incr k end) executed;
+      ix
+    in
     let msgs =
       !msgs |> List.rev |> Array.of_list |> fun a ->
       Array.sort (fun m1 m2 ->
@@ -77,7 +87,7 @@ let make ~index ~task_set events =
           if c <> 0 then c else Int.compare m1.occ m2.occ) a;
       Array.mapi (fun k m -> { m with occ = k }) a
     in
-    Ok { index; task_set; events; executed; start_time; end_time; msgs }
+    Ok { index; task_set; events; executed; executed_ix; start_time; end_time; msgs }
   with Bad e -> Error e
 
 let make_exn ~index ~task_set events =
@@ -85,9 +95,7 @@ let make_exn ~index ~task_set events =
   | Ok p -> p
   | Error e -> invalid_arg ("Period.make_exn: " ^ string_of_error e)
 
-let executed_tasks p =
-  List.filter (fun i -> p.executed.(i))
-    (List.init (Rt_task.Task_set.size p.task_set) Fun.id)
+let executed_tasks p = Array.to_list p.executed_ix
 
 let executed_count p = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 p.executed
 

@@ -17,6 +17,7 @@ type t = private {
   task_set : Rt_task.Task_set.t;
   events : Event.t list;     (** sorted with [Event.compare] *)
   executed : bool array;     (** per task: both start and end seen *)
+  executed_ix : int array;   (** indices of executed tasks, ascending *)
   start_time : int array;    (** -1 when the task did not execute *)
   end_time : int array;
   msgs : msg array;          (** in rising-edge order *)

@@ -51,6 +51,13 @@ let push t x =
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
+(* Bottom-up heapify: O(n) instead of n pushes' O(n log n). *)
+let of_list ~cmp l =
+  let data = Array.of_list l in
+  let t = { cmp; data; size = Array.length data } in
+  for i = (t.size / 2) - 1 downto 0 do sift_down t i done;
+  t
+
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
 let pop t =

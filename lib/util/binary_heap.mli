@@ -6,6 +6,9 @@ type 'a t
 val create : cmp:('a -> 'a -> int) -> capacity:int -> 'a t
 (** Empty heap; [capacity] is an initial size hint. *)
 
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** Bottom-up heapify, O(n). *)
+
 val length : 'a t -> int
 
 val is_empty : 'a t -> bool

@@ -151,6 +151,66 @@ let heap_matches_sort =
        in
        drain [] = List.sort Int.compare xs)
 
+let heap_of_list_matches_push =
+  Test_support.qcheck_case "of_list = create + push*"
+    QCheck.(list small_int)
+    (fun xs ->
+       let h = Heap.of_list ~cmp:Int.compare xs in
+       Heap.length h = List.length xs
+       && Heap.to_sorted_list h = List.sort Int.compare xs)
+
+(* --- domain pool --- *)
+
+module Pool = Rt_util.Domain_pool
+
+let test_pool_map_order () =
+  let pool = Pool.create ~jobs:3 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+      let input = Array.init 100 Fun.id in
+      let out = Pool.map pool (fun x -> x * x) input in
+      Alcotest.(check (array int)) "results at input indices"
+        (Array.map (fun x -> x * x) input) out;
+      Alcotest.(check (list int)) "map_list too" [ 1; 4; 9 ]
+        (Pool.map_list pool (fun x -> x * x) [ 1; 2; 3 ]))
+
+let test_pool_jobs_one_inline () =
+  let pool = Pool.create ~jobs:1 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+      Alcotest.(check int) "jobs clamped" 1 (Pool.jobs pool);
+      Alcotest.(check (array int)) "inline map" [| 2; 4 |]
+        (Pool.map pool (fun x -> 2 * x) [| 1; 2 |]))
+
+let test_pool_propagates_exception () =
+  let pool = Pool.create ~jobs:2 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+      Alcotest.check_raises "first failure re-raised" (Failure "boom")
+        (fun () ->
+           ignore
+             (Pool.map pool
+                (fun x -> if x = 17 then failwith "boom" else x)
+                (Array.init 64 Fun.id)));
+      (* The pool survives a failed round. *)
+      Alcotest.(check (array int)) "usable after failure" [| 1; 2; 3 |]
+        (Pool.map pool Fun.id [| 1; 2; 3 |]))
+
+let test_pool_shutdown_rejects () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;  (* idempotent *)
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Domain_pool.run: pool is shut down")
+    (fun () -> Pool.run pool ~chunks:4 (fun _ -> ()))
+
+let pool_map_is_pure_map =
+  Test_support.qcheck_case "map = Array.map, any jobs" ~count:50
+    QCheck.(pair (int_range 1 5) (list small_int))
+    (fun (jobs, xs) ->
+       let arr = Array.of_list xs in
+       let pool = Pool.create ~jobs in
+       Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+           Pool.map pool (fun x -> x + 1) arr
+           = Array.map (fun x -> x + 1) arr))
+
 (* --- tables --- *)
 
 let test_table_render () =
@@ -198,6 +258,16 @@ let () =
           Alcotest.test_case "clear" `Quick test_heap_clear;
           Alcotest.test_case "sorted drain" `Quick test_heap_sorted_drain;
           heap_matches_sort;
+          heap_of_list_matches_push;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "jobs=1 inline" `Quick test_pool_jobs_one_inline;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_propagates_exception;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects;
+          pool_map_is_pure_map;
         ] );
       ( "table",
         [
