@@ -525,6 +525,46 @@ let bench_tooling trace =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: corrupt / recover-parse / checkpoint hot paths.          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_robustness trace =
+  section "Robustness: fault injection, recover-mode ingestion, checkpoints";
+  let spec = { Rt_trace.Corrupt.default with rate = 0.1; seed = 7 } in
+  let corrupted = Rt_trace.Corrupt.to_string (Rt_trace.Corrupt.apply spec trace) in
+  let clean = Rt_trace.Trace_io.to_string trace in
+  let st = Rt_learn.Heuristic.init ~bound:16 ~ntasks:18 () in
+  List.iter (Rt_learn.Heuristic.feed st) (Rt_trace.Trace.periods trace);
+  let ckpt = Rt_learn.Heuristic.checkpoint st in
+  Printf.printf "corrupted text: %d bytes; checkpoint: %d bytes\n%!"
+    (String.length corrupted) (String.length ckpt);
+  let open Bechamel in
+  print_bechamel ~quota:0.5
+    [
+      Test.make ~name:"robust/inject-10pct"
+        (Staged.stage (fun () ->
+             ignore (Rt_trace.Corrupt.apply spec trace)));
+      Test.make ~name:"robust/parse-strict-clean"
+        (Staged.stage (fun () ->
+             ignore (Rt_trace.Trace_io.of_string clean)));
+      Test.make ~name:"robust/parse-recover-clean"
+        (Staged.stage (fun () ->
+             ignore (Rt_trace.Trace_io.of_string ~mode:`Recover clean)));
+      Test.make ~name:"robust/parse-recover-10pct"
+        (Staged.stage (fun () ->
+             ignore
+               (Rt_trace.Trace_io.of_string ~mode:`Recover ~eps:60 corrupted)));
+      Test.make ~name:"robust/checkpoint-bound16"
+        (Staged.stage (fun () -> ignore (Rt_learn.Heuristic.checkpoint st)));
+      Test.make ~name:"robust/resume-bound16"
+        (Staged.stage (fun () ->
+             ignore (Result.get_ok (Rt_learn.Heuristic.resume ckpt))));
+    ];
+  print_endline
+    "recover-mode parsing on a clean trace should track strict parsing;\n\
+     the gap on damaged input is the price of the repair pass."
+
+(* ------------------------------------------------------------------ *)
 (* Baseline: process-mining ordering inference vs the learner.         *)
 (* ------------------------------------------------------------------ *)
 
@@ -620,5 +660,6 @@ let () =
   bench_merge_policy trace;
   bench_candidate_window trace;
   bench_tooling trace;
+  bench_robustness trace;
   bench_baseline trace;
   print_newline ()

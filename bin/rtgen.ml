@@ -3,9 +3,15 @@
 
 open Cmdliner
 
-let read_trace path =
-  match Rt_trace.Trace_io.load path with
-  | Ok t -> Ok t
+(* Load a trace; in recover mode the quarantine summary goes to stderr so
+   stdout stays pipeable model output. *)
+let read_trace ?(mode = `Strict) ?eps ?window path =
+  match Rt_trace.Trace_io.load ~mode ?eps path with
+  | Ok (t, q) ->
+    let t, q = if mode = `Recover then Rt_trace.Trace_io.semantic_filter ?window t q
+      else (t, q) in
+    if mode = `Recover then prerr_endline (Rt_trace.Quarantine.summary q);
+    Ok (t, q)
   | Error e ->
     Error (Printf.sprintf "%s: line %d: %s" path e.line e.message)
   | exception Sys_error m -> Error m
@@ -36,7 +42,8 @@ let design_of_spec ~case_study ~tasks ~local_fraction ~seed =
     in
     (d, Rt_task.Task_set.names (Rt_task.Design.task_set d))
 
-let simulate case_study tasks seed periods output dot drop_rate local_fraction =
+let simulate case_study tasks seed periods output dot drop_rate local_fraction
+    jitter_spike_rate glitch_rate =
   let design, _names = design_of_spec ~case_study ~tasks ~local_fraction ~seed in
   if dot then begin
     print_string (Rt_task.Design.to_dot design);
@@ -45,7 +52,8 @@ let simulate case_study tasks seed periods output dot drop_rate local_fraction =
   else
     match
       Rt_sim.Simulator.run design
-        { Rt_sim.Simulator.default_config with periods; seed; drop_rate }
+        { Rt_sim.Simulator.default_config with
+          periods; seed; drop_rate; jitter_spike_rate; glitch_rate }
     with
     | exception Rt_sim.Simulator.Overrun { period; time } ->
       `Error (false,
@@ -62,31 +70,128 @@ let simulate case_study tasks seed periods output dot drop_rate local_fraction =
 
 (* --- learn --- *)
 
-let learn path exact bound window jobs dot output =
-  match read_trace path with
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+(* Checkpointed heuristic learning: feed period by period, snapshotting the
+   state every [every] periods. A checkpoint is tagged with a digest of the
+   (post-quarantine) trace so a resume against different data is refused
+   rather than silently wrong. [stop_after] processes that many periods and
+   exits — a deterministic stand-in for getting killed, used by the tests. *)
+let run_checkpointed ~pool ~window ~bound ~every ~stop_after ~ckpt_path
+    (q : Rt_trace.Quarantine.t) trace =
+  let module H = Rt_learn.Heuristic in
+  let tag = Digest.to_hex (Digest.string (Rt_trace.Trace_io.to_string trace)) in
+  let fresh () =
+    let st =
+      H.init ?window ?pool ~bound
+        ~ntasks:(Rt_trace.Trace.task_count trace) ()
+    in
+    H.set_provenance st
+      ~dropped:(List.length q.dropped)
+      ~repaired:(List.length q.repaired);
+    Ok st
+  in
+  let st =
+    if Sys.file_exists ckpt_path then
+      match H.resume ?pool (read_file ckpt_path) with
+      | Ok (st, tag') when tag' = tag ->
+        Printf.eprintf "resumed %s: %d periods already processed\n" ckpt_path
+          (H.stats st).periods_processed;
+        Ok st
+      | Ok _ ->
+        Error (Printf.sprintf
+                 "%s was checkpointed against a different trace; delete it \
+                  to start over" ckpt_path)
+      | Error m -> Error (Printf.sprintf "%s: %s" ckpt_path m)
+    else fresh ()
+  in
+  match st with
+  | Error _ as e -> e
+  | Ok st ->
+    let periods = Rt_trace.Trace.periods trace in
+    let total = List.length periods in
+    let skip = (H.stats st).periods_processed in
+    if skip > total then
+      Error (Printf.sprintf
+               "%s claims %d periods processed but the trace has only %d"
+               ckpt_path skip total)
+    else begin
+      let write_ckpt () =
+        Rt_util.Atomic_file.write ckpt_path (H.checkpoint ~tag st)
+      in
+      let stopped = ref false in
+      (try
+         List.iteri (fun i p ->
+             if i >= skip && not !stopped then begin
+               H.feed st p;
+               let done_ = i + 1 in
+               if done_ mod every = 0 || done_ = total then write_ckpt ();
+               match stop_after with
+               | Some k when done_ - skip >= k -> stopped := true
+               | Some _ | None -> ()
+             end)
+           periods
+       with e -> write_ckpt (); raise e);
+      if !stopped then begin
+        write_ckpt ();
+        Printf.eprintf "stopped after %d periods (checkpoint in %s)\n"
+          (H.stats st).periods_processed ckpt_path;
+        Ok None
+      end
+      else begin
+        (* Success: the checkpoint has served its purpose. *)
+        (try Sys.remove ckpt_path with Sys_error _ -> ());
+        Ok (Some (H.snapshot st))
+      end
+    end
+
+let learn path exact bound window jobs dot output mode eps checkpoint every
+    stop_after =
+  match read_trace ~mode ~eps ?window path with
   | Error m -> `Error (false, m)
-  | Ok trace ->
+  | Ok (trace, _) when Rt_trace.Trace.period_count trace = 0 ->
+    `Error (false, "no usable periods after quarantine")
+  | Ok (trace, q) ->
     let names = Rt_task.Task_set.names trace.task_set in
     let hypotheses =
-      if exact then
-        match Rt_learn.Exact.run ?window trace with
-        | o -> Ok o.hypotheses
-        | exception Rt_learn.Exact.Blowup { set_size; limit; _ } ->
-          Error (Printf.sprintf
-                   "exact version space exceeded %d (limit %d); use the \
-                    heuristic (--bound) or a candidate --window"
-                   set_size limit)
-      else
-        Ok (with_pool jobs (fun pool ->
-                (Rt_learn.Heuristic.run ?pool ?window ~bound trace).hypotheses))
+      match checkpoint with
+      | Some _ when exact ->
+        Error "--checkpoint requires the heuristic algorithm (drop --exact)"
+      | Some ckpt_path ->
+        (match
+           with_pool jobs (fun pool ->
+               run_checkpointed ~pool ~window ~bound ~every ~stop_after
+                 ~ckpt_path q trace)
+         with
+         | Error _ as e -> e
+         | Ok None -> Ok None
+         | Ok (Some o) -> Ok (Some o.Rt_learn.Heuristic.hypotheses))
+      | None ->
+        if exact then
+          match Rt_learn.Exact.run ?window trace with
+          | o -> Ok (Some o.hypotheses)
+          | exception Rt_learn.Exact.Blowup { set_size; limit; _ } ->
+            Error (Printf.sprintf
+                     "exact version space exceeded %d (limit %d); use the \
+                      heuristic (--bound) or a candidate --window"
+                     set_size limit)
+        else
+          Ok (Some
+                (with_pool jobs (fun pool ->
+                     (Rt_learn.Heuristic.run ?pool ?window ~bound trace)
+                       .hypotheses)))
     in
     (match hypotheses with
      | Error m -> `Error (false, m)
-     | Ok [] ->
+     | Ok None -> `Ok ()  (* --stop-after: checkpoint written, no model yet *)
+     | Ok (Some []) ->
        `Error (false,
                "inconsistent trace: some message has no admissible \
                 sender/receiver under the assumed model of computation")
-     | Ok hs ->
+     | Ok (Some hs) ->
        let lub = Rt_lattice.Depfun.lub hs in
        (match output with
         | Some file ->
@@ -106,11 +211,22 @@ let learn path exact bound window jobs dot output =
 
 (* --- analyze --- *)
 
-let analyze path bound window jobs =
-  match read_trace path with
+let analyze path bound window jobs mode eps =
+  match read_trace ~mode ~eps ?window path with
   | Error m -> `Error (false, m)
-  | Ok trace ->
+  | Ok (trace, _) when Rt_trace.Trace.period_count trace = 0 ->
+    `Error (false, "no usable periods after quarantine")
+  | Ok (trace, q) ->
     let names = Rt_task.Task_set.names trace.task_set in
+    if mode = `Recover then begin
+      Format.printf "== ingestion ==@.%s@." (Rt_trace.Quarantine.summary q);
+      let c = Rt_trace.Quarantine.confidence q in
+      if c < 1.0 then
+        Format.printf
+          "warning: model evidence degraded to %.0f%% — %d period(s) \
+           repaired, %d dropped@."
+          (100.0 *. c) (List.length q.repaired) (List.length q.dropped)
+    end;
     (match
        with_pool jobs (fun pool ->
            (Rt_learn.Heuristic.run ?pool ?window ~bound trace).hypotheses)
@@ -146,25 +262,58 @@ let analyze path bound window jobs =
 let stats path =
   match read_trace path with
   | Error m -> `Error (false, m)
-  | Ok trace ->
+  | Ok (trace, _) ->
     print_endline (Rt_trace.Stats.to_string trace);
     `Ok ()
 
-let vcd path output =
+let vcd path import period_len output =
+  if import then
+    match Rt_trace.Vcd.load ?period_len path with
+    | Error (e : Rt_trace.Vcd.parse_error) ->
+      `Error (false, Printf.sprintf "%s: line %d: %s" path e.line e.message)
+    | exception Sys_error m -> `Error (false, m)
+    | Ok (trace, used_len) ->
+      (match output with
+       | None -> print_string (Rt_trace.Trace_io.to_string trace)
+       | Some file ->
+         Rt_trace.Trace_io.save file trace;
+         Printf.eprintf "wrote %s (period length %dus)\n" file used_len);
+      `Ok ()
+  else
+    match read_trace path with
+    | Error m -> `Error (false, m)
+    | Ok (trace, _) ->
+      (match output with
+       | None -> print_string (Rt_trace.Vcd.to_string ?period_len trace)
+       | Some file -> Rt_trace.Vcd.save ?period_len file trace);
+      `Ok ()
+
+(* --- inject --- *)
+
+let inject path kinds rate eps seed output =
   match read_trace path with
   | Error m -> `Error (false, m)
-  | Ok trace ->
-    (match output with
-     | None -> print_string (Rt_trace.Vcd.to_string trace)
-     | Some file -> Rt_trace.Vcd.save file trace);
-    `Ok ()
+  | Ok (trace, _) ->
+    if rate < 0.0 || rate > 1.0 then
+      `Error (false, "--rate must be in [0, 1]")
+    else begin
+      let spec = { Rt_trace.Corrupt.kinds; rate; eps; seed } in
+      let raw = Rt_trace.Corrupt.apply spec trace in
+      (match output with
+       | None -> print_string (Rt_trace.Corrupt.to_string raw)
+       | Some file ->
+         Rt_trace.Corrupt.save file raw;
+         Printf.eprintf "wrote %s (%d periods corrupted with seed %d)\n"
+           file (List.length raw.raw_periods) seed);
+      `Ok ()
+    end
 
 (* --- anonymize --- *)
 
 let anonymize path output =
   match read_trace path with
   | Error m -> `Error (false, m)
-  | Ok trace ->
+  | Ok (trace, _) ->
     let anon, mapping = Rt_trace.Anonymize.anonymize trace in
     (match output with
      | None -> print_string (Rt_trace.Trace_io.to_string anon)
@@ -181,7 +330,7 @@ let anonymize path output =
 let gantt path period output =
   match read_trace path with
   | Error m -> `Error (false, m)
-  | Ok trace ->
+  | Ok (trace, _) ->
     (match List.nth_opt (Rt_trace.Trace.periods trace) period with
      | None -> `Error (false, Printf.sprintf "no period %d in the trace" period)
      | Some pd ->
@@ -195,7 +344,7 @@ let gantt path period output =
 let check path query bound window jobs model_file =
   match read_trace path with
   | Error m -> `Error (false, m)
-  | Ok trace ->
+  | Ok (trace, _) ->
     (match Rt_analysis.Query.parse query with
      | Error m -> `Error (false, "query: " ^ m)
      | Ok q ->
@@ -301,6 +450,18 @@ let trace_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
          ~doc:"Trace file in the rtgen-trace format.")
 
+let mode_arg =
+  let mode_conv = Arg.enum [ ("strict", `Strict); ("recover", `Recover) ] in
+  Arg.(value & opt mode_conv `Strict & info [ "mode" ] ~docv:"MODE"
+         ~doc:"Ingestion mode: $(b,strict) rejects the first malformed line \
+               or period; $(b,recover) repairs or quarantines damage and \
+               reports it on stderr.")
+
+let eps_arg =
+  Arg.(value & opt int 0 & info [ "eps" ] ~docv:"US"
+         ~doc:"Clock-skew tolerance for recover-mode repairs, in \
+               microseconds.")
+
 let simulate_cmd =
   let case_study =
     Arg.(value & flag & info [ "case-study" ]
@@ -324,9 +485,20 @@ let simulate_cmd =
            ~doc:"Fraction of edges delivered ECU-internally (random designs \
                  only; such messages never reach the bus log).")
   in
+  let jitter_spike_rate =
+    Arg.(value & opt float 0.0 & info [ "jitter-spike-rate" ] ~docv:"P"
+           ~doc:"Fault injection: probability that a source release draws \
+                 a spiked (4x) jitter bound.")
+  in
+  let glitch_rate =
+    Arg.(value & opt float 0.0 & info [ "glitch-rate" ] ~docv:"P"
+           ~doc:"Fault injection: expected spurious bus glitches per \
+                 period, logged under high CAN ids.")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a system and log its bus trace")
     Term.(ret (const simulate $ case_study $ tasks $ seed_arg $ periods_arg
-               $ output $ dot_arg $ drop_rate $ local_fraction))
+               $ output $ dot_arg $ drop_rate $ local_fraction
+               $ jitter_spike_rate $ glitch_rate))
 
 let learn_cmd =
   let exact =
@@ -338,27 +510,94 @@ let learn_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Also save the learned model (matrix text) to FILE.")
   in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Snapshot the learner state to FILE every $(b,--every) \
+                 periods (atomically); if FILE exists and matches the \
+                 trace, resume from it. Removed on successful completion.")
+  in
+  let every =
+    Arg.(value & opt int 1 & info [ "every" ] ~docv:"N"
+           ~doc:"Checkpoint every N periods (default 1).")
+  in
+  let stop_after =
+    (* Deterministic kill emulation for the test suite; hidden from help. *)
+    Arg.(value & opt (some int) None
+         & info [ "stop-after" ] ~docv:"K" ~docs:Manpage.s_none
+             ~doc:"Stop after processing K periods (testing aid).")
+  in
   Cmd.v (Cmd.info "learn" ~doc:"Learn a dependency model from a trace")
     Term.(ret (const learn $ trace_arg $ exact $ bound_arg $ window_arg
-               $ jobs_arg $ dot_arg $ output))
+               $ jobs_arg $ dot_arg $ output $ mode_arg $ eps_arg
+               $ checkpoint $ every $ stop_after))
 
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze"
            ~doc:"Learn and analyze: classification, state space, modes")
-    Term.(ret (const analyze $ trace_arg $ bound_arg $ window_arg $ jobs_arg))
+    Term.(ret (const analyze $ trace_arg $ bound_arg $ window_arg $ jobs_arg
+               $ mode_arg $ eps_arg))
+
+let inject_cmd =
+  let kinds =
+    let kind_conv =
+      Arg.conv
+        ( (fun s ->
+              match Rt_trace.Corrupt.kind_of_string s with
+              | Some k -> Ok k
+              | None -> Error (`Msg (Printf.sprintf "unknown corruption kind %S" s))),
+          fun ppf k ->
+            Format.pp_print_string ppf (Rt_trace.Corrupt.kind_to_string k) )
+    in
+    Arg.(value & opt (list kind_conv) Rt_trace.Corrupt.all_kinds
+         & info [ "kinds" ] ~docv:"KINDS"
+             ~doc:(Printf.sprintf
+                     "Comma-separated corruption kinds to apply (default \
+                      all): %s."
+                     (String.concat ", "
+                        (List.map Rt_trace.Corrupt.kind_to_string
+                           Rt_trace.Corrupt.all_kinds))))
+  in
+  let rate =
+    Arg.(value & opt float 0.05 & info [ "rate" ] ~docv:"P"
+           ~doc:"Per-event / per-period corruption probability, in [0, 1].")
+  in
+  let eps =
+    Arg.(value & opt int 50 & info [ "eps" ] ~docv:"US"
+           ~doc:"Jitter/skew magnitude for the timing corruptions, us.")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the corrupted trace to FILE instead of stdout.")
+  in
+  Cmd.v (Cmd.info "inject"
+           ~doc:"Corrupt a trace reproducibly, for exercising recover-mode \
+                 ingestion")
+    Term.(ret (const inject $ trace_arg $ kinds $ rate $ eps $ seed_arg
+               $ output))
 
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Print descriptive statistics of a trace")
     Term.(ret (const stats $ trace_arg))
 
 let vcd_cmd =
+  let import =
+    Arg.(value & flag & info [ "import" ]
+           ~doc:"Go the other way: read TRACE as a VCD dump and print the \
+                 corresponding rtgen-trace.")
+  in
+  let period_len =
+    Arg.(value & opt (some int) None & info [ "period-len" ] ~docv:"US"
+           ~doc:"Period length in microseconds (export: waveform spacing; \
+                 import: slice boundary — inferred when omitted).")
+  in
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
-           ~doc:"Write the VCD to FILE instead of stdout.")
+           ~doc:"Write the result to FILE instead of stdout.")
   in
   Cmd.v (Cmd.info "vcd"
-           ~doc:"Export a trace as a Value Change Dump for waveform viewers")
-    Term.(ret (const vcd $ trace_arg $ output))
+           ~doc:"Export a trace as a Value Change Dump for waveform viewers \
+                 (or import one)")
+    Term.(ret (const vcd $ trace_arg $ import $ period_len $ output))
 
 let anonymize_cmd =
   let output =
@@ -410,5 +649,5 @@ let () =
   let info = Cmd.info "rtgen" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ simulate_cmd; learn_cmd; analyze_cmd; check_cmd;
-                      stats_cmd; vcd_cmd; gantt_cmd; anonymize_cmd;
-                      table1_cmd; example_cmd ]))
+                      inject_cmd; stats_cmd; vcd_cmd; gantt_cmd;
+                      anonymize_cmd; table1_cmd; example_cmd ]))

@@ -66,8 +66,8 @@ let brake_deadline_us = 10_000
 let brake_path () = [ radar_proc; fusion; acc_ctl; follow; arbiter; brake ]
 
 let reference_config =
-  { Rt_sim.Simulator.periods = 40; seed = 1101; wcet_jitter = true;
-    release_jitter = 40; drop_rate = 0.0 }
+  { Rt_sim.Simulator.default_config with periods = 40; seed = 1101;
+    release_jitter = 40 }
 
 let trace ?periods ?seed () =
   let config =

@@ -64,8 +64,8 @@ let design () =
   D.make ~tasks ~edges ~period:20_000
 
 let reference_config =
-  { Rt_sim.Simulator.periods = 27; seed = 2007; wcet_jitter = true;
-    release_jitter = 30; drop_rate = 0.0 }
+  { Rt_sim.Simulator.default_config with periods = 27; seed = 2007;
+    release_jitter = 30 }
 
 let trace ?periods ?seed () =
   let config =

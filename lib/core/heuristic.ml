@@ -1,4 +1,5 @@
 module Df = Rt_lattice.Depfun
+module Dv = Rt_lattice.Depval
 module Period = Rt_trace.Period
 module Candidates = Rt_trace.Candidates
 
@@ -16,6 +17,11 @@ type outcome = {
 type merge_policy = Workset.victim_policy =
   | Lightest_pair | Heaviest_pair | First_last
 
+type provenance = {
+  periods_dropped : int;
+  periods_repaired : int;
+}
+
 type state = {
   policy : merge_policy;
   window : int option;
@@ -27,6 +33,8 @@ type state = {
   mutable created : int;
   mutable merges : int;
   mutable periods : int;
+  mutable dropped : int;   (* periods quarantine dropped before feeding *)
+  mutable repaired : int;  (* periods repaired by ingestion *)
 }
 
 let init ?(policy = Lightest_pair) ?window ?pool ~bound ~ntasks () =
@@ -43,7 +51,18 @@ let init ?(policy = Lightest_pair) ?window ?pool ~bound ~ntasks () =
     created = 1;
     merges = 0;
     periods = 0;
+    dropped = 0;
+    repaired = 0;
   }
+
+let provenance st =
+  { periods_dropped = st.dropped; periods_repaired = st.repaired }
+
+let set_provenance st ~dropped ~repaired =
+  if dropped < 0 || repaired < 0 then
+    invalid_arg "Heuristic.set_provenance: counts must be non-negative";
+  st.dropped <- dropped;
+  st.repaired <- repaired
 
 (* Insert with deduplication, then enforce the bound by merging. *)
 let rec add st h =
@@ -115,3 +134,143 @@ let run ?policy ?window ?pool ~bound trace =
   snapshot st
 
 let converged o = match o.hypotheses with [ d ] -> Some d | [] | _ :: _ -> None
+
+(* Checkpoints. Only taken between [feed]s, where every hypothesis has an
+   empty assumption set — so a snapshot is exactly: the configuration, the
+   counters, the violation matrix, and the hypothesis matrices in state
+   order (which the restore preserves verbatim; re-sorting could disagree
+   with the working set's canonical order). All integers are little-endian
+   64-bit; matrices are row-major bytes. *)
+
+let ckpt_magic = "RTGENCKP"
+let ckpt_version = 1
+
+let policy_byte = function
+  | Lightest_pair -> 0 | Heaviest_pair -> 1 | First_last -> 2
+
+let policy_of_byte = function
+  | 0 -> Some Lightest_pair | 1 -> Some Heaviest_pair | 2 -> Some First_last
+  | _ -> None
+
+let checkpoint ?(tag = "") st =
+  let buf = Buffer.create 1024 in
+  let i64 n = Buffer.add_int64_le buf (Int64.of_int n) in
+  Buffer.add_string buf ckpt_magic;
+  Buffer.add_char buf (Char.chr ckpt_version);
+  Buffer.add_char buf (Char.chr (policy_byte st.policy));
+  (match st.window with
+   | None -> Buffer.add_char buf '\000'
+   | Some w -> Buffer.add_char buf '\001'; i64 w);
+  i64 st.bound;
+  let vm = Violations.matrix st.violations in
+  let ntasks = Array.length vm in
+  i64 ntasks;
+  i64 st.periods;
+  i64 st.merges;
+  i64 st.created;
+  i64 st.dropped;
+  i64 st.repaired;
+  i64 (String.length tag);
+  Buffer.add_string buf tag;
+  for a = 0 to ntasks - 1 do
+    for b = 0 to ntasks - 1 do
+      Buffer.add_char buf (if vm.(a).(b) then '\001' else '\000')
+    done
+  done;
+  i64 (Array.length st.hs);
+  Array.iter (fun h -> Buffer.add_bytes buf (Df.cells (Hypothesis.depfun h)))
+    st.hs;
+  Buffer.contents buf
+
+let resume ?pool data =
+  let exception Bad of string in
+  let len = String.length data in
+  let pos = ref 0 in
+  let need n = if !pos + n > len then raise (Bad "truncated checkpoint") in
+  let byte () =
+    need 1;
+    let c = Char.code data.[!pos] in
+    incr pos;
+    c
+  in
+  let i64 () =
+    need 8;
+    let v = Int64.to_int (String.get_int64_le data !pos) in
+    pos := !pos + 8;
+    if v < 0 then raise (Bad "negative integer field");
+    v
+  in
+  let str n = need n; let s = String.sub data !pos n in pos := !pos + n; s in
+  try
+    if len < 8 || String.sub data 0 8 <> ckpt_magic then
+      raise (Bad "not an rtgen checkpoint");
+    pos := 8;
+    let version = byte () in
+    if version <> ckpt_version then
+      raise (Bad (Printf.sprintf "unsupported checkpoint version %d" version));
+    let policy =
+      match policy_of_byte (byte ()) with
+      | Some p -> p
+      | None -> raise (Bad "bad merge policy")
+    in
+    let window =
+      match byte () with
+      | 0 -> None
+      | 1 -> Some (i64 ())
+      | _ -> raise (Bad "bad window flag")
+    in
+    let bound = i64 () in
+    if bound < 1 then raise (Bad "bound must be >= 1");
+    let ntasks = i64 () in
+    if ntasks < 1 then raise (Bad "need at least one task");
+    let periods = i64 () in
+    let merges = i64 () in
+    let created = i64 () in
+    let dropped = i64 () in
+    let repaired = i64 () in
+    let tag = str (i64 ()) in
+    let vm = Array.make_matrix ntasks ntasks false in
+    for a = 0 to ntasks - 1 do
+      for b = 0 to ntasks - 1 do
+        match byte () with
+        | 0 -> ()
+        | 1 -> vm.(a).(b) <- true
+        | _ -> raise (Bad "bad violation cell")
+      done
+    done;
+    let nhyp = i64 () in
+    if nhyp > bound then raise (Bad "more hypotheses than bound");
+    let hs = Array.make nhyp (Hypothesis.bottom ntasks) in
+    for k = 0 to nhyp - 1 do
+      let df = Df.create ntasks in
+      let cells = Df.cells df in
+      for a = 0 to ntasks - 1 do
+        for b = 0 to ntasks - 1 do
+          let v = byte () in
+          if v > Dv.index Dv.Bi_maybe then raise (Bad "bad dependency cell");
+          if a = b && v <> Dv.index Dv.Par then
+            raise (Bad "non-Par diagonal cell");
+          Bytes.set cells ((a * ntasks) + b) (Char.chr v)
+        done
+      done;
+      hs.(k) <- Hypothesis.of_depfun df
+    done;
+    if !pos <> len then raise (Bad "trailing bytes after checkpoint");
+    let st =
+      {
+        policy;
+        window;
+        bound;
+        pool;
+        violations = Violations.of_matrix vm;
+        scratch = Workset.create ~bound;
+        hs;
+        created;
+        merges;
+        periods;
+        dropped;
+        repaired;
+      }
+    in
+    Ok (st, tag)
+  with Bad m -> Error m

@@ -58,3 +58,44 @@ val stats : state -> stats
 
 val snapshot : state -> outcome
 (** [current] and [stats] packaged like a [run] result. *)
+
+(** {2 Provenance}
+
+    When ingestion ran in recover mode, the learner never saw the periods
+    the loader dropped, and saw repaired approximations of others. These
+    counters travel with the state (and through checkpoints) so that
+    downstream analysis can report how degraded the learned model's
+    evidence is. They are deliberately {e not} part of [stats], which
+    characterises the algorithm's own work. *)
+
+type provenance = {
+  periods_dropped : int;   (** quarantined periods the learner never saw *)
+  periods_repaired : int;  (** periods repaired before feeding *)
+}
+
+val provenance : state -> provenance
+
+val set_provenance : state -> dropped:int -> repaired:int -> unit
+(** @raise Invalid_argument on negative counts. *)
+
+(** {2 Checkpointing}
+
+    A state between two [feed]s is fully described by its configuration,
+    counters, violation matrix and hypothesis matrices (assumption sets
+    are empty at period boundaries), so it serialises to a small
+    versioned binary snapshot. [resume (checkpoint st)] is
+    indistinguishable from [st] for all future [feed]s: a run killed
+    after period [k] and resumed produces the same outcome as an
+    uninterrupted one. *)
+
+val checkpoint : ?tag:string -> state -> string
+(** Serialise. [tag] is an opaque caller string stored verbatim —
+    e.g. a digest of the source trace, so [resume] callers can refuse
+    a checkpoint taken against different data. *)
+
+val resume :
+  ?pool:Rt_util.Domain_pool.t -> string -> (state * string, string) result
+(** Deserialise a {!checkpoint} into a live state plus its tag.
+    [pool] re-attaches a domain pool (runtime resources are not
+    serialised). Malformed or version-mismatched input yields
+    [Error message], never an exception. *)

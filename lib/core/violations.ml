@@ -16,6 +16,13 @@ let of_periods n periods =
   List.iter (fun (p : Rt_trace.Period.t) -> observe t ~executed:p.executed) periods;
   t
 
+let of_matrix m =
+  let n = Array.length m in
+  Array.iter (fun row ->
+      if Array.length row <> n then invalid_arg "Violations.of_matrix: not square")
+    m;
+  Array.map Array.copy m
+
 let get t a b = t.(a).(b)
 
 let matrix t = t

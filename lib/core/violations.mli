@@ -13,6 +13,11 @@ val observe : t -> executed:bool array -> unit
 
 val of_periods : int -> Rt_trace.Period.t list -> t
 
+val of_matrix : bool array array -> t
+(** Rebuild from a matrix previously obtained with {!matrix} (copied);
+    the checkpoint restore path. Raises [Invalid_argument] if not
+    square. *)
+
 val get : t -> int -> int -> bool
 
 val matrix : t -> bool array array

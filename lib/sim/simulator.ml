@@ -8,11 +8,15 @@ type config = {
   wcet_jitter : bool;
   release_jitter : int;
   drop_rate : float;
+  jitter_spike_rate : float;
+  jitter_spike_factor : int;
+  glitch_rate : float;
 }
 
 let default_config =
   { periods = 27; seed = 42; wcet_jitter = true; release_jitter = 20;
-    drop_rate = 0.0 }
+    drop_rate = 0.0; jitter_spike_rate = 0.0; jitter_spike_factor = 4;
+    glitch_rate = 0.0 }
 
 exception Overrun of { period : int; time : int }
 
@@ -56,7 +60,20 @@ let simulate_period (d : Design.t) rng config ~period_index =
   List.iter (fun v ->
       if outcome.executed.(v) then
         let jitter =
-          if config.release_jitter > 0 then Pcg.int rng (config.release_jitter + 1)
+          if config.release_jitter > 0 then begin
+            (* Occasional spike: a source held up [factor] times longer
+               than its nominal jitter bound (an overloaded gateway, a
+               late interrupt). All draws are gated on the rates so a
+               zero-rate config consumes the same PRNG stream as before
+               the fault model existed. *)
+            let bound =
+              if config.jitter_spike_rate > 0.0
+                 && Pcg.chance rng config.jitter_spike_rate
+              then config.release_jitter * max 1 config.jitter_spike_factor
+              else config.release_jitter
+            in
+            Pcg.int rng (bound + 1)
+          end
           else 0
         in
         Rt_util.Binary_heap.push releases (d.tasks.(v).Design.offset + jitter, v))
@@ -170,6 +187,22 @@ let simulate_period (d : Design.t) rng config ~period_index =
       loop ()
   in
   loop ();
+  (* Bus glitches: short spurious frames from electrical noise, recorded
+     by the logger but carrying no message. Each glitch gets a fresh high
+     id (0x7c0+) so glitches never interleave with a real frame or each
+     other under the same id; the cap keeps the id space distinct within
+     a period. Geometric count: keep glitching while the coin comes up. *)
+  if config.glitch_rate > 0.0 && d.period > 4 then begin
+    let count = ref 0 in
+    while !count < 32 && Pcg.chance rng config.glitch_rate do
+      let dur = 1 + Pcg.int rng 3 in
+      let t = Pcg.int rng (d.period - dur - 1) in
+      let id = 0x7c0 + (!count land 63) in
+      log t (Event.Msg_rise id);
+      log (t + dur) (Event.Msg_fall id);
+      incr count
+    done
+  end;
   let events = List.rev !events in
   (match events with
    | [] -> ()

@@ -20,6 +20,19 @@ type config = {
                             downstream task appears to fire without a
                             cause, which the learner must surface as an
                             inconsistent trace or a more general model. *)
+  jitter_spike_rate : float;
+  (** fault injection: probability that a source release draws its jitter
+      from [release_jitter * jitter_spike_factor] instead of
+      [release_jitter] — a rare but large release delay (overloaded
+      gateway, late interrupt). No effect when [release_jitter] is 0. *)
+  jitter_spike_factor : int;  (** spike magnitude multiplier (default 4) *)
+  glitch_rate : float;
+  (** fault injection: expected bus glitches per period (geometric, capped
+      at 32). A glitch is a 1–3 us spurious frame under a high CAN id
+      (0x7c0+) that the logger records but no task sent or receives.
+      Ground-truth [senders_receivers] covers only real frames, so with
+      glitches enabled the truth array no longer aligns positionally with
+      the trace's rising edges — match by CAN id range when evaluating. *)
 }
 
 val default_config : config

@@ -28,3 +28,10 @@ let pairs ?slack ?window p m =
 let pair_count ?slack ?window p =
   Array.fold_left (fun acc m -> acc + List.length (pairs ?slack ?window p m))
     0 p.Period.msgs
+
+let unexplained ?slack ?window (p : Period.t) =
+  let bad = ref [] in
+  Array.iter (fun (m : Period.msg) ->
+      if pairs ?slack ?window p m = [] then bad := m.bus_id :: !bad)
+    p.msgs;
+  List.rev !bad

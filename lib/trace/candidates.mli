@@ -30,3 +30,11 @@ val pairs : ?slack:int -> ?window:int -> Period.t -> Period.msg -> (int * int) l
 val pair_count : ?slack:int -> ?window:int -> Period.t -> int
 (** Total candidate pairs across all messages of the period — the
     branching factor the exact algorithm faces. *)
+
+val unexplained : ?slack:int -> ?window:int -> Period.t -> int list
+(** Bus ids of messages with an empty candidate set [A_m] — frames no
+    task could have sent or received under the model of computation.
+    A structurally valid period containing one (a spurious frame, or a
+    real frame whose sender was lost) would collapse the learner's
+    hypothesis set to ∅; recover-mode ingestion quarantines such periods
+    instead. *)

@@ -1,0 +1,58 @@
+type line_issue = { line : int; message : string }
+
+type period_repair = { period_index : int; fixes : string list }
+
+type period_drop = { period_index : int; reason : string }
+
+type t = {
+  skipped_lines : line_issue list;
+  kept : int;
+  repaired : period_repair list;
+  dropped : period_drop list;
+}
+
+let empty = { skipped_lines = []; kept = 0; repaired = []; dropped = [] }
+
+let is_empty q = q.skipped_lines = [] && q.repaired = [] && q.dropped = []
+
+let periods_seen q = q.kept + List.length q.repaired + List.length q.dropped
+
+let confidence q =
+  let seen = periods_seen q in
+  if seen = 0 then 1.0
+  else
+    (float_of_int q.kept +. (0.5 *. float_of_int (List.length q.repaired)))
+    /. float_of_int seen
+
+let merge a b =
+  {
+    skipped_lines = a.skipped_lines @ b.skipped_lines;
+    kept = a.kept + b.kept;
+    repaired = a.repaired @ b.repaired;
+    dropped = a.dropped @ b.dropped;
+  }
+
+let summary q =
+  Printf.sprintf
+    "quarantine: %d kept, %d repaired, %d dropped, %d lines skipped (confidence %.2f)"
+    q.kept (List.length q.repaired) (List.length q.dropped)
+    (List.length q.skipped_lines) (confidence q)
+
+let to_string q =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (summary q);
+  List.iter (fun { line; message } ->
+      Buffer.add_string buf (Printf.sprintf "\n  line %d skipped: %s" line message))
+    q.skipped_lines;
+  List.iter (fun { period_index; fixes } ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n  period %d repaired: %s" period_index
+           (String.concat "; " fixes)))
+    q.repaired;
+  List.iter (fun { period_index; reason } ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n  period %d dropped: %s" period_index reason))
+    q.dropped;
+  Buffer.contents buf
+
+let pp ppf q = Format.pp_print_string ppf (to_string q)

@@ -1,0 +1,144 @@
+type fix =
+  | Closed_dangling_rise of int
+  | Dropped_orphan_fall of int
+  | Dropped_nested_rise of int
+  | Closed_dangling_start of int
+  | Dropped_orphan_end of int
+  | Dropped_duplicate_start of int
+  | Dropped_duplicate_end of int
+  | Swapped_task_within_eps of int
+  | Swapped_edges_within_eps of int
+  | Dropped_unknown_task of int
+
+let string_of_fix = function
+  | Closed_dangling_rise m -> Printf.sprintf "closed dangling rise of 0x%x" m
+  | Dropped_orphan_fall m -> Printf.sprintf "dropped orphan fall of 0x%x" m
+  | Dropped_nested_rise m -> Printf.sprintf "dropped nested rise of 0x%x" m
+  | Closed_dangling_start i -> Printf.sprintf "closed dangling start of task %d" i
+  | Dropped_orphan_end i -> Printf.sprintf "dropped orphan end of task %d" i
+  | Dropped_duplicate_start i -> Printf.sprintf "dropped duplicate start of task %d" i
+  | Dropped_duplicate_end i -> Printf.sprintf "dropped duplicate end of task %d" i
+  | Swapped_task_within_eps i ->
+    Printf.sprintf "swapped inverted end/start of task %d" i
+  | Swapped_edges_within_eps m ->
+    Printf.sprintf "swapped inverted fall/rise of 0x%x" m
+  | Dropped_unknown_task i -> Printf.sprintf "dropped events of unknown task %d" i
+
+(* Per-task start/end state machine over the task's events in time
+   order. A task executes at most once per period, so any start after
+   the first and any end after the first completed one is a duplicate. *)
+let fix_task_stream ~eps ~close_time task evs =
+  let out = ref [] and fixes = ref [] in
+  let emit e = out := e :: !out in
+  let note f = fixes := f :: !fixes in
+  let rec go state = function
+    | [] ->
+      if state = `Running then begin
+        emit { Event.time = close_time; kind = Event.Task_end task };
+        note (Closed_dangling_start task)
+      end
+    | (e : Event.t) :: rest ->
+      (match e.kind, state with
+       | Event.Task_start _, `Idle -> emit e; go `Running rest
+       | Event.Task_start _, (`Running | `Done) ->
+         note (Dropped_duplicate_start task); go state rest
+       | Event.Task_end _, `Running -> emit e; go `Done rest
+       | Event.Task_end _, `Done ->
+         note (Dropped_duplicate_end task); go state rest
+       | Event.Task_end _, `Idle ->
+         (match rest with
+          | ({ Event.kind = Event.Task_start _; time = t' } as s) :: rest'
+            when t' > e.time && t' - e.time <= eps ->
+            (* Small inversion: the two clocks skewed; swap timestamps.
+               (At equal times the canonical event order already puts the
+               end first, so a swap would change nothing — fall through
+               to the orphan rule instead.) *)
+            emit { s with Event.time = e.time };
+            emit { e with Event.time = t' };
+            note (Swapped_task_within_eps task);
+            go `Done rest'
+          | _ -> note (Dropped_orphan_end task); go state rest)
+       | (Event.Msg_rise _ | Event.Msg_fall _), _ -> assert false)
+  in
+  go `Idle evs;
+  (List.rev !out, List.rev !fixes)
+
+(* Per-bus-id rise/fall pairing. Frames of the same id pair
+   rise-to-next-fall and never nest on a serial bus. *)
+let fix_msg_stream ~eps ~close_time id evs =
+  let out = ref [] and fixes = ref [] in
+  let emit e = out := e :: !out in
+  let note f = fixes := f :: !fixes in
+  let rec go opened = function
+    | [] ->
+      if opened then begin
+        emit { Event.time = close_time; kind = Event.Msg_fall id };
+        note (Closed_dangling_rise id)
+      end
+    | (e : Event.t) :: rest ->
+      (match e.kind, opened with
+       | Event.Msg_rise _, false -> emit e; go true rest
+       | Event.Msg_rise _, true ->
+         note (Dropped_nested_rise id); go opened rest
+       | Event.Msg_fall _, true -> emit e; go false rest
+       | Event.Msg_fall _, false ->
+         (match rest with
+          | ({ Event.kind = Event.Msg_rise _; time = t' } as r) :: rest'
+            when t' > e.time && t' - e.time <= eps ->
+            emit { r with Event.time = e.time };
+            emit { e with Event.time = t' };
+            note (Swapped_edges_within_eps id);
+            go false rest'
+          | _ -> note (Dropped_orphan_fall id); go opened rest)
+       | (Event.Task_start _ | Event.Task_end _), _ -> assert false)
+  in
+  go false evs;
+  (List.rev !out, List.rev !fixes)
+
+let sanitize ?(eps = 0) ~ntasks events =
+  let events = List.sort Event.compare events in
+  let close_time =
+    1 + List.fold_left (fun m (e : Event.t) -> max m e.time) 0 events
+  in
+  let task_streams : (int, Event.t list) Hashtbl.t = Hashtbl.create 8 in
+  let msg_streams : (int, Event.t list) Hashtbl.t = Hashtbl.create 8 in
+  let unknown = ref [] in
+  let push tbl k e =
+    Hashtbl.replace tbl k (e :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+  in
+  List.iter (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Task_start i | Event.Task_end i ->
+        if i < 0 || i >= ntasks then begin
+          if not (List.mem i !unknown) then unknown := i :: !unknown
+        end
+        else push task_streams i e
+      | Event.Msg_rise m | Event.Msg_fall m -> push msg_streams m e)
+    events;
+  let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare in
+  let out = ref [] and fixes = ref [] in
+  List.iter (fun i -> fixes := Dropped_unknown_task i :: !fixes)
+    (List.sort Int.compare (List.rev !unknown));
+  List.iter (fun i ->
+      let evs, fxs =
+        fix_task_stream ~eps ~close_time i (List.rev (Hashtbl.find task_streams i))
+      in
+      out := List.rev_append evs !out;
+      fixes := List.rev_append fxs !fixes)
+    (keys task_streams);
+  List.iter (fun m ->
+      let evs, fxs =
+        fix_msg_stream ~eps ~close_time m (List.rev (Hashtbl.find msg_streams m))
+      in
+      out := List.rev_append evs !out;
+      fixes := List.rev_append fxs !fixes)
+    (keys msg_streams);
+  (List.sort Event.compare (List.rev !out), List.rev !fixes)
+
+let period ?eps ~index ~task_set events =
+  let events, fixes =
+    sanitize ?eps ~ntasks:(Rt_task.Task_set.size task_set) events
+  in
+  match Period.make ~index ~task_set events with
+  | Ok p -> Ok (p, fixes)
+  | Error _ as e -> e

@@ -1,0 +1,54 @@
+(** Repair heuristics for damaged periods (the [`Recover] ingestion
+    path). A real logging device drops edges, duplicates frames and
+    timestamps two clocks against each other; {!Period.make} rightly
+    rejects such periods, but rejecting is useless in production — the
+    loader should salvage what the evidence still supports and report
+    what it changed.
+
+    The sanitizer is a single deterministic pass per signal stream
+    (each task's start/end stream, each bus id's rise/fall stream):
+
+    - a {e dangling} rising edge or task start (no matching fall/end
+      before the period ends) is closed with a synthetic edge just
+      after the last event — the frame/execution was real, only its
+      tail was lost;
+    - an {e orphan} falling edge or task end (no matching rise/start)
+      is dropped — there is no evidence of when it began;
+    - a {e nested} rising edge or repeated start/end (duplicated log
+      entry) is dropped;
+    - an inverted pair within [eps] microseconds (fall before its
+      rise, end before its start) is re-ordered by swapping the two
+      timestamps — two free-running clocks skew by small amounts, so a
+      small inversion is far more likely mis-timestamping than a
+      genuine orphan+dangling pair.
+
+    Every change is reported as a {!fix} so the quarantine report can
+    show exactly how synthetic a repaired period is. *)
+
+type fix =
+  | Closed_dangling_rise of int   (** bus id: synthesized falling edge *)
+  | Dropped_orphan_fall of int    (** bus id *)
+  | Dropped_nested_rise of int    (** bus id: duplicated rising edge *)
+  | Closed_dangling_start of int  (** task: synthesized end *)
+  | Dropped_orphan_end of int     (** task *)
+  | Dropped_duplicate_start of int
+  | Dropped_duplicate_end of int
+  | Swapped_task_within_eps of int   (** task: end/start inversion undone *)
+  | Swapped_edges_within_eps of int  (** bus id: fall/rise inversion undone *)
+  | Dropped_unknown_task of int      (** task index out of range *)
+
+val string_of_fix : fix -> string
+
+val sanitize : ?eps:int -> ntasks:int -> Event.t list -> Event.t list * fix list
+(** [sanitize ~ntasks events] returns a repaired event list (sorted with
+    {!Event.compare}) that {!Period.make} accepts, plus the fixes
+    applied in deterministic order (tasks ascending, then bus ids
+    ascending). [eps] (default 0) is the clock-skew tolerance for the
+    swap heuristic. [([], [])] on an empty input. *)
+
+val period :
+  ?eps:int -> index:int -> task_set:Rt_task.Task_set.t ->
+  Event.t list -> (Period.t * fix list, Period.error) result
+(** {!sanitize} then {!Period.make}. [Ok (p, [])] means the period was
+    already clean. [Error _] cannot happen unless the sanitizer has a
+    blind spot — callers should treat it as "drop this period". *)

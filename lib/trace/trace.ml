@@ -9,26 +9,54 @@ let of_periods ~task_set ps =
 
 type segment_error = { period_index : int; error : Period.error }
 
-let segment ~task_set ~period_len events =
-  if period_len <= 0 then invalid_arg "Trace.segment: period_len must be positive";
+(* [segment]'s bucketing, shared with the recover variant. Returns the
+   buckets in ascending original-index order, renumbered from 0. *)
+let buckets ~period_len events =
   let by_period : (int, Event.t list) Hashtbl.t = Hashtbl.create 32 in
   List.iter (fun (e : Event.t) ->
       let idx = e.time / period_len in
       let cur = Option.value ~default:[] (Hashtbl.find_opt by_period idx) in
       Hashtbl.replace by_period idx (e :: cur))
     events;
-  let indices =
-    Hashtbl.fold (fun k _ acc -> k :: acc) by_period [] |> List.sort Int.compare
-  in
+  Hashtbl.fold (fun k _ acc -> k :: acc) by_period []
+  |> List.sort Int.compare
+  |> List.mapi (fun new_idx old_idx -> (new_idx, old_idx, Hashtbl.find by_period old_idx))
+
+let segment ~task_set ~period_len events =
+  if period_len <= 0 then invalid_arg "Trace.segment: period_len must be positive";
   let oks = ref [] and errs = ref [] in
-  List.iteri (fun new_idx old_idx ->
-      let evs = Hashtbl.find by_period old_idx in
+  List.iter (fun (new_idx, old_idx, evs) ->
       match Period.make ~index:new_idx ~task_set evs with
       | Ok p -> oks := p :: !oks
       | Error error -> errs := { period_index = old_idx; error } :: !errs)
-    indices;
+    (buckets ~period_len events);
   if !errs <> [] then Error (List.rev !errs)
   else Ok { task_set; periods = Array.of_list (List.rev !oks) }
+
+let segment_recover ?eps ~task_set ~period_len events =
+  if period_len <= 0 then
+    invalid_arg "Trace.segment_recover: period_len must be positive";
+  let oks = ref [] and kept = ref 0 and repaired = ref [] and dropped = ref [] in
+  List.iter (fun (new_idx, old_idx, evs) ->
+      match Repair.period ?eps ~index:new_idx ~task_set evs with
+      | Ok (p, []) -> oks := p :: !oks; incr kept
+      | Ok (p, fixes) ->
+        oks := p :: !oks;
+        repaired :=
+          { Quarantine.period_index = old_idx;
+            fixes = List.map Repair.string_of_fix fixes }
+          :: !repaired
+      | Error e ->
+        dropped :=
+          { Quarantine.period_index = old_idx;
+            reason = Period.string_of_error e }
+          :: !dropped)
+    (buckets ~period_len events);
+  ( { task_set; periods = Array.of_list (List.rev !oks) },
+    { Quarantine.skipped_lines = [];
+      kept = !kept;
+      repaired = List.rev !repaired;
+      dropped = List.rev !dropped } )
 
 let median = function
   | [] -> None

@@ -24,6 +24,15 @@ val segment :
     boundary violates the model-of-computation assumption and is reported
     as an error. Empty periods are dropped. *)
 
+val segment_recover :
+  ?eps:int -> task_set:Rt_task.Task_set.t -> period_len:int ->
+  Event.t list -> t * Quarantine.t
+(** [segment] for messy streams: a period that fails validation is
+    salvaged with {!Repair} (counted as repaired) or, if irreparable,
+    dropped — never an error. The quarantine report accounts for every
+    period by its original (pre-renumbering) index. [eps] is the
+    clock-skew tolerance forwarded to {!Repair}. *)
+
 val infer_period : Event.t list -> int option
 (** Estimate the period length of a flat absolute-time event stream from
     the recurrence of task start events: for every task with at least

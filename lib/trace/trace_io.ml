@@ -30,16 +30,27 @@ let to_string (t : Trace.t) =
 
 let output oc t = Stdlib.output_string oc (to_string t)
 
-let save path t =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output oc t)
+let save path t = Rt_util.Atomic_file.write path (to_string t)
 
 type parse_error = { line : int; message : string }
 
-let of_string s =
+type mode = [ `Strict | `Recover ]
+
+let of_string ?(mode = `Strict) ?eps s =
+  let strict = mode = `Strict in
   let lines = String.split_on_char '\n' s in
   let exception Fail of parse_error in
   let fail line message = raise (Fail { line; message }) in
+  (* Quarantine accumulators (all stay empty in strict mode except the
+     kept count). *)
+  let skipped = ref [] and repaired = ref [] and dropped = ref [] in
+  let kept = ref 0 in
+  (* A malformed line is fatal in strict mode, a diagnostic in recover
+     mode. *)
+  let skip_line line message =
+    if strict then fail line message
+    else skipped := { Quarantine.line; message } :: !skipped
+  in
   let task_set = ref None in
   let periods = ref [] in
   let cur_index = ref None and cur_events = ref [] in
@@ -47,30 +58,54 @@ let of_string s =
     match !cur_index with
     | None -> ()
     | Some index ->
-      let ts = match !task_set with
-        | Some ts -> ts
-        | None -> fail lineno "period before tasks line"
-      in
-      (match Period.make ~index ~task_set:ts (List.rev !cur_events) with
-       | Ok p -> periods := p :: !periods
-       | Error e ->
-         fail lineno (Printf.sprintf "invalid period %d: %s" index
-                        (Period.string_of_error e)));
+      (match !task_set with
+       | None ->
+         if strict then fail lineno "period before tasks line"
+         else
+           dropped :=
+             { Quarantine.period_index = index; reason = "before tasks line" }
+             :: !dropped
+       | Some ts ->
+         let events = List.rev !cur_events in
+         if strict then
+           (match Period.make ~index ~task_set:ts events with
+            | Ok p -> periods := p :: !periods; incr kept
+            | Error e ->
+              fail lineno
+                (Printf.sprintf "invalid period %d: %s" index
+                   (Period.string_of_error e)))
+         else
+           (match Repair.period ?eps ~index ~task_set:ts events with
+            | Ok (p, []) -> periods := p :: !periods; incr kept
+            | Ok (p, fixes) ->
+              periods := p :: !periods;
+              repaired :=
+                { Quarantine.period_index = index;
+                  fixes = List.map Repair.string_of_fix fixes }
+                :: !repaired
+            | Error e ->
+              dropped :=
+                { Quarantine.period_index = index;
+                  reason = Period.string_of_error e }
+                :: !dropped));
       cur_index := None;
       cur_events := []
   in
-  let parse_msg_id lineno tok =
+  (* Line-level parse helpers signal with [Not_found]-style local
+     exceptions so that recover mode can skip just the line. *)
+  let exception Bad_line of string in
+  let parse_msg_id tok =
     match int_of_string_opt tok with
     | Some m -> m
-    | None -> fail lineno ("bad message id: " ^ tok)
+    | None -> raise (Bad_line ("bad message id: " ^ tok))
   in
-  let parse_task lineno tok =
+  let parse_task tok =
     match !task_set with
-    | None -> fail lineno "event before tasks line"
+    | None -> raise (Bad_line "event before tasks line")
     | Some ts ->
       (match Rt_task.Task_set.index ts tok with
        | Some i -> i
-       | None -> fail lineno ("unknown task: " ^ tok))
+       | None -> raise (Bad_line ("unknown task: " ^ tok)))
   in
   try
     List.iteri (fun i raw ->
@@ -80,50 +115,155 @@ let of_string s =
         else
           match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
           | "tasks" :: names ->
-            if !task_set <> None then fail lineno "duplicate tasks line";
-            if names = [] then fail lineno "tasks line without names";
-            (match Rt_task.Task_set.of_names (Array.of_list names) with
-             | ts -> task_set := Some ts
-             | exception Invalid_argument m -> fail lineno m)
+            if !task_set <> None then skip_line lineno "duplicate tasks line"
+            else if names = [] then skip_line lineno "tasks line without names"
+            else
+              (match Rt_task.Task_set.of_names (Array.of_list names) with
+               | ts -> task_set := Some ts
+               | exception Invalid_argument m -> skip_line lineno m)
           | [ "period"; idx ] ->
             flush_period lineno;
             (match int_of_string_opt idx with
              | Some n -> cur_index := Some n
-             | None -> fail lineno ("bad period index: " ^ idx))
+             | None -> skip_line lineno ("bad period index: " ^ idx))
           | [ time; verb; arg ] ->
-            if !cur_index = None then fail lineno "event before a period line";
-            let time = match int_of_string_opt time with
-              | Some t when t >= 0 -> t
-              | Some _ -> fail lineno "negative timestamp"
-              | None -> fail lineno ("bad timestamp: " ^ time)
-            in
-            let kind =
-              match verb with
-              | "start" -> Event.Task_start (parse_task lineno arg)
-              | "end" -> Event.Task_end (parse_task lineno arg)
-              | "rise" -> Event.Msg_rise (parse_msg_id lineno arg)
-              | "fall" -> Event.Msg_fall (parse_msg_id lineno arg)
-              | _ -> fail lineno ("unknown event kind: " ^ verb)
-            in
-            cur_events := { Event.time; kind } :: !cur_events
-          | _ -> fail lineno ("unparseable line: " ^ line))
+            (match
+               if !cur_index = None then
+                 raise (Bad_line "event before a period line")
+               else begin
+                 let time =
+                   match int_of_string_opt time with
+                   | Some t when t >= 0 -> t
+                   | Some _ -> raise (Bad_line "negative timestamp")
+                   | None -> raise (Bad_line ("bad timestamp: " ^ time))
+                 in
+                 let kind =
+                   match verb with
+                   | "start" -> Event.Task_start (parse_task arg)
+                   | "end" -> Event.Task_end (parse_task arg)
+                   | "rise" -> Event.Msg_rise (parse_msg_id arg)
+                   | "fall" -> Event.Msg_fall (parse_msg_id arg)
+                   | _ -> raise (Bad_line ("unknown event kind: " ^ verb))
+                 in
+                 { Event.time; kind }
+               end
+             with
+             | e -> cur_events := e :: !cur_events
+             | exception Bad_line m -> skip_line lineno m)
+          | _ -> skip_line lineno ("unparseable line: " ^ line))
       lines;
     flush_period (List.length lines);
     (match !task_set with
      | None -> fail (List.length lines) "missing tasks line"
-     | Some ts -> Ok (Trace.of_periods ~task_set:ts (List.rev !periods)))
+     | Some ts ->
+       let q =
+         { Quarantine.skipped_lines = List.rev !skipped;
+           kept = !kept;
+           repaired = List.rev !repaired;
+           dropped = List.rev !dropped }
+       in
+       Ok (Trace.of_periods ~task_set:ts (List.rev !periods), q))
   with Fail e -> Error e
 
 let of_string_exn s =
   match of_string s with
-  | Ok t -> t
+  | Ok (t, _) -> t
   | Error e ->
     invalid_arg (Printf.sprintf "Trace_io.of_string_exn: line %d: %s" e.line e.message)
 
-let load path =
+let load ?mode ?eps path =
   let ic = open_in path in
   let content =
     Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
         really_input_string ic (in_channel_length ic))
   in
-  of_string content
+  of_string ?mode ?eps content
+
+(* A structurally valid period can still be semantically hopeless: a
+   message with an empty candidate set A_m collapses the learner's
+   hypothesis set to the empty set (paper §3.1). Excising just that
+   message's edges cannot invalidate the others — candidate sets depend
+   only on task times — so we cut the bad frames and re-validate, and
+   drop the period only if that fails. *)
+let semantic_filter ?window (trace : Trace.t) (q : Quarantine.t) =
+  let salvage (p : Period.t) =
+    let bad_msgs =
+      Array.to_list p.msgs
+      |> List.filter (fun m -> Candidates.pairs ?window p m = [])
+    in
+    if bad_msgs = [] then `Clean
+    else begin
+      (* Within a valid period, edges of a given bus id never overlap, so
+         (id, time) identifies each bad edge uniquely. *)
+      let is_bad (e : Event.t) =
+        match e.kind with
+        | Event.Msg_rise id ->
+          List.exists (fun (m : Period.msg) -> m.bus_id = id && m.rise = e.time)
+            bad_msgs
+        | Event.Msg_fall id ->
+          List.exists (fun (m : Period.msg) -> m.bus_id = id && m.fall = e.time)
+            bad_msgs
+        | Event.Task_start _ | Event.Task_end _ -> false
+      in
+      let events = List.filter (fun e -> not (is_bad e)) p.events in
+      match Period.make ~index:p.index ~task_set:p.task_set events with
+      | Ok p' when Candidates.unexplained ?window p' = [] ->
+        `Excised (p', List.length bad_msgs)
+      | Ok _ | Error _ -> `Dropped
+    end
+  in
+  let good = ref [] and excised = ref [] and dropped = ref [] in
+  List.iter (fun (p : Period.t) ->
+      match salvage p with
+      | `Clean -> good := p :: !good
+      | `Excised (p', n) ->
+        good := p' :: !good;
+        excised := (p'.Period.index, n) :: !excised
+      | `Dropped -> dropped := p.index :: !dropped)
+    (Trace.periods trace);
+  if !excised = [] && !dropped = [] then (trace, q)
+  else begin
+    let excised = List.rev !excised and dropped_idx = List.rev !dropped in
+    let was_repaired i =
+      List.exists
+        (fun (r : Quarantine.period_repair) -> r.period_index = i)
+        q.repaired
+    in
+    let touched = List.map fst excised @ dropped_idx in
+    let clean_touched =
+      List.length (List.filter (fun i -> not (was_repaired i)) touched)
+    in
+    let fix_of (i, n) =
+      match
+        List.find_opt
+          (fun (r : Quarantine.period_repair) -> r.period_index = i)
+          q.repaired
+      with
+      | Some r ->
+        { r with
+          Quarantine.fixes =
+            r.fixes @ [ Printf.sprintf "excised %d inexplicable frame(s)" n ] }
+      | None ->
+        { Quarantine.period_index = i;
+          fixes = [ Printf.sprintf "excised %d inexplicable frame(s)" n ] }
+    in
+    let q =
+      { q with
+        Quarantine.kept = q.kept - clean_touched;
+        repaired =
+          List.filter
+            (fun (r : Quarantine.period_repair) ->
+               not (List.mem r.period_index touched))
+            q.repaired
+          @ List.map fix_of excised;
+        dropped =
+          q.dropped
+          @ List.map
+              (fun i ->
+                 { Quarantine.period_index = i;
+                   reason = "message with no admissible sender/receiver" })
+              dropped_idx;
+      }
+    in
+    (Trace.of_periods ~task_set:trace.task_set (List.rev !good), q)
+  end

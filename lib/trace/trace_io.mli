@@ -13,21 +13,54 @@
     v}
 
     Task events name the task; message events give the bus id in hex.
-    Timestamps are microseconds relative to the period start. *)
+    Timestamps are microseconds relative to the period start.
+
+    Loading has two modes. [`Strict] (the default) rejects the first
+    malformed line or period, as a regression gate should. [`Recover]
+    is the production ingest path: malformed lines are skipped, damaged
+    periods are salvaged by {!Repair} or dropped, and everything the
+    loader changed is accounted for in a {!Quarantine.t} report — a
+    messy multi-hour CAN capture must not kill the run at line 3. *)
 
 val to_string : Trace.t -> string
 
 val output : out_channel -> Trace.t -> unit
 
 val save : string -> Trace.t -> unit
-(** Write to a file path. *)
+(** Write to a file path, atomically (tmp + rename): an interrupted
+    export never leaves a truncated trace on disk. *)
 
 type parse_error = { line : int; message : string }
 
-val of_string : string -> (Trace.t, parse_error) result
+type mode = [ `Strict | `Recover ]
+
+val of_string :
+  ?mode:mode -> ?eps:int -> string ->
+  (Trace.t * Quarantine.t, parse_error) result
+(** In [`Strict] mode (default) the quarantine report is always empty
+    apart from its kept count, and any damage is an [Error] — exactly
+    the seed behaviour. In [`Recover] mode only a missing/unusable
+    [tasks] header is an [Error]; everything else degrades into the
+    report. [eps] is the clock-skew tolerance forwarded to {!Repair}
+    (default 0). *)
 
 val of_string_exn : string -> Trace.t
-(** @raise Invalid_argument with position information. *)
+(** Strict. @raise Invalid_argument with position information. *)
 
-val load : string -> (Trace.t, parse_error) result
+val load :
+  ?mode:mode -> ?eps:int -> string ->
+  (Trace.t * Quarantine.t, parse_error) result
 (** Read from a file path. *)
+
+val semantic_filter :
+  ?window:int -> Trace.t -> Quarantine.t -> Trace.t * Quarantine.t
+(** Second-stage quarantine for [`Recover] pipelines. A structurally
+    valid period can still carry a message with an empty candidate set
+    [A_m] ({!Candidates.unexplained}) — e.g. a spliced bogus frame, or a
+    real frame whose sender's events were lost — and a single such
+    message collapses the learner's hypothesis set to the empty set.
+    This pass excises the inexplicable frames' edges and re-validates
+    the period (recorded as a repair in the report); if the period does
+    not survive excision it is dropped with a reason. [window] must
+    match the one later passed to the learner. Feed it the result of a
+    [`Recover]-mode {!load}/{!of_string}. *)

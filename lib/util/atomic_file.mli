@@ -1,0 +1,9 @@
+(** Atomic whole-file writes: write to [path ^ ".tmp"], then rename over
+    [path]. A reader (or a crash) never observes a truncated file — the
+    rename is atomic on POSIX filesystems — which is what trace exports
+    and learner checkpoints need to survive interruption. *)
+
+val write : string -> string -> unit
+(** [write path content] atomically replaces [path] with [content].
+    The temporary file is removed on failure. Raises [Sys_error] as the
+    underlying syscalls do. *)

@@ -115,6 +115,95 @@ let test_anonymize () =
 let test_missing_file () =
   ignore (run ~expect_fail:true "learn /nonexistent/file.trace")
 
+(* --- fault injection / recovery / checkpointing --- *)
+
+let read_file p =
+  let ic = open_in p in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+let corrupted_file = tmp "gm_corrupted.trace"
+
+let test_inject () =
+  let out =
+    run (Printf.sprintf "inject %s --rate 0.1 --seed 7 -o %s" trace_file
+           corrupted_file)
+  in
+  ignore out;
+  Alcotest.(check bool) "corrupted trace written" true
+    (Sys.file_exists corrupted_file);
+  (* Same seed, same damage. *)
+  let again = run (Printf.sprintf "inject %s --rate 0.1 --seed 7" trace_file) in
+  Alcotest.(check string) "reproducible" (read_file corrupted_file) again;
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "inject %s --rate 1.5" trace_file));
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "inject %s --kinds not_a_kind" trace_file))
+
+let test_learn_strict_vs_recover () =
+  (* Strict mode must reject the damage... *)
+  ignore (run ~expect_fail:true (Printf.sprintf "learn %s" corrupted_file));
+  (* ...recover mode must complete and report the quarantine on stderr. *)
+  let out =
+    run (Printf.sprintf "learn %s --mode recover --eps 60 --bound 4"
+           corrupted_file)
+  in
+  Alcotest.(check bool) "prints a model" true
+    (contains ~needle:"least upper bound" out);
+  Alcotest.(check bool) "quarantine summary on stderr" true
+    (contains ~needle:"quarantine:" (read_file (tmp "stderr")))
+
+let test_analyze_recover_confidence () =
+  let out =
+    run (Printf.sprintf "analyze %s --mode recover --eps 60 --bound 4"
+           corrupted_file)
+  in
+  Alcotest.(check bool) "ingestion section" true
+    (contains ~needle:"== ingestion ==" out);
+  Alcotest.(check bool) "confidence reported" true
+    (contains ~needle:"confidence" out)
+
+let test_checkpoint_kill_resume () =
+  let ckpt = tmp "gm.ckpt" in
+  if Sys.file_exists ckpt then Sys.remove ckpt;
+  (* Emulate a kill after 2 of 6 periods. *)
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 --checkpoint %s --stop-after 2"
+            trace_file ckpt));
+  Alcotest.(check bool) "checkpoint written" true (Sys.file_exists ckpt);
+  let resumed =
+    run (Printf.sprintf "learn %s --bound 4 --checkpoint %s" trace_file ckpt)
+  in
+  Alcotest.(check bool) "resume announced" true
+    (contains ~needle:"resumed" (read_file (tmp "stderr")));
+  let uninterrupted = run (Printf.sprintf "learn %s --bound 4" trace_file) in
+  Alcotest.(check string) "resumed model = uninterrupted model"
+    uninterrupted resumed;
+  Alcotest.(check bool) "checkpoint removed on success" false
+    (Sys.file_exists ckpt)
+
+let test_checkpoint_wrong_trace_refused () =
+  let ckpt = tmp "gm_wrong.ckpt" in
+  if Sys.file_exists ckpt then Sys.remove ckpt;
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 --checkpoint %s --stop-after 1"
+            trace_file ckpt));
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "learn %s --bound 4 --checkpoint %s" corrupted_file
+          ckpt));
+  Sys.remove ckpt
+
+let test_vcd_import_roundtrip () =
+  let dump = tmp "gm.vcd" in
+  ignore
+    (run (Printf.sprintf "vcd %s --period-len 100000 -o %s" trace_file dump));
+  let back = run (Printf.sprintf "vcd --import %s --period-len 100000" dump) in
+  Alcotest.(check string) "vcd import round trip" (read_file trace_file) back;
+  ignore (run ~expect_fail:true (Printf.sprintf "vcd --import %s" trace_file))
+
 let () =
   Alcotest.run "cli"
     [
@@ -134,5 +223,19 @@ let () =
           Alcotest.test_case "example" `Quick test_example;
           Alcotest.test_case "anonymize" `Quick test_anonymize;
           Alcotest.test_case "missing file" `Quick test_missing_file;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "inject" `Quick test_inject;
+          Alcotest.test_case "strict vs recover learn" `Quick
+            test_learn_strict_vs_recover;
+          Alcotest.test_case "analyze confidence" `Quick
+            test_analyze_recover_confidence;
+          Alcotest.test_case "checkpoint kill-resume" `Quick
+            test_checkpoint_kill_resume;
+          Alcotest.test_case "checkpoint trace mismatch" `Quick
+            test_checkpoint_wrong_trace_refused;
+          Alcotest.test_case "vcd import round trip" `Quick
+            test_vcd_import_roundtrip;
         ] );
     ]
