@@ -5,12 +5,14 @@ open Cmdliner
 
 (* Load a trace; in recover mode the quarantine summary goes to stderr so
    stdout stays pipeable model output. *)
-let read_trace ?(mode = `Strict) ?eps ?window path =
-  match Rt_trace.Trace_io.load ~mode ?eps path with
+let read_trace ?(mode = `Strict) ?eps ?window ?obs ?(quiet = false) path =
+  match Rt_trace.Trace_io.load ~mode ?eps ?obs path with
   | Ok (t, q) ->
-    let t, q = if mode = `Recover then Rt_trace.Trace_io.semantic_filter ?window t q
+    let t, q =
+      if mode = `Recover then Rt_trace.Trace_io.semantic_filter ?window ?obs t q
       else (t, q) in
-    if mode = `Recover then prerr_endline (Rt_trace.Quarantine.summary q);
+    if mode = `Recover && not quiet then
+      prerr_endline (Rt_trace.Quarantine.summary q);
     Ok (t, q)
   | Error e ->
     Error (Printf.sprintf "%s: line %d: %s" path e.line e.message)
@@ -80,13 +82,13 @@ let read_file path =
    (post-quarantine) trace so a resume against different data is refused
    rather than silently wrong. [stop_after] processes that many periods and
    exits — a deterministic stand-in for getting killed, used by the tests. *)
-let run_checkpointed ~pool ~window ~bound ~every ~stop_after ~ckpt_path
-    (q : Rt_trace.Quarantine.t) trace =
+let run_checkpointed ~pool ~obs ~progress ~window ~bound ~every ~stop_after
+    ~ckpt_path (q : Rt_trace.Quarantine.t) trace =
   let module H = Rt_learn.Heuristic in
   let tag = Digest.to_hex (Digest.string (Rt_trace.Trace_io.to_string trace)) in
   let fresh () =
     let st =
-      H.init ?window ?pool ~bound
+      H.init ?window ?pool ?obs ~bound
         ~ntasks:(Rt_trace.Trace.task_count trace) ()
     in
     H.set_provenance st
@@ -96,7 +98,7 @@ let run_checkpointed ~pool ~window ~bound ~every ~stop_after ~ckpt_path
   in
   let st =
     if Sys.file_exists ckpt_path then
-      match H.resume ?pool (read_file ckpt_path) with
+      match H.resume ?pool ?obs (read_file ckpt_path) with
       | Ok (st, tag') when tag' = tag ->
         Printf.eprintf "resumed %s: %d periods already processed\n" ckpt_path
           (H.stats st).periods_processed;
@@ -128,6 +130,11 @@ let run_checkpointed ~pool ~window ~bound ~every ~stop_after ~ckpt_path
              if i >= skip && not !stopped then begin
                H.feed st p;
                let done_ = i + 1 in
+               (match progress with
+                | Some n when done_ mod n = 0 || done_ = total ->
+                  Printf.eprintf "progress: %d/%d periods, %d hypotheses\n%!"
+                    done_ total (List.length (H.current st))
+                | Some _ | None -> ());
                if done_ mod every = 0 || done_ = total then write_ckpt ();
                match stop_after with
                | Some k when done_ - skip >= k -> stopped := true
@@ -137,6 +144,7 @@ let run_checkpointed ~pool ~window ~bound ~every ~stop_after ~ckpt_path
        with e -> write_ckpt (); raise e);
       if !stopped then begin
         write_ckpt ();
+        H.publish st;
         Printf.eprintf "stopped after %d periods (checkpoint in %s)\n"
           (H.stats st).periods_processed ckpt_path;
         Ok None
@@ -148,9 +156,28 @@ let run_checkpointed ~pool ~window ~bound ~every ~stop_after ~ckpt_path
       end
     end
 
+(* Write the registry's sinks. Atomic writes: a run killed mid-dump never
+   leaves a truncated JSON document behind. *)
+let write_sinks ~metrics ~trace_events obs =
+  match obs with
+  | None -> ()
+  | Some reg ->
+    let dump path json =
+      Rt_util.Atomic_file.write path (Rt_obs.Json.to_string ~pretty:true json);
+      Printf.eprintf "wrote %s\n" path
+    in
+    Option.iter (fun p -> dump p (Rt_obs.Registry.to_json reg)) metrics;
+    Option.iter (fun p -> dump p (Rt_obs.Registry.trace_events_json reg))
+      trace_events
+
 let learn path exact bound window jobs dot output mode eps checkpoint every
-    stop_after =
-  match read_trace ~mode ~eps ?window path with
+    stop_after metrics trace_events progress =
+  let obs =
+    if metrics <> None || trace_events <> None then
+      Some (Rt_obs.Registry.create ())
+    else None
+  in
+  match read_trace ~mode ~eps ?window ?obs path with
   | Error m -> `Error (false, m)
   | Ok (trace, _) when Rt_trace.Trace.period_count trace = 0 ->
     `Error (false, "no usable periods after quarantine")
@@ -163,15 +190,15 @@ let learn path exact bound window jobs dot output mode eps checkpoint every
       | Some ckpt_path ->
         (match
            with_pool jobs (fun pool ->
-               run_checkpointed ~pool ~window ~bound ~every ~stop_after
-                 ~ckpt_path q trace)
+               run_checkpointed ~pool ~obs ~progress ~window ~bound ~every
+                 ~stop_after ~ckpt_path q trace)
          with
          | Error _ as e -> e
          | Ok None -> Ok None
          | Ok (Some o) -> Ok (Some o.Rt_learn.Heuristic.hypotheses))
       | None ->
         if exact then
-          match Rt_learn.Exact.run ?window trace with
+          match Rt_learn.Exact.run ?window ?obs trace with
           | o -> Ok (Some o.hypotheses)
           | exception Rt_learn.Exact.Blowup { set_size; limit; _ } ->
             Error (Printf.sprintf
@@ -181,9 +208,28 @@ let learn path exact bound window jobs dot output mode eps checkpoint every
         else
           Ok (Some
                 (with_pool jobs (fun pool ->
-                     (Rt_learn.Heuristic.run ?pool ?window ~bound trace)
-                       .hypotheses)))
+                     let module H = Rt_learn.Heuristic in
+                     let st =
+                       H.init ?window ?pool ?obs ~bound
+                         ~ntasks:(Rt_trace.Trace.task_count trace) ()
+                     in
+                     H.set_provenance st
+                       ~dropped:(List.length q.dropped)
+                       ~repaired:(List.length q.repaired);
+                     let periods = Rt_trace.Trace.periods trace in
+                     let total = List.length periods in
+                     List.iteri (fun i p ->
+                         H.feed st p;
+                         match progress with
+                         | Some n when (i + 1) mod n = 0 || i + 1 = total ->
+                           Printf.eprintf
+                             "progress: %d/%d periods, %d hypotheses\n%!"
+                             (i + 1) total (List.length (H.current st))
+                         | Some _ | None -> ())
+                       periods;
+                     (H.snapshot st).hypotheses)))
     in
+    write_sinks ~metrics ~trace_events obs;
     (match hypotheses with
      | Error m -> `Error (false, m)
      | Ok None -> `Ok ()  (* --stop-after: checkpoint written, no model yet *)
@@ -259,12 +305,38 @@ let analyze path bound window jobs mode eps =
 
 (* --- stats / vcd --- *)
 
-let stats path =
-  match read_trace path with
+let stats path recover eps =
+  let mode = if recover then `Recover else `Strict in
+  match read_trace ~mode ~eps ~quiet:true path with
   | Error m -> `Error (false, m)
-  | Ok (trace, _) ->
+  | Ok (trace, q) ->
     print_endline (Rt_trace.Stats.to_string trace);
+    (* With --recover the quarantine account is part of the statistics,
+       so it goes to stdout, unlike the learn/analyze stderr summary. *)
+    if recover then begin
+      print_endline "== quarantine ==";
+      print_endline (Rt_trace.Quarantine.summary q);
+      Printf.printf "confidence: %.0f%%\n"
+        (100.0 *. Rt_trace.Quarantine.confidence q)
+    end;
     `Ok ()
+
+(* --- report --- *)
+
+let report path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> `Error (false, m)
+  | content ->
+    (match Rt_obs.Json.of_string content with
+     | Error m -> `Error (false, Printf.sprintf "%s: %s" path m)
+     | Ok json ->
+       (match Rt_obs.Report.render json with
+        | Error m -> `Error (false, Printf.sprintf "%s: %s" path m)
+        | Ok rendered -> print_string rendered; `Ok ()))
 
 let vcd path import period_len output =
   if import then
@@ -526,10 +598,27 @@ let learn_cmd =
          & info [ "stop-after" ] ~docv:"K" ~docs:Manpage.s_none
              ~doc:"Stop after processing K periods (testing aid).")
   in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write run metrics (counters, gauges, histograms, span \
+                 aggregates) to FILE as JSON; render with $(b,rtgen \
+                 report).")
+  in
+  let trace_events =
+    Arg.(value & opt (some string) None & info [ "trace-events" ] ~docv:"FILE"
+           ~doc:"Write the run's spans to FILE in Chrome trace_event \
+                 format (load in chrome://tracing or Perfetto).")
+  in
+  let progress =
+    Arg.(value & opt (some int) None & info [ "progress" ] ~docv:"N"
+           ~doc:"Report progress on stderr every N periods (heuristic \
+                 algorithm only).")
+  in
   Cmd.v (Cmd.info "learn" ~doc:"Learn a dependency model from a trace")
     Term.(ret (const learn $ trace_arg $ exact $ bound_arg $ window_arg
                $ jobs_arg $ dot_arg $ output $ mode_arg $ eps_arg
-               $ checkpoint $ every $ stop_after))
+               $ checkpoint $ every $ stop_after $ metrics $ trace_events
+               $ progress))
 
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze"
@@ -576,8 +665,23 @@ let inject_cmd =
                $ output))
 
 let stats_cmd =
+  let recover =
+    Arg.(value & flag & info [ "recover" ]
+           ~doc:"Ingest in recover mode and include the quarantine \
+                 account (skipped lines, repaired/dropped periods, \
+                 confidence) in the statistics.")
+  in
   Cmd.v (Cmd.info "stats" ~doc:"Print descriptive statistics of a trace")
-    Term.(ret (const stats $ trace_arg))
+    Term.(ret (const stats $ trace_arg $ recover $ eps_arg))
+
+let report_cmd =
+  let metrics_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"METRICS"
+           ~doc:"Metrics JSON written by $(b,learn --metrics).")
+  in
+  Cmd.v (Cmd.info "report"
+           ~doc:"Render a metrics file as a per-phase table")
+    Term.(ret (const report $ metrics_file))
 
 let vcd_cmd =
   let import =
@@ -649,5 +753,5 @@ let () =
   let info = Cmd.info "rtgen" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ simulate_cmd; learn_cmd; analyze_cmd; check_cmd;
-                      inject_cmd; stats_cmd; vcd_cmd; gantt_cmd;
+                      inject_cmd; stats_cmd; report_cmd; vcd_cmd; gantt_cmd;
                       anonymize_cmd; table1_cmd; example_cmd ]))

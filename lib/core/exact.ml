@@ -34,39 +34,60 @@ let step_message hs pairs ~created ~limit =
         pairs)
     hs
 
-let end_of_period hs ~violated =
+let end_of_period ?weakened ?removed hs ~violated =
   List.iter (fun h ->
-      Hypothesis.weaken_violations h ~violated;
+      let n = Hypothesis.weaken_violations_count h ~violated in
+      (match weakened with Some w -> w := !w + n | None -> ());
       Hypothesis.clear_assumptions h)
     hs;
-  Postprocess.minimal_only (Postprocess.dedup hs)
+  Postprocess.minimal_only ?removed (Postprocess.dedup ?removed hs)
 
-let run ?(limit = 200_000) ?window ?on_period trace =
+let run ?(limit = 200_000) ?window ?obs ?on_period trace =
   let n = Rt_trace.Trace.task_count trace in
   let violations = Violations.create n in
   let created = ref 1 in
   let max_set = ref 1 in
+  let weakened = ref 0 in
+  let removed = ref 0 in
+  let cand_hist =
+    Option.map (fun r -> Rt_obs.Registry.histogram r "exact.candidate_pairs")
+      obs
+  in
+  let set_gauge =
+    Option.map (fun r -> Rt_obs.Registry.gauge r "exact.set_size") obs
+  in
   let watch period hs =
     let k = List.length hs in
     if k > !max_set then max_set := k;
+    (match set_gauge with
+     | Some g -> Rt_obs.Registry.set_gauge g k
+     | None -> ());
     if k > limit then raise (Blowup { period; set_size = k; limit })
   in
   let step_period hs (p : Period.t) =
+    (match obs with
+     | Some r -> Rt_obs.Registry.span_begin r "exact.period"
+     | None -> ());
     let hs =
       Array.fold_left (fun hs m ->
+          let pairs = Candidates.pairs ?window ?hist:cand_hist p m in
           let hs =
-            match step_message hs (Candidates.pairs ?window p m) ~created ~limit with
+            match step_message hs pairs ~created ~limit with
             | hs -> hs
             | exception Blowup_signal set_size ->
               raise (Blowup { period = p.index; set_size; limit })
           in
           watch p.index hs;
-          Postprocess.dedup hs)
+          Postprocess.dedup ~removed hs)
         hs p.msgs
     in
     Violations.observe violations ~executed:p.executed;
-    let hs = end_of_period hs ~violated:(Violations.matrix violations) in
+    let hs =
+      end_of_period ~weakened ~removed hs
+        ~violated:(Violations.matrix violations)
+    in
     (match on_period with Some f -> f p.index hs | None -> ());
+    (match obs with Some r -> Rt_obs.Registry.span_end r | None -> ());
     hs
   in
   let final, periods =
@@ -74,6 +95,16 @@ let run ?(limit = 200_000) ?window ?on_period trace =
       ([ Hypothesis.bottom n ], 0)
       (Rt_trace.Trace.periods trace)
   in
+  (match obs with
+   | None -> ()
+   | Some r ->
+     let set = Rt_obs.Registry.set_counter r in
+     set "exact.periods" periods;
+     set "exact.created" !created;
+     set "exact.max_set_size" !max_set;
+     set "exact.weakenings" !weakened;
+     set "exact.dedup_removed" !removed;
+     set "exact.hypotheses" (List.length final));
   {
     hypotheses = List.map (fun h -> Df.copy (Hypothesis.depfun h)) final;
     stats = { periods_processed = periods; max_set_size = !max_set; created = !created };

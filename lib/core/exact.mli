@@ -22,13 +22,16 @@ type outcome = {
 
 exception Blowup of { period : int; set_size : int; limit : int }
 
-val run : ?limit:int -> ?window:int ->
+val run : ?limit:int -> ?window:int -> ?obs:Rt_obs.Registry.t ->
   ?on_period:(int -> Hypothesis.t list -> unit) ->
   Rt_trace.Trace.t -> outcome
 (** [limit] (default [200_000]) bounds the working-set size; [on_period]
     observes the post-processed hypothesis set after each period (used by
     the worked-example tests to check the paper's intermediate tables);
-    [window] narrows candidate sets as in [Rt_trace.Candidates]. *)
+    [window] narrows candidate sets as in [Rt_trace.Candidates]. With
+    [obs], per-period ["exact.period"] spans, the candidate-size
+    histogram, the live set-size gauge and final ["exact.*"] counter
+    totals are recorded. *)
 
 val converged : outcome -> Rt_lattice.Depfun.t option
 (** The unique most specific solution, if the algorithm converged. *)

@@ -9,6 +9,15 @@ type stats = {
   created : int;
 }
 
+type counters = {
+  branches : int;
+  dedup_hits : int;
+  evictions : int;
+  weakenings : int;
+  end_dedup : int;
+  nonminimal : int;
+}
+
 type outcome = {
   hypotheses : Df.t list;
   stats : stats;
@@ -35,9 +44,24 @@ type state = {
   mutable periods : int;
   mutable dropped : int;   (* periods quarantine dropped before feeding *)
   mutable repaired : int;  (* periods repaired by ingestion *)
+  (* Observability counters. Like [merges]/[created] they are counted
+     unconditionally (single int stores on the sequential merge path —
+     nothing observable on the parallel fan-out), deterministically
+     across -j levels, and travel through checkpoints so a resumed run
+     reports the same totals as an uninterrupted one. *)
+  mutable branches : int;      (* generalization attempts (parents × pairs) *)
+  mutable dedup_hits : int;    (* children the working set rejected as dups *)
+  mutable evictions : int;     (* hypotheses removed by bound-forced merges *)
+  mutable weakenings : int;    (* cells weakened at period boundaries *)
+  mutable end_dedup : int;     (* duplicates unified at period end *)
+  mutable nonminimal : int;    (* non-minimal hypotheses pruned at period end *)
+  (* Sink attachment; [None] costs one branch per period. *)
+  obs : Rt_obs.Registry.t option;
+  cand_hist : Rt_obs.Histogram.t option;
+  occ_gauge : Rt_obs.Registry.gauge option;
 }
 
-let init ?(policy = Lightest_pair) ?window ?pool ~bound ~ntasks () =
+let init ?(policy = Lightest_pair) ?window ?pool ?obs ~bound ~ntasks () =
   if bound < 1 then invalid_arg "Heuristic.init: bound must be >= 1";
   if ntasks < 1 then invalid_arg "Heuristic.init: need at least one task";
   {
@@ -53,6 +77,19 @@ let init ?(policy = Lightest_pair) ?window ?pool ~bound ~ntasks () =
     periods = 0;
     dropped = 0;
     repaired = 0;
+    branches = 0;
+    dedup_hits = 0;
+    evictions = 0;
+    weakenings = 0;
+    end_dedup = 0;
+    nonminimal = 0;
+    obs;
+    cand_hist =
+      Option.map (fun r -> Rt_obs.Registry.histogram r "learn.candidate_pairs")
+        obs;
+    occ_gauge =
+      Option.map (fun r -> Rt_obs.Registry.gauge r "learn.workset_occupancy")
+        obs;
   }
 
 let provenance st =
@@ -66,12 +103,15 @@ let set_provenance st ~dropped ~repaired =
 
 (* Insert with deduplication, then enforce the bound by merging. *)
 let rec add st h =
-  if Workset.add st.scratch h
-     && Workset.length st.scratch > st.bound then begin
-    let a, b = Workset.extract_pair st.scratch st.policy in
-    st.merges <- st.merges + 1;
-    add st (Hypothesis.merge_lub a b)
+  if Workset.add st.scratch h then begin
+    if Workset.length st.scratch > st.bound then begin
+      let a, b = Workset.extract_pair st.scratch st.policy in
+      st.merges <- st.merges + 1;
+      st.evictions <- st.evictions + 2;
+      add st (Hypothesis.merge_lub a b)
+    end
   end
+  else st.dedup_hits <- st.dedup_hits + 1
 
 let fanout pairs h =
   List.filter_map
@@ -84,6 +124,7 @@ let fanout pairs h =
    the bounded set stays sequential and consumes the children in canonical
    parent order — chunk scheduling cannot change the outcome. *)
 let step_message st hs pairs =
+  st.branches <- st.branches + (Array.length hs * List.length pairs);
   let children =
     match st.pool with
     | Some pool when Array.length hs > 1 ->
@@ -99,23 +140,42 @@ let step_message st hs pairs =
   Workset.to_array st.scratch
 
 let feed st (p : Period.t) =
+  (match st.obs with
+   | Some r -> Rt_obs.Registry.span_begin r "learn.period"
+   | None -> ());
   let hs =
     Array.fold_left
-      (fun hs m -> step_message st hs (Candidates.pairs ?window:st.window p m))
+      (fun hs m ->
+         step_message st hs
+           (Candidates.pairs ?window:st.window ?hist:st.cand_hist p m))
       st.hs p.msgs
   in
   Violations.observe st.violations ~executed:p.executed;
   let violated = Violations.matrix st.violations in
   Array.iter (fun h ->
-      Hypothesis.weaken_violations h ~violated;
+      st.weakenings <-
+        st.weakenings + Hypothesis.weaken_violations_count h ~violated;
       Hypothesis.clear_assumptions h)
     hs;
   (* Post-processing: unify equal hypotheses, drop non-minimal ones.
      [minimal_only] returns ascending (weight, structural) order, which is
      exactly the state invariant (weakening changed the weights). *)
-  let survivors = Postprocess.minimal_only (Postprocess.dedup (Array.to_list hs)) in
+  let cut_dup = ref 0 and cut_min = ref 0 in
+  let survivors =
+    Postprocess.minimal_only ~removed:cut_min
+      (Postprocess.dedup ~removed:cut_dup (Array.to_list hs))
+  in
+  st.end_dedup <- st.end_dedup + !cut_dup;
+  st.nonminimal <- st.nonminimal + !cut_min;
   st.hs <- Array.of_list survivors;
-  st.periods <- st.periods + 1
+  st.periods <- st.periods + 1;
+  (match st.obs with
+   | Some r ->
+     (match st.occ_gauge with
+      | Some g -> Rt_obs.Registry.set_gauge g (Array.length st.hs)
+      | None -> ());
+     Rt_obs.Registry.span_end r
+   | None -> ())
 
 let current st =
   Array.to_list (Array.map (fun h -> Df.copy (Hypothesis.depfun h)) st.hs)
@@ -123,11 +183,45 @@ let current st =
 let stats st =
   { periods_processed = st.periods; merges = st.merges; created = st.created }
 
-let snapshot st = { hypotheses = current st; stats = stats st }
+let counters st =
+  {
+    branches = st.branches;
+    dedup_hits = st.dedup_hits;
+    evictions = st.evictions;
+    weakenings = st.weakenings;
+    end_dedup = st.end_dedup;
+    nonminimal = st.nonminimal;
+  }
 
-let run ?policy ?window ?pool ~bound trace =
+(* Export the state-held totals into the attached registry. Counters are
+   pushed once here, not incremented live in registry cells, so that the
+   same totals surface whether the state was freshly run or resumed from
+   a checkpoint. *)
+let publish st =
+  match st.obs with
+  | None -> ()
+  | Some r ->
+    let set = Rt_obs.Registry.set_counter r in
+    set "learn.periods" st.periods;
+    set "learn.merges" st.merges;
+    set "learn.created" st.created;
+    set "learn.branches" st.branches;
+    set "learn.dedup_hits" st.dedup_hits;
+    set "learn.evictions" st.evictions;
+    set "learn.weakenings" st.weakenings;
+    set "learn.end_dedup" st.end_dedup;
+    set "learn.nonminimal_dropped" st.nonminimal;
+    set "learn.hypotheses" (Array.length st.hs);
+    set "learn.periods_dropped" st.dropped;
+    set "learn.periods_repaired" st.repaired
+
+let snapshot st =
+  publish st;
+  { hypotheses = current st; stats = stats st }
+
+let run ?policy ?window ?pool ?obs ~bound trace =
   let st =
-    init ?policy ?window ?pool ~bound
+    init ?policy ?window ?pool ?obs ~bound
       ~ntasks:(Rt_trace.Trace.task_count trace) ()
   in
   List.iter (feed st) (Rt_trace.Trace.periods trace);
@@ -140,10 +234,12 @@ let converged o = match o.hypotheses with [ d ] -> Some d | [] | _ :: _ -> None
    counters, the violation matrix, and the hypothesis matrices in state
    order (which the restore preserves verbatim; re-sorting could disagree
    with the working set's canonical order). All integers are little-endian
-   64-bit; matrices are row-major bytes. *)
+   64-bit; matrices are row-major bytes. Version 2 extends version 1 with
+   the six observability counters, so a resumed run reports the same
+   totals as an uninterrupted one. *)
 
 let ckpt_magic = "RTGENCKP"
-let ckpt_version = 1
+let ckpt_version = 2
 
 let policy_byte = function
   | Lightest_pair -> 0 | Heaviest_pair -> 1 | First_last -> 2
@@ -170,6 +266,12 @@ let checkpoint ?(tag = "") st =
   i64 st.created;
   i64 st.dropped;
   i64 st.repaired;
+  i64 st.branches;
+  i64 st.dedup_hits;
+  i64 st.evictions;
+  i64 st.weakenings;
+  i64 st.end_dedup;
+  i64 st.nonminimal;
   i64 (String.length tag);
   Buffer.add_string buf tag;
   for a = 0 to ntasks - 1 do
@@ -182,7 +284,7 @@ let checkpoint ?(tag = "") st =
     st.hs;
   Buffer.contents buf
 
-let resume ?pool data =
+let resume ?pool ?obs data =
   let exception Bad of string in
   let len = String.length data in
   let pos = ref 0 in
@@ -228,6 +330,12 @@ let resume ?pool data =
     let created = i64 () in
     let dropped = i64 () in
     let repaired = i64 () in
+    let branches = i64 () in
+    let dedup_hits = i64 () in
+    let evictions = i64 () in
+    let weakenings = i64 () in
+    let end_dedup = i64 () in
+    let nonminimal = i64 () in
     let tag = str (i64 ()) in
     let vm = Array.make_matrix ntasks ntasks false in
     for a = 0 to ntasks - 1 do
@@ -270,6 +378,21 @@ let resume ?pool data =
         periods;
         dropped;
         repaired;
+        branches;
+        dedup_hits;
+        evictions;
+        weakenings;
+        end_dedup;
+        nonminimal;
+        obs;
+        cand_hist =
+          Option.map
+            (fun r -> Rt_obs.Registry.histogram r "learn.candidate_pairs")
+            obs;
+        occ_gauge =
+          Option.map
+            (fun r -> Rt_obs.Registry.gauge r "learn.workset_occupancy")
+            obs;
       }
     in
     Ok (st, tag)

@@ -14,6 +14,22 @@ type stats = {
   created : int;
 }
 
+type counters = {
+  branches : int;    (** generalization attempts: parents × candidate pairs *)
+  dedup_hits : int;  (** children rejected by the working set as duplicates *)
+  evictions : int;   (** hypotheses consumed by bound-forced merges *)
+  weakenings : int;  (** matrix cells weakened at period boundaries *)
+  end_dedup : int;   (** duplicates unified by end-of-period dedup *)
+  nonminimal : int;  (** non-minimal hypotheses pruned at period end *)
+}
+(** Observability counters, disjoint from {!stats} (which is the paper's
+    cost model and is asserted against the reference oracle). Counted
+    unconditionally — plain integer stores on the sequential merge path —
+    and deterministic across [-j] levels because the parallel fan-out
+    computes children only; everything countable happens on the
+    orchestrating domain. They travel through {!checkpoint}/{!resume}, so
+    a resumed run reports the same totals as an uninterrupted one. *)
+
 type outcome = {
   hypotheses : Rt_lattice.Depfun.t list;
   (** Final hypotheses, lightest first; at most [bound] of them; empty iff
@@ -27,10 +43,14 @@ type merge_policy = Workset.victim_policy =
   | First_last     (** ablation: merge the lightest with the heaviest *)
 
 val run : ?policy:merge_policy -> ?window:int ->
-  ?pool:Rt_util.Domain_pool.t -> bound:int -> Rt_trace.Trace.t -> outcome
+  ?pool:Rt_util.Domain_pool.t -> ?obs:Rt_obs.Registry.t -> bound:int ->
+  Rt_trace.Trace.t -> outcome
 (** With [pool], the per-message hypothesis fan-out runs on the pool's
     domains; results are identical to a sequential run (the working set
-    is ordered canonically, never by arrival).
+    is ordered canonically, never by arrival). With [obs], per-period
+    ["learn.period"] spans, the candidate-size histogram, the working-set
+    occupancy gauge and the final counter totals are recorded into the
+    registry; without it, instrumentation costs integer stores only.
     @raise Invalid_argument if [bound < 1]. *)
 
 val converged : outcome -> Rt_lattice.Depfun.t option
@@ -45,7 +65,7 @@ type state
 
 val init :
   ?policy:merge_policy -> ?window:int -> ?pool:Rt_util.Domain_pool.t ->
-  bound:int -> ntasks:int -> unit -> state
+  ?obs:Rt_obs.Registry.t -> bound:int -> ntasks:int -> unit -> state
 (** Fresh state over [ntasks] tasks, holding only [{d⊥}]. *)
 
 val feed : state -> Rt_trace.Period.t -> unit
@@ -56,8 +76,19 @@ val current : state -> Rt_lattice.Depfun.t list
 
 val stats : state -> stats
 
+val counters : state -> counters
+(** The current observability totals (see {!type-counters}). *)
+
+val publish : state -> unit
+(** Export the state-held totals ([learn.periods], [learn.merges],
+    [learn.branches], …, plus provenance) into the attached registry as
+    counters, overwriting previous values. No-op without [obs]. Totals
+    are pushed once here rather than incremented live so that fresh and
+    checkpoint-resumed runs surface identical numbers. *)
+
 val snapshot : state -> outcome
-(** [current] and [stats] packaged like a [run] result. *)
+(** [current] and [stats] packaged like a [run] result; also
+    {!publish}es. *)
 
 (** {2 Provenance}
 
@@ -94,8 +125,11 @@ val checkpoint : ?tag:string -> state -> string
     a checkpoint taken against different data. *)
 
 val resume :
-  ?pool:Rt_util.Domain_pool.t -> string -> (state * string, string) result
+  ?pool:Rt_util.Domain_pool.t -> ?obs:Rt_obs.Registry.t -> string ->
+  (state * string, string) result
 (** Deserialise a {!checkpoint} into a live state plus its tag.
-    [pool] re-attaches a domain pool (runtime resources are not
-    serialised). Malformed or version-mismatched input yields
-    [Error message], never an exception. *)
+    [pool] re-attaches a domain pool and [obs] a metrics registry
+    (runtime resources are not serialised). Malformed or
+    version-mismatched input yields [Error message], never an
+    exception. The current format is version 2 (version 1 predates the
+    observability counters and is refused). *)

@@ -119,11 +119,17 @@ let generalize_message h ~sender ~receiver =
     Some h'
   end
 
-let weaken_violations h ~violated =
+let weaken_violations_count h ~violated =
+  let n = ref 0 in
   Df.iter_pairs (fun a b v ->
-      if Dv.is_definite v && violated.(a).(b) then
-        update_cell h a b v (Dv.weaken v))
-    h.dep
+      if Dv.is_definite v && violated.(a).(b) then begin
+        update_cell h a b v (Dv.weaken v);
+        incr n
+      end)
+    h.dep;
+  !n
+
+let weaken_violations h ~violated = ignore (weaken_violations_count h ~violated)
 
 let clear_assumptions h =
   h.assumptions <- [];

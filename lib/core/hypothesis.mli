@@ -38,6 +38,10 @@ val weaken_violations : t -> violated:bool array array -> unit
     introduces a definite value contradicted by an early period — cf. the
     [←?] cells of the paper's final tables. *)
 
+val weaken_violations_count : t -> violated:bool array array -> int
+(** Same operation, returning the number of cells actually weakened —
+    the learners' [weakenings] observability counter. *)
+
 val clear_assumptions : t -> unit
 
 val merge_lub : t -> t -> t

@@ -1,11 +1,25 @@
-let dedup hs =
+(* [removed] accumulators let the learners count unified duplicates and
+   dropped non-minimal hypotheses without a second length scan — the
+   counts feed the observability layer and the checkpointed state. *)
+
+let bump removed n =
+  match removed with None -> () | Some r -> r := !r + n
+
+let dedup ?removed hs =
   let sorted = List.sort Hypothesis.compare_full hs in
+  let cut = ref 0 in
   let rec uniq = function
     | a :: (b :: _ as rest) ->
-      if Hypothesis.compare_full a b = 0 then uniq rest else a :: uniq rest
+      if Hypothesis.compare_full a b = 0 then begin
+        incr cut;
+        uniq rest
+      end
+      else a :: uniq rest
     | ([] | [ _ ]) as l -> l
   in
-  uniq sorted
+  let out = uniq sorted in
+  bump removed !cut;
+  out
 
 (* Strict domination implies a strictly smaller weight: every strict step
    in the value lattice strictly increases [Depval.distance] (0 < 1 < 4
@@ -14,7 +28,7 @@ let dedup hs =
    look only at the strictly-lighter prefix — half the pairs of the old
    all-vs-all scan, no [equal] calls at all, and the output comes back in
    the learner's canonical (weight, structural) order for free. *)
-let minimal_only hs =
+let minimal_only ?removed hs =
   match hs with
   | [] | [ _ ] -> hs
   | hs ->
@@ -22,13 +36,17 @@ let minimal_only hs =
     Array.sort Workset.canonical arr;
     let n = Array.length arr in
     let keep = Array.make n true in
+    let cut = ref 0 in
     for i = 1 to n - 1 do
       let wi = Hypothesis.weight arr.(i) in
       let j = ref 0 in
       while keep.(i) && !j < i && Hypothesis.weight arr.(!j) < wi do
         (* Transitivity makes skipping dropped dominators sound: whatever
            dropped them is lighter still and dominates [arr.(i)] too. *)
-        if keep.(!j) && Hypothesis.leq arr.(!j) arr.(i) then keep.(i) <- false;
+        if keep.(!j) && Hypothesis.leq arr.(!j) arr.(i) then begin
+          keep.(i) <- false;
+          incr cut
+        end;
         incr j
       done
     done;
@@ -36,4 +54,5 @@ let minimal_only hs =
     for i = n - 1 downto 0 do
       if keep.(i) then out := arr.(i) :: !out
     done;
+    bump removed !cut;
     !out

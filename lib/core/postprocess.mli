@@ -1,13 +1,17 @@
 (** End-of-period post-processing shared by both algorithms: unification
     of equal hypotheses and removal of non-minimal ones (the paper's
     redundancy rule — the answer set must contain only most specific
-    elements). *)
+    elements).
 
-val dedup : Hypothesis.t list -> Hypothesis.t list
+    The optional [removed] accumulators add the number of hypotheses
+    each pass eliminated — the learners' dedup/pruning observability
+    counters ride on them without a second length scan. *)
+
+val dedup : ?removed:int ref -> Hypothesis.t list -> Hypothesis.t list
 (** Remove duplicates under [Hypothesis.compare_full] (matrix and
     assumption set). Output order is unspecified. *)
 
-val minimal_only : Hypothesis.t list -> Hypothesis.t list
+val minimal_only : ?removed:int ref -> Hypothesis.t list -> Hypothesis.t list
 (** Keep only hypotheses with no strictly-more-specific peer in the
     list. Input should already be duplicate-free. Output is sorted in
     ascending ({!Workset.canonical}) order — lightest first — and the

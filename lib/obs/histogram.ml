@@ -1,0 +1,83 @@
+(* Latency/size histogram with fixed log-scale buckets: bucket 0 holds
+   values <= 0, bucket i (i >= 1) holds values in [2^(i-1), 2^i). The
+   bucket array is preallocated at creation, so [record] is two array
+   stores and a handful of compares — no allocation on the hot path. *)
+
+let nbuckets = 64
+
+type t = {
+  buckets : int array;  (* counts per log2 bucket *)
+  mutable count : int;
+  mutable sum : int;
+  mutable min : int;
+  mutable max : int;
+}
+
+let create () =
+  { buckets = Array.make nbuckets 0;
+    count = 0; sum = 0; min = max_int; max = min_int }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 0 do incr i; v := !v lsr 1 done;
+    if !i >= nbuckets then nbuckets - 1 else !i
+  end
+
+(* Inclusive upper bound of a bucket, for reporting. *)
+let bucket_le i =
+  if i = 0 then 0
+  else if i >= nbuckets - 1 then max_int
+  else (1 lsl i) - 1
+
+let record t v =
+  let i = bucket_of v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min then t.min <- v;
+  if v > t.max then t.max <- v
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0 else t.min
+let max_value t = if t.count = 0 then 0 else t.max
+
+let mean t =
+  if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+(* Bucket-resolution quantile: the inclusive upper bound of the bucket
+   holding the q-th ranked sample, clamped to the observed extremes. *)
+let quantile t q =
+  if t.count = 0 then 0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target =
+      Stdlib.max 1 (int_of_float (Float.round (q *. float_of_int t.count)))
+    in
+    let rec go i acc =
+      if i >= nbuckets then t.max
+      else
+        let acc = acc + t.buckets.(i) in
+        if acc >= target then Stdlib.min t.max (Stdlib.max t.min (bucket_le i))
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let nonempty_buckets t =
+  let out = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if t.buckets.(i) > 0 then out := (bucket_le i, t.buckets.(i)) :: !out
+  done;
+  !out
+
+let merge ~into src =
+  Array.iteri (fun i c -> into.buckets.(i) <- into.buckets.(i) + c) src.buckets;
+  into.count <- into.count + src.count;
+  into.sum <- into.sum + src.sum;
+  if src.count > 0 then begin
+    if src.min < into.min then into.min <- src.min;
+    if src.max > into.max then into.max <- src.max
+  end

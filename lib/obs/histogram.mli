@@ -1,0 +1,37 @@
+(** Log-scale histogram with a fixed number of power-of-two buckets:
+    bucket 0 holds values [<= 0], bucket [i] holds values in
+    [[2^(i-1), 2^i)]. All storage is preallocated, so {!record} never
+    allocates — cheap enough for per-message instrumentation. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+
+val count : t -> int
+
+val sum : t -> int
+
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+(** 0 when empty. *)
+
+val mean : t -> float
+
+val quantile : t -> float -> int
+(** Bucket-resolution quantile (e.g. [quantile t 0.99]): the inclusive
+    upper bound of the bucket containing the ranked sample, clamped to
+    the observed min/max. 0 when empty. *)
+
+val nonempty_buckets : t -> (int * int) list
+(** [(inclusive_upper_bound, count)] for each non-empty bucket, in
+    ascending bound order. The last bucket's bound is [max_int]. *)
+
+val bucket_of : int -> int
+(** The bucket index a value lands in (exposed for tests). *)
+
+val merge : into:t -> t -> unit
+(** Add [src]'s samples into [into]. *)

@@ -1,0 +1,85 @@
+(** Metrics registry: named monotonic counters, gauges, log-bucket
+    histograms and hierarchical spans.
+
+    Handles ({!counter}, {!gauge}, {!histogram}) are fetched once when
+    instrumentation is set up; the per-event operations are single-cell
+    mutations with no allocation, so leaving instrumentation compiled in
+    is near-free, and code paths that receive [t option = None] pay one
+    branch. The registry is single-owner by design: deterministic
+    counters must be recorded on the orchestrating domain only, which
+    keeps totals reproducible across [-j] levels without atomics.
+
+    Span convention used across the pipeline: names are
+    ["phase.operation"] (e.g. ["learn.period"], ["ingest.parse"]); the
+    prefix before the first dot is the phase, which the report renderer
+    and the trace-event [cat] field group by. *)
+
+type t
+
+type counter
+
+type gauge
+
+val create : ?clock:(unit -> int) -> unit -> t
+(** [clock] returns nanoseconds and must be non-decreasing; the default
+    is a per-registry monotonic-ized [Unix.gettimeofday]. Inject a fake
+    clock for deterministic span tests. *)
+
+val elapsed_ns : t -> int
+
+(** {2 Counters} *)
+
+val counter : t -> string -> counter
+(** Find or register. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+val set_counter : t -> string -> int -> unit
+(** Overwrite by name — for publishing externally-accumulated totals
+    (e.g. learner state counters that travelled through a checkpoint). *)
+
+(** {2 Gauges} *)
+
+val gauge : t -> string -> gauge
+
+val set_gauge : gauge -> int -> unit
+(** Records last value, running max, and sample count. *)
+
+val set_gauge_named : t -> string -> int -> unit
+
+(** {2 Histograms} *)
+
+val histogram : t -> string -> Histogram.t
+
+(** {2 Spans} *)
+
+val span_begin : t -> string -> unit
+
+val span_end : t -> unit
+(** Closes the innermost open span.
+    @raise Invalid_argument when none is open. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** Exception-safe [span_begin]/[span_end] bracket. *)
+
+val open_spans : t -> int
+(** Number of currently-open spans (0 when balanced). *)
+
+(** {2 Sinks} *)
+
+val schema_name : string
+
+val schema_version : int
+
+val to_json : t -> Json.t
+(** The metrics document ([metrics.schema.json]): deterministic sections
+    (counters, gauges, histograms) first, then per-name span aggregates
+    and [elapsed_ns]. *)
+
+val trace_events_json : t -> Json.t
+(** Chrome [trace_event] sink: a JSON array of [ph:"X"] complete events
+    in microseconds, loadable in chrome://tracing / Perfetto. *)

@@ -1,0 +1,120 @@
+(* Human-readable sink: render a metrics document (Registry.to_json, or
+   a metrics file read back from disk) as per-phase tables. The phase of
+   an instrument is the name prefix before the first '.' — the same
+   convention the trace-event sink uses for its [cat] field. *)
+
+let phase_of name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let pp_ns ns =
+  let f = float_of_int ns in
+  if ns >= 1_000_000_000 then Printf.sprintf "%.2fs" (f /. 1e9)
+  else if ns >= 1_000_000 then Printf.sprintf "%.2fms" (f /. 1e6)
+  else if ns >= 1_000 then Printf.sprintf "%.1fus" (f /. 1e3)
+  else Printf.sprintf "%dns" ns
+
+(* One rendered instrument: (kind, name, value-description). *)
+type row = { kind : string; name : string; value : string }
+
+let int_member key j = Option.bind (Json.member key j) Json.to_int
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "metrics document: missing or bad %s" what)
+
+let ( let* ) = Result.bind
+
+let counter_rows j =
+  List.map (fun (name, v) ->
+      { kind = "counter"; name;
+        value = (match Json.to_int v with
+            | Some n -> string_of_int n
+            | None -> "?") })
+    (Option.value ~default:[]
+       (Option.bind (Json.member "counters" j) Json.to_obj))
+
+let gauge_rows j =
+  List.map (fun (name, g) ->
+      let last = Option.value ~default:0 (int_member "last" g) in
+      let max = Option.value ~default:0 (int_member "max" g) in
+      { kind = "gauge"; name;
+        value = Printf.sprintf "last %d, max %d" last max })
+    (Option.value ~default:[]
+       (Option.bind (Json.member "gauges" j) Json.to_obj))
+
+let histogram_rows j =
+  List.map (fun (name, h) ->
+      let get k = Option.value ~default:0 (int_member k h) in
+      let count = get "count" in
+      let mean =
+        if count = 0 then 0.0 else float_of_int (get "sum") /. float_of_int count
+      in
+      { kind = "histogram"; name;
+        value =
+          Printf.sprintf "n=%d min=%d mean=%.1f max=%d" count (get "min")
+            mean (get "max") })
+    (Option.value ~default:[]
+       (Option.bind (Json.member "histograms" j) Json.to_obj))
+
+let span_rows j =
+  List.map (fun (name, s) ->
+      let get k = Option.value ~default:0 (int_member k s) in
+      let count = get "count" and total = get "total_ns" in
+      let mean = if count = 0 then 0 else total / count in
+      { kind = "span"; name;
+        value =
+          Printf.sprintf "n=%d total=%s mean=%s max=%s" count (pp_ns total)
+            (pp_ns mean) (pp_ns (get "max_ns")) })
+    (Option.value ~default:[]
+       (Option.bind (Json.member "spans" j) Json.to_obj))
+
+let render j =
+  let* schema =
+    require "\"schema\" field"
+      (Option.bind (Json.member "schema" j) Json.to_string_opt)
+  in
+  let* () =
+    if schema = Registry.schema_name then Ok ()
+    else Error (Printf.sprintf "not a metrics document (schema %S)" schema)
+  in
+  let* version = require "\"version\" field" (int_member "version" j) in
+  let* () =
+    if version = Registry.schema_version then Ok ()
+    else Error (Printf.sprintf "unsupported metrics version %d" version)
+  in
+  let rows = counter_rows j @ gauge_rows j @ histogram_rows j @ span_rows j in
+  let phases =
+    List.fold_left (fun acc r ->
+        let p = phase_of r.name in
+        if List.mem p acc then acc else acc @ [ p ])
+      [] rows
+  in
+  let buf = Buffer.create 1024 in
+  (match int_member "elapsed_ns" j with
+   | Some ns -> Buffer.add_string buf (Printf.sprintf "run time %s\n" (pp_ns ns))
+   | None -> ());
+  let kind_w =
+    List.fold_left (fun w r -> Stdlib.max w (String.length r.kind)) 4 rows
+  in
+  let name_w =
+    List.fold_left (fun w r -> Stdlib.max w (String.length r.name)) 4 rows
+  in
+  let pad w s = s ^ String.make (Stdlib.max 0 (w - String.length s)) ' ' in
+  List.iter (fun phase ->
+      Buffer.add_string buf (Printf.sprintf "\n== %s ==\n" phase);
+      List.iter (fun r ->
+          if phase_of r.name = phase then
+            Buffer.add_string buf
+              (Printf.sprintf "%s  %s  %s\n" (pad kind_w r.kind)
+                 (pad name_w r.name) r.value))
+        rows)
+    phases;
+  if rows = [] then Buffer.add_string buf "(no instruments recorded)\n";
+  Ok (Buffer.contents buf)
+
+let of_registry reg =
+  match render (Registry.to_json reg) with
+  | Ok s -> s
+  | Error m -> "metrics rendering failed: " ^ m ^ "\n"

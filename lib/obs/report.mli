@@ -1,0 +1,13 @@
+(** Human-readable summary sink: renders a metrics document as per-phase
+    tables (one section per name prefix before the first '.'). *)
+
+val render : Json.t -> (string, string) result
+(** Render a metrics document (the shape {!Registry.to_json} produces,
+    e.g. read back from a [--metrics] file). [Error] on documents that
+    are not version-[Registry.schema_version] metrics files. *)
+
+val of_registry : Registry.t -> string
+(** Render a live registry directly; never fails. *)
+
+val phase_of : string -> string
+(** The phase (grouping key) of an instrument name. *)

@@ -20,6 +20,16 @@ let default_config =
 
 exception Overrun of { period : int; time : int }
 
+(* Per-run fault-injection tally, published as [sim.*] counters when a
+   registry is attached. Counted unconditionally — integer stores on
+   paths that already drew from the PRNG. *)
+type tally = {
+  mutable t_events : int;
+  mutable t_dropped : int;
+  mutable t_glitches : int;
+  mutable t_spikes : int;
+}
+
 type period_truth = {
   outcome : Design.outcome;
   senders_receivers : (int * int) array;
@@ -27,7 +37,7 @@ type period_truth = {
 
 (* One period: returns events with timestamps relative to the period start,
    plus the ground-truth message assignment in rising-edge order. *)
-let simulate_period (d : Design.t) rng config ~period_index =
+let simulate_period (d : Design.t) rng config ~tally ~period_index =
   let n = Design.size d in
   let outcome = Design.sample_outcome d rng in
   let work =
@@ -69,7 +79,10 @@ let simulate_period (d : Design.t) rng config ~period_index =
             let bound =
               if config.jitter_spike_rate > 0.0
                  && Pcg.chance rng config.jitter_spike_rate
-              then config.release_jitter * max 1 config.jitter_spike_factor
+              then begin
+                tally.t_spikes <- tally.t_spikes + 1;
+                config.release_jitter * max 1 config.jitter_spike_factor
+              end
               else config.release_jitter
             in
             Pcg.int rng (bound + 1)
@@ -101,8 +114,10 @@ let simulate_period (d : Design.t) rng config ~period_index =
     | None -> ()
     | Some (f, fall) ->
       let e = edge_of_tag f.tag in
-      if config.drop_rate > 0.0 && Pcg.chance rng config.drop_rate then
+      if config.drop_rate > 0.0 && Pcg.chance rng config.drop_rate then begin
+        tally.t_dropped <- tally.t_dropped + 1;
         Hashtbl.replace dropped f.tag ()
+      end
       else begin
         log now (Event.Msg_rise f.can_id);
         truth := (e.src, e.dst) :: !truth
@@ -201,9 +216,11 @@ let simulate_period (d : Design.t) rng config ~period_index =
       log t (Event.Msg_rise id);
       log (t + dur) (Event.Msg_fall id);
       incr count
-    done
+    done;
+    tally.t_glitches <- tally.t_glitches + !count
   end;
   let events = List.rev !events in
+  tally.t_events <- tally.t_events + List.length events;
   (match events with
    | [] -> ()
    | _ ->
@@ -211,17 +228,31 @@ let simulate_period (d : Design.t) rng config ~period_index =
      if tmax >= d.period then raise (Overrun { period = period_index; time = tmax }));
   (events, { outcome; senders_receivers = Array.of_list (List.rev !truth) })
 
-let run_with_truth d config =
+let run_with_truth ?obs d config =
   if config.periods <= 0 then invalid_arg "Simulator.run: periods must be positive";
+  (match obs with
+   | Some r -> Rt_obs.Registry.span_begin r "sim.run"
+   | None -> ());
   let rng = Pcg.of_int config.seed in
   let task_set = Design.task_set d in
+  let tally = { t_events = 0; t_dropped = 0; t_glitches = 0; t_spikes = 0 } in
   let periods = ref [] and truths = ref [] in
   for idx = 0 to config.periods - 1 do
-    let events, truth = simulate_period d rng config ~period_index:idx in
+    let events, truth = simulate_period d rng config ~tally ~period_index:idx in
     periods := Rt_trace.Period.make_exn ~index:idx ~task_set events :: !periods;
     truths := truth :: !truths
   done;
+  (match obs with
+   | None -> ()
+   | Some r ->
+     let set = Rt_obs.Registry.set_counter r in
+     set "sim.periods" config.periods;
+     set "sim.events" tally.t_events;
+     set "sim.frames_dropped" tally.t_dropped;
+     set "sim.glitches" tally.t_glitches;
+     set "sim.jitter_spikes" tally.t_spikes;
+     Rt_obs.Registry.span_end r);
   ( Rt_trace.Trace.of_periods ~task_set (List.rev !periods),
     Array.of_list (List.rev !truths) )
 
-let run d config = fst (run_with_truth d config)
+let run ?obs d config = fst (run_with_truth ?obs d config)

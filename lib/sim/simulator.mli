@@ -50,9 +50,14 @@ type period_truth = {
       rising-edge order — what the bus logger cannot see. *)
 }
 
-val run : Rt_task.Design.t -> config -> Rt_trace.Trace.t
+val run : ?obs:Rt_obs.Registry.t -> Rt_task.Design.t -> config -> Rt_trace.Trace.t
+(** With [obs], the simulation runs inside a ["sim.run"] span and
+    publishes ["sim.*"] counters: periods, logged events, and the
+    fault-injection tallies (frames dropped from the log, glitches,
+    jitter spikes). *)
 
 val run_with_truth :
+  ?obs:Rt_obs.Registry.t ->
   Rt_task.Design.t -> config -> Rt_trace.Trace.t * period_truth array
 (** Like [run] but also returns per-period ground truth, for evaluating
     candidate inference and baselines. *)

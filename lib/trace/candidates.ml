@@ -19,11 +19,17 @@ let receivers ?(slack = 0) ?window (p : Period.t) (m : Period.msg) =
     (fun i -> p.start_time.(i) + slack >= m.fall && p.start_time.(i) <= hi)
     p
 
-let pairs ?slack ?window p m =
+let pairs ?slack ?window ?hist p m =
   let ss = senders ?slack ?window p m and rs = receivers ?slack ?window p m in
-  List.concat_map (fun s ->
-      List.filter_map (fun r -> if s = r then None else Some (s, r)) rs)
-    ss
+  let out =
+    List.concat_map (fun s ->
+        List.filter_map (fun r -> if s = r then None else Some (s, r)) rs)
+      ss
+  in
+  (match hist with
+   | Some h -> Rt_obs.Histogram.record h (List.length out)
+   | None -> ());
+  out
 
 let pair_count ?slack ?window p =
   Array.fold_left (fun acc m -> acc + List.length (pairs ?slack ?window p m))

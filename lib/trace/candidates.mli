@@ -23,9 +23,14 @@ val receivers : ?slack:int -> ?window:int -> Period.t -> Period.msg -> int list
 (** With [window], only tasks that started within [window] microseconds
     after the falling edge qualify (an immediate-activation assumption). *)
 
-val pairs : ?slack:int -> ?window:int -> Period.t -> Period.msg -> (int * int) list
+val pairs :
+  ?slack:int -> ?window:int -> ?hist:Rt_obs.Histogram.t ->
+  Period.t -> Period.msg -> (int * int) list
 (** All (sender, receiver) combinations with sender <> receiver, in
-    lexicographic order. This is [A_m]. *)
+    lexicographic order. This is [A_m]. When [hist] is given the
+    candidate-set size [|A_m|] is recorded into it — the learners pass
+    their ["*.candidate_pairs"] histogram; the cost when absent is one
+    branch. *)
 
 val pair_count : ?slack:int -> ?window:int -> Period.t -> int
 (** Total candidate pairs across all messages of the period — the

@@ -36,7 +36,21 @@ type parse_error = { line : int; message : string }
 
 type mode = [ `Strict | `Recover ]
 
-let of_string ?(mode = `Strict) ?eps s =
+(* Quarantine tallies are published with [set_counter] (overwrite, not
+   add): each ingestion stage re-states the whole account, so the last
+   stage to run — [semantic_filter] when the recover pipeline uses it —
+   owns the final numbers. *)
+let publish_quarantine obs (q : Quarantine.t) =
+  match obs with
+  | None -> ()
+  | Some r ->
+    let set = Rt_obs.Registry.set_counter r in
+    set "ingest.lines_skipped" (List.length q.skipped_lines);
+    set "ingest.periods_kept" q.kept;
+    set "ingest.periods_repaired" (List.length q.repaired);
+    set "ingest.periods_dropped" (List.length q.dropped)
+
+let of_string_body ~mode ?eps s =
   let strict = mode = `Strict in
   let lines = String.split_on_char '\n' s in
   let exception Fail of parse_error in
@@ -165,19 +179,31 @@ let of_string ?(mode = `Strict) ?eps s =
        Ok (Trace.of_periods ~task_set:ts (List.rev !periods), q))
   with Fail e -> Error e
 
+let of_string ?(mode = `Strict) ?eps ?obs s =
+  (match obs with
+   | Some r -> Rt_obs.Registry.span_begin r "ingest.parse"
+   | None -> ());
+  let res = of_string_body ~mode ?eps s in
+  (match obs with
+   | Some r ->
+     (match res with Ok (_, q) -> publish_quarantine obs q | Error _ -> ());
+     Rt_obs.Registry.span_end r
+   | None -> ());
+  res
+
 let of_string_exn s =
   match of_string s with
   | Ok (t, _) -> t
   | Error e ->
     invalid_arg (Printf.sprintf "Trace_io.of_string_exn: line %d: %s" e.line e.message)
 
-let load ?mode ?eps path =
+let load ?mode ?eps ?obs path =
   let ic = open_in path in
   let content =
     Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
         really_input_string ic (in_channel_length ic))
   in
-  of_string ?mode ?eps content
+  of_string ?mode ?eps ?obs content
 
 (* A structurally valid period can still be semantically hopeless: a
    message with an empty candidate set A_m collapses the learner's
@@ -185,7 +211,7 @@ let load ?mode ?eps path =
    message's edges cannot invalidate the others — candidate sets depend
    only on task times — so we cut the bad frames and re-validate, and
    drop the period only if that fails. *)
-let semantic_filter ?window (trace : Trace.t) (q : Quarantine.t) =
+let semantic_filter ?window ?obs (trace : Trace.t) (q : Quarantine.t) =
   let salvage (p : Period.t) =
     let bad_msgs =
       Array.to_list p.msgs
@@ -221,7 +247,17 @@ let semantic_filter ?window (trace : Trace.t) (q : Quarantine.t) =
         excised := (p'.Period.index, n) :: !excised
       | `Dropped -> dropped := p.index :: !dropped)
     (Trace.periods trace);
-  if !excised = [] && !dropped = [] then (trace, q)
+  let publish_excised q total =
+    match obs with
+    | None -> ()
+    | Some r ->
+      Rt_obs.Registry.set_counter r "ingest.frames_excised" total;
+      publish_quarantine obs q
+  in
+  if !excised = [] && !dropped = [] then begin
+    publish_excised q 0;
+    (trace, q)
+  end
   else begin
     let excised = List.rev !excised and dropped_idx = List.rev !dropped in
     let was_repaired i =
@@ -265,5 +301,6 @@ let semantic_filter ?window (trace : Trace.t) (q : Quarantine.t) =
               dropped_idx;
       }
     in
+    publish_excised q (List.fold_left (fun a (_, n) -> a + n) 0 excised);
     (Trace.of_periods ~task_set:trace.task_set (List.rev !good), q)
   end

@@ -35,25 +35,29 @@ type parse_error = { line : int; message : string }
 type mode = [ `Strict | `Recover ]
 
 val of_string :
-  ?mode:mode -> ?eps:int -> string ->
+  ?mode:mode -> ?eps:int -> ?obs:Rt_obs.Registry.t -> string ->
   (Trace.t * Quarantine.t, parse_error) result
 (** In [`Strict] mode (default) the quarantine report is always empty
     apart from its kept count, and any damage is an [Error] — exactly
     the seed behaviour. In [`Recover] mode only a missing/unusable
     [tasks] header is an [Error]; everything else degrades into the
     report. [eps] is the clock-skew tolerance forwarded to {!Repair}
-    (default 0). *)
+    (default 0). With [obs], the parse runs inside an ["ingest.parse"]
+    span and the quarantine tallies are published as ["ingest.*"]
+    counters (overwritten, so a later {!semantic_filter} pass owns the
+    final numbers). *)
 
 val of_string_exn : string -> Trace.t
 (** Strict. @raise Invalid_argument with position information. *)
 
 val load :
-  ?mode:mode -> ?eps:int -> string ->
+  ?mode:mode -> ?eps:int -> ?obs:Rt_obs.Registry.t -> string ->
   (Trace.t * Quarantine.t, parse_error) result
 (** Read from a file path. *)
 
 val semantic_filter :
-  ?window:int -> Trace.t -> Quarantine.t -> Trace.t * Quarantine.t
+  ?window:int -> ?obs:Rt_obs.Registry.t ->
+  Trace.t -> Quarantine.t -> Trace.t * Quarantine.t
 (** Second-stage quarantine for [`Recover] pipelines. A structurally
     valid period can still carry a message with an empty candidate set
     [A_m] ({!Candidates.unexplained}) — e.g. a spliced bogus frame, or a

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate an rtgen metrics file against metrics.schema.json.
+
+Standard library only (CI containers have no jsonschema package), so
+this implements exactly the subset of JSON Schema draft-07 the committed
+schema uses — const, type, required, additionalProperties, minimum,
+$ref into definitions — plus the one property the schema cannot state:
+the deterministic sections (counters, gauges, histograms) must precede
+the timing-dependent ones (spans, elapsed_ns) in the emitted file, which
+is what lets tests compare counter sections textually.
+
+Usage: scripts/check_metrics.py METRICS.json [SCHEMA.json]
+Exit 0 when valid; prints each violation and exits 1 otherwise.
+"""
+
+import json
+import sys
+from collections import OrderedDict
+from pathlib import Path
+
+errors = []
+
+
+def fail(path, message):
+    errors.append(f"{path}: {message}")
+
+
+def resolve(schema, root):
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        assert ref.startswith("#/"), f"unsupported $ref {ref}"
+        node = root
+        for part in ref[2:].split("/"):
+            node = node[part]
+        return node
+    return schema
+
+
+def check(value, schema, root, path):
+    schema = resolve(schema, root)
+    if "const" in schema:
+        if value != schema["const"]:
+            fail(path, f"expected {schema['const']!r}, got {value!r}")
+        return
+    expected = schema.get("type")
+    if expected == "object":
+        if not isinstance(value, dict):
+            fail(path, f"expected object, got {type(value).__name__}")
+            return
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(path, f"missing required member {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, member in value.items():
+            if key in props:
+                check(member, props[key], root, f"{path}.{key}")
+            elif extra is False:
+                fail(path, f"unexpected member {key!r}")
+            elif isinstance(extra, dict):
+                check(member, extra, root, f"{path}.{key}")
+    elif expected == "array":
+        if not isinstance(value, list):
+            fail(path, f"expected array, got {type(value).__name__}")
+            return
+        items = schema.get("items")
+        if items:
+            for i, item in enumerate(value):
+                check(item, items, root, f"{path}[{i}]")
+    elif expected == "integer":
+        # bool is an int subclass in Python; JSON true is not an integer.
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(path, f"expected integer, got {type(value).__name__}")
+            return
+        if "minimum" in schema and value < schema["minimum"]:
+            fail(path, f"{value} below minimum {schema['minimum']}")
+    else:
+        raise AssertionError(f"schema uses unsupported type {expected!r}")
+
+
+def check_section_order(doc, path):
+    order = list(doc.keys())
+    expected = [
+        "schema", "version", "counters", "gauges", "histograms", "spans",
+        "elapsed_ns",
+    ]
+    if order != expected:
+        fail(path, f"section order {order} != {expected}")
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(__doc__)
+    metrics_path = Path(sys.argv[1])
+    schema_path = (
+        Path(sys.argv[2]) if len(sys.argv) == 3
+        else Path(__file__).resolve().parent.parent / "metrics.schema.json"
+    )
+    schema = json.loads(schema_path.read_text())
+    doc = json.loads(metrics_path.read_text(), object_pairs_hook=OrderedDict)
+    check(doc, schema, schema, metrics_path.name)
+    if isinstance(doc, dict):
+        check_section_order(doc, metrics_path.name)
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        sys.exit(1)
+    counters = doc.get("counters", {})
+    print(
+        f"{metrics_path.name}: valid rtgen-metrics v{doc.get('version')}; "
+        f"{len(counters)} counters, {len(doc.get('spans', {}))} span names"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -196,6 +196,96 @@ let test_checkpoint_wrong_trace_refused () =
           ckpt));
   Sys.remove ckpt
 
+(* --- observability --- *)
+
+(* The counters section of a metrics file — the part that must be
+   deterministic across -j levels and checkpoint resumes (histograms and
+   spans cover only the resumed segment's work and timing). The registry
+   orders it before the timing-dependent sections precisely to allow
+   this textual cut. *)
+let counters_section path =
+  let text = read_file path in
+  let find needle from =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then Alcotest.failf "%s: no %S section" path needle
+      else if String.sub text i nn = needle then i
+      else go (i + 1)
+    in
+    go from
+  in
+  let a = find "\"counters\"" 0 in
+  String.sub text a (find "\"gauges\"" a - a)
+
+let test_learn_metrics_and_report () =
+  let metrics = tmp "gm_metrics.json" in
+  let events = tmp "gm_events.json" in
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 --metrics %s --trace-events %s \
+                          --progress 2"
+            trace_file metrics events));
+  Alcotest.(check bool) "progress on stderr" true
+    (contains ~needle:"progress:" (read_file (tmp "stderr")));
+  let m = read_file metrics in
+  Alcotest.(check bool) "schema stamped" true
+    (contains ~needle:"\"schema\": \"rtgen-metrics\"" m);
+  Alcotest.(check bool) "merge counter present" true
+    (contains ~needle:"\"learn.merges\"" m);
+  Alcotest.(check bool) "merges non-zero" false
+    (contains ~needle:"\"learn.merges\": 0" m);
+  Alcotest.(check bool) "weakenings non-zero" false
+    (contains ~needle:"\"learn.weakenings\": 0" m);
+  let ev = read_file events in
+  Alcotest.(check bool) "complete events" true
+    (contains ~needle:"\"ph\": \"X\"" ev);
+  Alcotest.(check bool) "learn span present" true
+    (contains ~needle:"\"learn.period\"" ev);
+  let report = run (Printf.sprintf "report %s" metrics) in
+  Alcotest.(check bool) "per-phase sections" true
+    (contains ~needle:"== learn ==" report
+     && contains ~needle:"== ingest ==" report);
+  ignore (run ~expect_fail:true (Printf.sprintf "report %s" trace_file))
+
+let test_metrics_deterministic_across_jobs () =
+  let m1 = tmp "gm_metrics_j1.json" and m4 = tmp "gm_metrics_j4.json" in
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 -j 1 --metrics %s" trace_file m1));
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 -j 4 --metrics %s" trace_file m4));
+  Alcotest.(check string) "counters identical across -j"
+    (counters_section m1) (counters_section m4)
+
+let test_metrics_deterministic_across_resume () =
+  let ckpt = tmp "gm_metrics.ckpt" in
+  if Sys.file_exists ckpt then Sys.remove ckpt;
+  let m_full = tmp "gm_metrics_full.json" in
+  let m_resumed = tmp "gm_metrics_resumed.json" in
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 --metrics %s" trace_file m_full));
+  ignore
+    (run (Printf.sprintf
+            "learn %s --bound 4 --checkpoint %s --stop-after 2 --metrics %s"
+            trace_file ckpt (tmp "gm_metrics_partial.json")));
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 --checkpoint %s --metrics %s"
+            trace_file ckpt m_resumed));
+  Alcotest.(check string) "counters identical after kill+resume"
+    (counters_section m_full) (counters_section m_resumed)
+
+let test_stats_recover () =
+  (* On damaged input, --recover must surface the quarantine account on
+     stdout (plain stats would just refuse the file). *)
+  ignore (run ~expect_fail:true (Printf.sprintf "stats %s" corrupted_file));
+  let out =
+    run (Printf.sprintf "stats %s --recover --eps 60" corrupted_file)
+  in
+  Alcotest.(check bool) "quarantine section" true
+    (contains ~needle:"== quarantine ==" out);
+  Alcotest.(check bool) "confidence line" true
+    (contains ~needle:"confidence:" out);
+  Alcotest.(check bool) "quarantine not on stderr" false
+    (contains ~needle:"quarantine:" (read_file (tmp "stderr")))
+
 let test_vcd_import_roundtrip () =
   let dump = tmp "gm.vcd" in
   ignore
@@ -237,5 +327,15 @@ let () =
             test_checkpoint_wrong_trace_refused;
           Alcotest.test_case "vcd import round trip" `Quick
             test_vcd_import_roundtrip;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "learn --metrics + report" `Quick
+            test_learn_metrics_and_report;
+          Alcotest.test_case "counters deterministic across -j" `Quick
+            test_metrics_deterministic_across_jobs;
+          Alcotest.test_case "counters deterministic across resume" `Quick
+            test_metrics_deterministic_across_resume;
+          Alcotest.test_case "stats --recover" `Quick test_stats_recover;
         ] );
     ]

@@ -252,13 +252,17 @@ let test_checkpoint_roundtrip () =
            = { H.periods_dropped = 2; periods_repaired = 3 });
         outcomes_equal ~ctx:(ctx ^ " at the cut") (H.snapshot st)
           (H.snapshot st');
+        Alcotest.(check bool) (ctx ^ ": counters survive the cut") true
+          (H.counters st = H.counters st');
         (* The killed-and-resumed learner must match the uninterrupted
            one for the rest of the trace. *)
         List.iteri (fun i p ->
             if i >= k then begin H.feed st p; H.feed st' p end)
           periods;
         outcomes_equal ~ctx:(ctx ^ " after the rest") (H.snapshot st)
-          (H.snapshot st'))
+          (H.snapshot st');
+        Alcotest.(check bool) (ctx ^ ": counters equal after the rest") true
+          (H.counters st = H.counters st'))
     policies
 
 let test_checkpoint_matches_uninterrupted_run () =
@@ -276,7 +280,13 @@ let test_checkpoint_matches_uninterrupted_run () =
       st periods
   in
   outcomes_equal ~ctx:"period-by-period kill-resume"
-    (H.run ~bound:4 trace) (H.snapshot st)
+    (H.run ~bound:4 trace) (H.snapshot st);
+  (* The observability counters also survive every cut: totals equal an
+     uninterrupted state's, not just the reference stats triple. *)
+  let whole = H.init ~bound:4 ~ntasks () in
+  List.iter (H.feed whole) periods;
+  Alcotest.(check bool) "counters equal an uninterrupted state's" true
+    (H.counters whole = H.counters st)
 
 let test_resume_rejects_garbage () =
   let bad data =
