@@ -78,31 +78,31 @@ let read_file path =
       really_input_string ic (in_channel_length ic))
 
 (* Checkpointed heuristic learning: feed period by period, snapshotting the
-   state every [every] periods. A checkpoint is tagged with a digest of the
+   engine every [every] periods. A checkpoint is tagged with a digest of the
    (post-quarantine) trace so a resume against different data is refused
    rather than silently wrong. [stop_after] processes that many periods and
    exits — a deterministic stand-in for getting killed, used by the tests. *)
 let run_checkpointed ~pool ~obs ~progress ~window ~bound ~every ~stop_after
     ~ckpt_path (q : Rt_trace.Quarantine.t) trace =
-  let module H = Rt_learn.Heuristic in
+  let module Eng = Rt_engine.Engine in
   let tag = Digest.to_hex (Digest.string (Rt_trace.Trace_io.to_string trace)) in
   let fresh () =
-    let st =
-      H.init ?window ?pool ?obs ~bound
-        ~ntasks:(Rt_trace.Trace.task_count trace) ()
+    let eng =
+      Eng.create ?window ?pool ?obs
+        ~ntasks:(Rt_trace.Trace.task_count trace) (Eng.Heuristic { bound })
     in
-    H.set_provenance st
+    Eng.set_provenance eng
       ~dropped:(List.length q.dropped)
       ~repaired:(List.length q.repaired);
-    Ok st
+    Ok eng
   in
-  let st =
+  let eng =
     if Sys.file_exists ckpt_path then
-      match H.resume ?pool ?obs (read_file ckpt_path) with
-      | Ok (st, tag') when tag' = tag ->
+      match Eng.resume ?pool ?obs (read_file ckpt_path) with
+      | Ok (eng, tag') when tag' = tag ->
         Printf.eprintf "resumed %s: %d periods already processed\n" ckpt_path
-          (H.stats st).periods_processed;
-        Ok st
+          (Eng.periods_fed eng);
+        Ok eng
       | Ok _ ->
         Error (Printf.sprintf
                  "%s was checkpointed against a different trace; delete it \
@@ -110,30 +110,32 @@ let run_checkpointed ~pool ~obs ~progress ~window ~bound ~every ~stop_after
       | Error m -> Error (Printf.sprintf "%s: %s" ckpt_path m)
     else fresh ()
   in
-  match st with
+  match eng with
   | Error _ as e -> e
-  | Ok st ->
+  | Ok eng ->
     let periods = Rt_trace.Trace.periods trace in
     let total = List.length periods in
-    let skip = (H.stats st).periods_processed in
+    let skip = Eng.periods_fed eng in
     if skip > total then
       Error (Printf.sprintf
                "%s claims %d periods processed but the trace has only %d"
                ckpt_path skip total)
     else begin
       let write_ckpt () =
-        Rt_util.Atomic_file.write ckpt_path (H.checkpoint ~tag st)
+        match Eng.checkpoint ~tag eng with
+        | Ok data -> Rt_util.Atomic_file.write ckpt_path data
+        | Error m -> Printf.eprintf "checkpoint failed: %s\n" m
       in
       let stopped = ref false in
       (try
          List.iteri (fun i p ->
              if i >= skip && not !stopped then begin
-               H.feed st p;
+               Eng.feed eng p;
                let done_ = i + 1 in
                (match progress with
                 | Some n when done_ mod n = 0 || done_ = total ->
                   Printf.eprintf "progress: %d/%d periods, %d hypotheses\n%!"
-                    done_ total (List.length (H.current st))
+                    done_ total (List.length (Eng.current eng))
                 | Some _ | None -> ());
                if done_ mod every = 0 || done_ = total then write_ckpt ();
                match stop_after with
@@ -144,15 +146,15 @@ let run_checkpointed ~pool ~obs ~progress ~window ~bound ~every ~stop_after
        with e -> write_ckpt (); raise e);
       if !stopped then begin
         write_ckpt ();
-        H.publish st;
+        Eng.publish eng;
         Printf.eprintf "stopped after %d periods (checkpoint in %s)\n"
-          (H.stats st).periods_processed ckpt_path;
+          (Eng.periods_fed eng) ckpt_path;
         Ok None
       end
       else begin
         (* Success: the checkpoint has served its purpose. *)
         (try Sys.remove ckpt_path with Sys_error _ -> ());
-        Ok (Some (H.snapshot st))
+        Ok (Some (Eng.snapshot eng))
       end
     end
 
@@ -170,90 +172,344 @@ let write_sinks ~metrics ~trace_events obs =
     Option.iter (fun p -> dump p (Rt_obs.Registry.trace_events_json reg))
       trace_events
 
-let learn path exact bound window jobs dot output mode eps checkpoint every
-    stop_after metrics trace_events progress =
+(* Shared tail of `learn`: print (or save, or dot) the answer set. *)
+let render_model ~names ~dot ~output hs =
+  match hs with
+  | [] ->
+    `Error (false,
+            "inconsistent trace: some message has no admissible \
+             sender/receiver under the assumed model of computation")
+  | hs ->
+    let lub = Rt_lattice.Depfun.lub hs in
+    (match output with
+     | Some file ->
+       let oc = open_out file in
+       Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+           output_string oc (Rt_lattice.Depfun.to_string ~names lub);
+           output_char oc '\n');
+       Printf.eprintf "wrote model to %s\n" file
+     | None -> ());
+    if dot then print_string (Rt_analysis.Dep_graph.to_dot ~names lub)
+    else begin
+      Format.printf "%d most specific hypothesis(es); least upper bound:@."
+        (List.length hs);
+      Format.printf "%s@." (Rt_lattice.Depfun.to_string ~names lub)
+    end;
+    `Ok ()
+
+let blowup_msg set_size limit =
+  Printf.sprintf
+    "exact version space exceeded %d (limit %d); use the heuristic \
+     (--bound) or a candidate --window"
+    set_size limit
+
+(* `learn --stream`: parse, salvage and learn one period at a time — the
+   trace is never materialized, so a multi-hour capture (or stdin from a
+   live logger) costs one period of memory. Produces the same model and
+   the same quarantine account as the batch path, because both sit on
+   Stream_io / salvage_period / Engine. *)
+let learn_stream ~exact ~bound ~window ~jobs ~obs ~mode ~eps ~progress
+    ~dot ~output ~metrics ~trace_events path =
+  let module Eng = Rt_engine.Engine in
+  match (if path = "-" then Ok stdin
+         else try Ok (open_in path) with Sys_error m -> Error m)
+  with
+  | Error m -> `Error (false, m)
+  | Ok ic ->
+    Fun.protect ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
+      (fun () ->
+         with_pool jobs (fun pool ->
+             let parser =
+               Rt_trace.Stream_io.create ~mode ~eps
+                 (Rt_trace.Stream_io.lines_of_channel ic)
+             in
+             let alg =
+               if exact then Eng.Exact { limit = None }
+               else Eng.Heuristic { bound }
+             in
+             let eng = ref None in
+             let engine_of ts =
+               match !eng with
+               | Some e -> e
+               | None ->
+                 let e =
+                   Eng.create ?window ?pool ?obs
+                     ~ntasks:(Rt_task.Task_set.size ts) alg
+                 in
+                 eng := Some e; e
+             in
+             let excised = ref [] and sem_dropped = ref [] in
+             let rec pump () =
+               match Rt_trace.Stream_io.next parser with
+               | Error e ->
+                 Error (Printf.sprintf "%s: line %d: %s" path e.line e.message)
+               | Ok None -> Ok ()
+               | Ok (Some p) ->
+                 let e =
+                   engine_of
+                     (Option.get (Rt_trace.Stream_io.task_set parser))
+                 in
+                 let fed =
+                   if mode = `Recover then
+                     match Rt_trace.Trace_io.salvage_period ?window p with
+                     | `Clean -> Eng.feed e p; true
+                     | `Excised (p', n) ->
+                       excised := (p'.Rt_trace.Period.index, n) :: !excised;
+                       Eng.feed e p'; true
+                     | `Dropped ->
+                       sem_dropped := p.Rt_trace.Period.index :: !sem_dropped;
+                       false
+                   else (Eng.feed e p; true)
+                 in
+                 (if fed then
+                    match progress with
+                    | Some n when Eng.periods_fed e mod n = 0 ->
+                      Printf.eprintf "progress: %d periods, %d hypotheses\n%!"
+                        (Eng.periods_fed e) (List.length (Eng.current e))
+                    | Some _ | None -> ());
+                 pump ()
+             in
+             let outcome =
+               match pump () with
+               | exception Rt_learn.Exact.Blowup { set_size; limit; _ } ->
+                 Error (blowup_msg set_size limit)
+               | r -> r
+             in
+             match outcome with
+             | Error m -> `Error (false, m)
+             | Ok () ->
+               let excised = List.rev !excised
+               and dropped_idx = List.rev !sem_dropped in
+               let q =
+                 let q0 = Rt_trace.Stream_io.quarantine parser in
+                 if mode = `Recover then
+                   Rt_trace.Trace_io.salvage_account q0 ~excised ~dropped_idx
+                 else q0
+               in
+               (match obs with
+                | Some r ->
+                  if mode = `Recover then
+                    Rt_trace.Trace_io.publish_salvage r q
+                      ~frames_excised:
+                        (List.fold_left (fun a (_, n) -> a + n) 0 excised)
+                  else Rt_trace.Trace_io.publish_quarantine_to r q
+                | None -> ());
+               if mode = `Recover then
+                 prerr_endline (Rt_trace.Quarantine.summary q);
+               match !eng with
+               | Some e when Eng.periods_fed e > 0 ->
+                 Eng.set_provenance e
+                   ~dropped:(List.length q.Rt_trace.Quarantine.dropped)
+                   ~repaired:(List.length q.Rt_trace.Quarantine.repaired);
+                 let snap = Eng.finalize e in
+                 write_sinks ~metrics ~trace_events obs;
+                 let names =
+                   Rt_task.Task_set.names
+                     (Option.get (Rt_trace.Stream_io.task_set parser))
+                 in
+                 render_model ~names ~dot ~output snap.Eng.hypotheses
+               | Some _ | None ->
+                 `Error (false, "no usable periods after quarantine")))
+
+let learn path exact auto stream bound window jobs dot output mode eps
+    checkpoint every stop_after metrics trace_events progress =
+  let module Eng = Rt_engine.Engine in
   let obs =
     if metrics <> None || trace_events <> None then
       Some (Rt_obs.Registry.create ())
     else None
   in
-  match read_trace ~mode ~eps ?window ?obs path with
-  | Error m -> `Error (false, m)
-  | Ok (trace, _) when Rt_trace.Trace.period_count trace = 0 ->
-    `Error (false, "no usable periods after quarantine")
-  | Ok (trace, q) ->
-    let names = Rt_task.Task_set.names trace.task_set in
-    let hypotheses =
-      match checkpoint with
-      | Some _ when exact ->
-        Error "--checkpoint requires the heuristic algorithm (drop --exact)"
-      | Some ckpt_path ->
-        (match
-           with_pool jobs (fun pool ->
-               run_checkpointed ~pool ~obs ~progress ~window ~bound ~every
-                 ~stop_after ~ckpt_path q trace)
-         with
-         | Error _ as e -> e
-         | Ok None -> Ok None
-         | Ok (Some o) -> Ok (Some o.Rt_learn.Heuristic.hypotheses))
-      | None ->
-        if exact then
-          match Rt_learn.Exact.run ?window ?obs trace with
-          | o -> Ok (Some o.hypotheses)
-          | exception Rt_learn.Exact.Blowup { set_size; limit; _ } ->
-            Error (Printf.sprintf
-                     "exact version space exceeded %d (limit %d); use the \
-                      heuristic (--bound) or a candidate --window"
-                     set_size limit)
+  let conflict =
+    if stream && checkpoint <> None then
+      Some "--stream cannot be combined with --checkpoint"
+    else if stream && auto then
+      Some "--auto re-feeds the trace at each bound and needs it in memory; \
+            drop --stream"
+    else if auto && exact then
+      Some "--auto searches for a heuristic bound; drop --exact"
+    else None
+  in
+  match conflict with
+  | Some m -> `Error (false, m)
+  | None ->
+    if stream then
+      learn_stream ~exact ~bound ~window ~jobs ~obs ~mode ~eps ~progress
+        ~dot ~output ~metrics ~trace_events path
+    else begin
+      match read_trace ~mode ~eps ?window ?obs path with
+      | Error m -> `Error (false, m)
+      | Ok (trace, _) when Rt_trace.Trace.period_count trace = 0 ->
+        `Error (false, "no usable periods after quarantine")
+      | Ok (trace, q) ->
+        let names = Rt_task.Task_set.names trace.task_set in
+        if auto then begin
+          let report, chosen =
+            with_pool jobs (fun pool ->
+                Rt_engine.Learner.auto ?window ?pool ?obs trace)
+          in
+          Format.printf "auto bound search:@.";
+          List.iter (fun (s : Rt_engine.Learner.bound_step) ->
+              Format.printf "  bound %d: %d hypothesis(es), lub %s, %.3fs@."
+                s.bound s.hypotheses
+                (if s.lub_changed then "changed" else "stable")
+                s.elapsed_s)
+            report.Rt_engine.Learner.trajectory;
+          Format.printf "selected bound %d@." chosen;
+          write_sinks ~metrics ~trace_events obs;
+          render_model ~names ~dot ~output
+            report.Rt_engine.Learner.hypotheses
+        end
         else
-          Ok (Some
-                (with_pool jobs (fun pool ->
-                     let module H = Rt_learn.Heuristic in
-                     let st =
-                       H.init ?window ?pool ?obs ~bound
-                         ~ntasks:(Rt_trace.Trace.task_count trace) ()
-                     in
-                     H.set_provenance st
-                       ~dropped:(List.length q.dropped)
-                       ~repaired:(List.length q.repaired);
-                     let periods = Rt_trace.Trace.periods trace in
-                     let total = List.length periods in
-                     List.iteri (fun i p ->
-                         H.feed st p;
-                         match progress with
-                         | Some n when (i + 1) mod n = 0 || i + 1 = total ->
-                           Printf.eprintf
-                             "progress: %d/%d periods, %d hypotheses\n%!"
-                             (i + 1) total (List.length (H.current st))
-                         | Some _ | None -> ())
-                       periods;
-                     (H.snapshot st).hypotheses)))
-    in
-    write_sinks ~metrics ~trace_events obs;
-    (match hypotheses with
-     | Error m -> `Error (false, m)
-     | Ok None -> `Ok ()  (* --stop-after: checkpoint written, no model yet *)
-     | Ok (Some []) ->
-       `Error (false,
-               "inconsistent trace: some message has no admissible \
-                sender/receiver under the assumed model of computation")
-     | Ok (Some hs) ->
-       let lub = Rt_lattice.Depfun.lub hs in
-       (match output with
-        | Some file ->
-          let oc = open_out file in
-          Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-              output_string oc (Rt_lattice.Depfun.to_string ~names lub);
-              output_char oc '\n');
-          Printf.eprintf "wrote model to %s\n" file
-        | None -> ());
-       if dot then print_string (Rt_analysis.Dep_graph.to_dot ~names lub)
-       else begin
-         Format.printf "%d most specific hypothesis(es); least upper bound:@."
-           (List.length hs);
-         Format.printf "%s@." (Rt_lattice.Depfun.to_string ~names lub)
-       end;
-       `Ok ())
+          let hypotheses =
+            match checkpoint with
+            | Some _ when exact ->
+              Error
+                "--checkpoint requires the heuristic algorithm (drop --exact)"
+            | Some ckpt_path ->
+              (match
+                 with_pool jobs (fun pool ->
+                     run_checkpointed ~pool ~obs ~progress ~window ~bound
+                       ~every ~stop_after ~ckpt_path q trace)
+               with
+               | Error _ as e -> e
+               | Ok None -> Ok None
+               | Ok (Some s) -> Ok (Some s.Rt_engine.Engine.hypotheses))
+            | None ->
+              with_pool jobs (fun pool ->
+                  let alg =
+                    if exact then Eng.Exact { limit = None }
+                    else Eng.Heuristic { bound }
+                  in
+                  let eng =
+                    Eng.create ?window ?pool ?obs
+                      ~ntasks:(Rt_trace.Trace.task_count trace) alg
+                  in
+                  Eng.set_provenance eng
+                    ~dropped:(List.length q.dropped)
+                    ~repaired:(List.length q.repaired);
+                  let periods = Rt_trace.Trace.periods trace in
+                  let total = List.length periods in
+                  match
+                    List.iteri (fun i p ->
+                        Eng.feed eng p;
+                        match progress with
+                        | Some n when (i + 1) mod n = 0 || i + 1 = total ->
+                          Printf.eprintf
+                            "progress: %d/%d periods, %d hypotheses\n%!"
+                            (i + 1) total (List.length (Eng.current eng))
+                        | Some _ | None -> ())
+                      periods
+                  with
+                  | () -> Ok (Some (Eng.finalize eng).Eng.hypotheses)
+                  | exception Rt_learn.Exact.Blowup { set_size; limit; _ } ->
+                    Error (blowup_msg set_size limit))
+          in
+          write_sinks ~metrics ~trace_events obs;
+          (match hypotheses with
+           | Error m -> `Error (false, m)
+           | Ok None -> `Ok ()  (* --stop-after: checkpoint written *)
+           | Ok (Some hs) -> render_model ~names ~dot ~output hs)
+    end
+
+(* --- watch --- *)
+
+(* Follow a (possibly growing) trace source and keep the model current:
+   print the LUB whenever it changes, and call out drift — a previously
+   converged answer set invalidated by new evidence. *)
+let watch path bound window mode eps poll follow max_periods =
+  let module Eng = Rt_engine.Engine in
+  let module Df = Rt_lattice.Depfun in
+  match (if path = "-" then Ok stdin
+         else try Ok (open_in path) with Sys_error m -> Error m)
+  with
+  | Error m -> `Error (false, m)
+  | Ok ic ->
+    Fun.protect ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
+      (fun () ->
+         let stop = ref false in
+         let src =
+           if follow then
+             Rt_trace.Stream_io.follow_lines ~poll_interval:poll
+               ~stop:(fun () -> !stop) ic
+           else Rt_trace.Stream_io.lines_of_channel ic
+         in
+         let parser = Rt_trace.Stream_io.create ~mode ~eps src in
+         let eng = ref None in
+         let prev_lub = ref None in
+         let was_converged = ref false in
+         let result = ref (`Ok ()) in
+         let finished = ref false in
+         while not !finished do
+           match Rt_trace.Stream_io.next parser with
+           | Error e ->
+             result :=
+               `Error (false,
+                       Printf.sprintf "%s: line %d: %s" path e.line e.message);
+             finished := true
+           | Ok None -> finished := true
+           | Ok (Some p) ->
+             let ts = Option.get (Rt_trace.Stream_io.task_set parser) in
+             let names = Rt_task.Task_set.names ts in
+             let e =
+               match !eng with
+               | Some e -> e
+               | None ->
+                 let e =
+                   Eng.create ?window ~ntasks:(Rt_task.Task_set.size ts)
+                     (Eng.Heuristic { bound })
+                 in
+                 eng := Some e; e
+             in
+             let fed =
+               if mode = `Recover then
+                 match Rt_trace.Trace_io.salvage_period ?window p with
+                 | `Clean -> Eng.feed e p; true
+                 | `Excised (p', _) -> Eng.feed e p'; true
+                 | `Dropped ->
+                   Printf.eprintf
+                     "period %d dropped: message with no admissible \
+                      sender/receiver\n%!"
+                     p.Rt_trace.Period.index;
+                   false
+               else (Eng.feed e p; true)
+             in
+             if fed then begin
+               let snap = Eng.snapshot e in
+               let changed =
+                 match !prev_lub, snap.Eng.lub with
+                 | None, None -> false
+                 | Some a, Some b -> not (Df.equal a b)
+                 | Some _, None | None, Some _ -> true
+               in
+               if changed then begin
+                 if !was_converged then
+                   Format.printf
+                     "drift: previously converged model invalidated at \
+                      period %d@."
+                     snap.Eng.periods;
+                 Format.printf "period %d: %d hypothesis(es)%s@."
+                   snap.Eng.periods
+                   (List.length snap.Eng.hypotheses)
+                   (if snap.Eng.converged then ", converged" else "");
+                 (match snap.Eng.lub with
+                  | Some lub -> Format.printf "%s@." (Df.to_string ~names lub)
+                  | None ->
+                    Format.printf "inconsistent trace: empty answer set@.")
+               end;
+               prev_lub := snap.Eng.lub;
+               was_converged := snap.Eng.converged;
+               Format.print_flush ()
+             end;
+             (match max_periods with
+              | Some k
+                when (match !eng with
+                      | Some e -> Eng.periods_fed e >= k
+                      | None -> false) ->
+                stop := true;
+                finished := true
+              | Some _ | None -> ())
+         done;
+         !result)
 
 (* --- analyze --- *)
 
@@ -522,6 +778,12 @@ let trace_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
          ~doc:"Trace file in the rtgen-trace format.")
 
+(* Streaming commands also accept "-" for stdin, which `some file` would
+   reject; existence of real paths is checked at open time instead. *)
+let stream_trace_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE"
+         ~doc:"Trace file in the rtgen-trace format, or $(b,-) for stdin.")
+
 let mode_arg =
   let mode_conv = Arg.enum [ ("strict", `Strict); ("recover", `Recover) ] in
   Arg.(value & opt mode_conv `Strict & info [ "mode" ] ~docv:"MODE"
@@ -578,6 +840,19 @@ let learn_cmd =
            ~doc:"Use the precise exponential algorithm instead of the \
                  bounded heuristic.")
   in
+  let auto =
+    Arg.(value & flag & info [ "auto" ]
+           ~doc:"Pick the heuristic bound automatically: double it until \
+                 the least upper bound stops changing, and print the \
+                 per-bound trajectory.")
+  in
+  let stream =
+    Arg.(value & flag & info [ "stream" ]
+           ~doc:"Incremental ingestion: parse, salvage and learn one \
+                 period at a time without materializing the trace. Reads \
+                 TRACE or stdin ($(b,-)); memory stays bounded by a \
+                 single period.")
+  in
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Also save the learned model (matrix text) to FILE.")
@@ -615,10 +890,31 @@ let learn_cmd =
                  algorithm only).")
   in
   Cmd.v (Cmd.info "learn" ~doc:"Learn a dependency model from a trace")
-    Term.(ret (const learn $ trace_arg $ exact $ bound_arg $ window_arg
-               $ jobs_arg $ dot_arg $ output $ mode_arg $ eps_arg
-               $ checkpoint $ every $ stop_after $ metrics $ trace_events
-               $ progress))
+    Term.(ret (const learn $ stream_trace_arg $ exact $ auto $ stream
+               $ bound_arg $ window_arg $ jobs_arg $ dot_arg $ output
+               $ mode_arg $ eps_arg $ checkpoint $ every $ stop_after
+               $ metrics $ trace_events $ progress))
+
+let watch_cmd =
+  let poll =
+    Arg.(value & opt float 0.05 & info [ "poll" ] ~docv:"SECONDS"
+           ~doc:"How often to re-check a followed file for new data.")
+  in
+  let follow =
+    Arg.(value & flag & info [ "f"; "follow" ]
+           ~doc:"Keep watching after end of file, like $(b,tail -f): new \
+                 periods appended to TRACE are learned as they arrive.")
+  in
+  let max_periods =
+    Arg.(value & opt (some int) None & info [ "max-periods" ] ~docv:"N"
+           ~doc:"Stop after learning N periods (mainly for scripting a \
+                 bounded watch over a live source).")
+  in
+  Cmd.v (Cmd.info "watch"
+           ~doc:"Follow a trace source and print the model as it evolves \
+                 (LUB on change, drift notices)")
+    Term.(ret (const watch $ stream_trace_arg $ bound_arg $ window_arg
+               $ mode_arg $ eps_arg $ poll $ follow $ max_periods))
 
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze"
@@ -752,6 +1048,6 @@ let () =
   let doc = "automatic model generation for black box real-time systems" in
   let info = Cmd.info "rtgen" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-                    [ simulate_cmd; learn_cmd; analyze_cmd; check_cmd;
-                      inject_cmd; stats_cmd; report_cmd; vcd_cmd; gantt_cmd;
-                      anonymize_cmd; table1_cmd; example_cmd ]))
+                    [ simulate_cmd; learn_cmd; watch_cmd; analyze_cmd;
+                      check_cmd; inject_cmd; stats_cmd; report_cmd; vcd_cmd;
+                      gantt_cmd; anonymize_cmd; table1_cmd; example_cmd ]))

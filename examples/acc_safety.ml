@@ -20,7 +20,7 @@ let () =
   Format.printf "ACC function under observation: %a@." Rt_trace.Trace.pp_summary trace;
 
   (* 1. Learn with an automatically selected bound. *)
-  let report, bound = Rt_learn.Learner.auto trace in
+  let report, bound = Rt_engine.Learner.auto trace in
   Format.printf "auto-selected bound: %d (%.3fs, converged: %b)@.@."
     bound report.elapsed_s report.converged;
   let model = Option.get report.lub in
@@ -76,7 +76,7 @@ let () =
     mapping.task_names;
   Format.printf "  ...@.";
   (* Anonymization preserves the learning problem. *)
-  let report_anon, _ = Rt_learn.Learner.auto anon in
+  let report_anon, _ = Rt_engine.Learner.auto anon in
   Format.printf "model learned from the anonymized trace is identical: %b@."
     (match report_anon.lub with
      | Some l -> Rt_lattice.Depfun.equal l model

@@ -17,7 +17,7 @@ let () =
 
   (* Learn with the bounded heuristic (the paper used the heuristics for
      this trace too; bound 1 yields the conservative single model). *)
-  let report = Rt_learn.Learner.learn (Rt_learn.Learner.Heuristic 1) trace in
+  let report = Rt_engine.Learner.learn (Rt_engine.Learner.Heuristic 1) trace in
   Format.printf "learning: %d hypotheses in %.3fs (converged: %b)@.@."
     (List.length report.hypotheses) report.elapsed_s report.converged;
   let model = Option.get report.lub in

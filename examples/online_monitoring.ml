@@ -1,16 +1,20 @@
 (* Online monitoring: learn the dependency model of a live system period
    by period, and watch properties become provable as evidence arrives.
 
-   The bounded heuristic's state after k periods does not depend on the
-   future, so it doubles as an anytime monitor: attach it to the bus,
-   feed each completed period, and query the current model.
+   This runs the full streaming stack end to end: the simulator emits
+   events into a pull-based Event_source (one period buffered, never the
+   whole trace), the Segmenter cuts the stream into validated periods,
+   and the Engine folds each period into the model the moment it
+   completes — the same pipeline `rtgen watch` runs against a growing
+   capture file.
 
    Run with: dune exec examples/online_monitoring.exe *)
 
 module Gm = Rt_case.Gm_model
 module Df = Rt_lattice.Depfun
-module H = Rt_learn.Heuristic
 module Q = Rt_analysis.Query
+module Seg = Rt_trace.Segmenter
+module Engine = Rt_engine.Engine
 
 let properties =
   [ "mode coverage", "d(A,L) = -> & d(B,M) = ->";
@@ -19,38 +23,55 @@ let properties =
     "mode selectors", "disjunction(A) & disjunction(B)" ]
 
 let () =
-  let trace = Gm.trace () in
+  let design = Gm.design () in
   let names = Gm.names in
-  let st = H.init ~bound:1 ~ntasks:18 () in
+  (* The "live bus": events appear one at a time, periods on demand. *)
+  let src = Rt_sim.Simulator.source design Gm.reference_config in
+  let seg =
+    Seg.create
+      ~task_set:(Rt_task.Design.task_set design)
+      ~period_len:design.Rt_task.Design.period src
+  in
+  let eng =
+    Engine.create ~ntasks:(Array.length names) (Engine.Heuristic { bound = 1 })
+  in
   let proven = Hashtbl.create 4 in
   Format.printf "%-8s %-8s %-10s %s@." "period" "weight" "consistent"
     "newly provable properties";
-  List.iter (fun (p : Rt_trace.Period.t) ->
-      H.feed st p;
-      match H.current st with
-      | [] -> Format.printf "%-8d %-8s %-10s@." (p.index + 1) "-" "NO"
-      | model :: _ ->
-        let newly =
-          List.filter_map (fun (label, q) ->
-              if Hashtbl.mem proven label then None
-              else
-                match Q.holds ~model ~names (Q.parse_exn q) with
-                | Ok true ->
-                  Hashtbl.replace proven label ();
-                  Some label
-                | Ok false | Error _ -> None)
-            properties
-        in
-        Format.printf "%-8d %-8d %-10s %s@." (p.index + 1) (Df.weight model)
-          "yes" (String.concat ", " newly))
-    (Rt_trace.Trace.periods trace);
+  let rec monitor () =
+    match Seg.next seg with
+    | None -> ()
+    | Some (`Invalid e) ->
+      Format.printf "%-8d %-8s %-10s@." (e.Seg.period_index + 1) "-" "INVALID";
+      monitor ()
+    | Some (`Period p) ->
+      Engine.feed eng p;
+      (match Engine.current eng with
+       | [] -> Format.printf "%-8d %-8s %-10s@." (p.index + 1) "-" "NO"
+       | model :: _ ->
+         let newly =
+           List.filter_map (fun (label, q) ->
+               if Hashtbl.mem proven label then None
+               else
+                 match Q.holds ~model ~names (Q.parse_exn q) with
+                 | Ok true ->
+                   Hashtbl.replace proven label ();
+                   Some label
+                 | Ok false | Error _ -> None)
+             properties
+         in
+         Format.printf "%-8d %-8d %-10s %s@." (p.index + 1) (Df.weight model)
+           "yes" (String.concat ", " newly));
+      monitor ()
+  in
+  monitor ();
+  let final = Engine.finalize eng in
   Format.printf "@.%d of %d properties provable after %d periods@."
-    (Hashtbl.length proven) (List.length properties)
-    (H.stats st).periods_processed;
+    (Hashtbl.length proven) (List.length properties) final.Engine.periods;
   (* The anytime guarantee: the online model always matches everything
-     seen so far. *)
-  match H.current st with
+     seen so far — including the same trace learned in batch. *)
+  match final.Engine.hypotheses with
   | model :: _ ->
     Format.printf "final model matches the whole trace: %b@."
-      (Rt_learn.Matching.matches_trace model trace)
+      (Rt_learn.Matching.matches_trace model (Gm.trace ~seed:2007 ()))
   | [] -> ()

@@ -18,9 +18,9 @@ let () =
   Format.printf "captured %a@.@." Rt_trace.Trace.pp_summary trace;
 
   (* 3. Learn a dependency model with the bounded heuristic. *)
-  let report = Rt_learn.Learner.learn (Rt_learn.Learner.Heuristic 8) trace in
+  let report = Rt_engine.Learner.learn (Rt_engine.Learner.Heuristic 8) trace in
   let names = Rt_task.Task_set.names (Rt_task.Design.task_set design) in
-  Format.printf "%a@.@." (Rt_learn.Learner.pp_report ~names) report;
+  Format.printf "%a@.@." (Rt_engine.Learner.pp_report ~names) report;
 
   (* 4. Query the learned model. *)
   match report.lub with

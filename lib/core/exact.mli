@@ -35,3 +35,38 @@ val run : ?limit:int -> ?window:int -> ?obs:Rt_obs.Registry.t ->
 
 val converged : outcome -> Rt_lattice.Depfun.t option
 (** The unique most specific solution, if the algorithm converged. *)
+
+(** {2 Incremental driving}
+
+    Like the heuristic learner, the exact algorithm is a per-period
+    fold: its state after [k] periods does not depend on the rest of the
+    trace. [run] is a thin wrapper over these. *)
+
+type state
+
+val init :
+  ?limit:int -> ?window:int -> ?obs:Rt_obs.Registry.t ->
+  ?on_period:(int -> Hypothesis.t list -> unit) ->
+  ntasks:int -> unit -> state
+(** Fresh state over [ntasks] tasks, holding only [{d⊥}]. *)
+
+val feed : state -> Rt_trace.Period.t -> unit
+(** Consume one period. @raise Blowup when the working set exceeds
+    [limit]; the state is then unusable. *)
+
+val current : state -> Rt_lattice.Depfun.t list
+(** The current hypothesis set (fresh copies). *)
+
+val stats : state -> stats
+
+val messages_processed : state -> int
+(** Bus messages consumed so far, across all fed periods. *)
+
+val publish : state -> unit
+(** Export the state-held totals (["exact.periods"], ["exact.created"],
+    …) into the attached registry as counters, overwriting previous
+    values. No-op without [obs]. *)
+
+val snapshot : state -> outcome
+(** [current] and [stats] packaged like a [run] result; also
+    {!publish}es. *)

@@ -42,6 +42,7 @@ type state = {
   mutable created : int;
   mutable merges : int;
   mutable periods : int;
+  mutable msgs : int;      (* bus messages consumed, across all periods *)
   mutable dropped : int;   (* periods quarantine dropped before feeding *)
   mutable repaired : int;  (* periods repaired by ingestion *)
   (* Observability counters. Like [merges]/[created] they are counted
@@ -75,6 +76,7 @@ let init ?(policy = Lightest_pair) ?window ?pool ?obs ~bound ~ntasks () =
     created = 1;
     merges = 0;
     periods = 0;
+    msgs = 0;
     dropped = 0;
     repaired = 0;
     branches = 0;
@@ -169,6 +171,7 @@ let feed st (p : Period.t) =
   st.nonminimal <- st.nonminimal + !cut_min;
   st.hs <- Array.of_list survivors;
   st.periods <- st.periods + 1;
+  st.msgs <- st.msgs + Array.length p.msgs;
   (match st.obs with
    | Some r ->
      (match st.occ_gauge with
@@ -182,6 +185,8 @@ let current st =
 
 let stats st =
   { periods_processed = st.periods; merges = st.merges; created = st.created }
+
+let messages_processed st = st.msgs
 
 let counters st =
   {
@@ -234,12 +239,13 @@ let converged o = match o.hypotheses with [ d ] -> Some d | [] | _ :: _ -> None
    counters, the violation matrix, and the hypothesis matrices in state
    order (which the restore preserves verbatim; re-sorting could disagree
    with the working set's canonical order). All integers are little-endian
-   64-bit; matrices are row-major bytes. Version 2 extends version 1 with
-   the six observability counters, so a resumed run reports the same
-   totals as an uninterrupted one. *)
+   64-bit; matrices are row-major bytes. Version 2 extended version 1
+   with the six observability counters; version 3 adds the message
+   count, so a resumed run reports the same totals as an uninterrupted
+   one. *)
 
 let ckpt_magic = "RTGENCKP"
-let ckpt_version = 2
+let ckpt_version = 3
 
 let policy_byte = function
   | Lightest_pair -> 0 | Heaviest_pair -> 1 | First_last -> 2
@@ -272,6 +278,7 @@ let checkpoint ?(tag = "") st =
   i64 st.weakenings;
   i64 st.end_dedup;
   i64 st.nonminimal;
+  i64 st.msgs;
   i64 (String.length tag);
   Buffer.add_string buf tag;
   for a = 0 to ntasks - 1 do
@@ -336,6 +343,7 @@ let resume ?pool ?obs data =
     let weakenings = i64 () in
     let end_dedup = i64 () in
     let nonminimal = i64 () in
+    let msgs = i64 () in
     let tag = str (i64 ()) in
     let vm = Array.make_matrix ntasks ntasks false in
     for a = 0 to ntasks - 1 do
@@ -376,6 +384,7 @@ let resume ?pool ?obs data =
         created;
         merges;
         periods;
+        msgs;
         dropped;
         repaired;
         branches;

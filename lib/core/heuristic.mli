@@ -76,6 +76,10 @@ val current : state -> Rt_lattice.Depfun.t list
 
 val stats : state -> stats
 
+val messages_processed : state -> int
+(** Bus messages consumed so far, across all fed periods. Travels
+    through {!checkpoint}/{!resume} like the other totals. *)
+
 val counters : state -> counters
 (** The current observability totals (see {!type-counters}). *)
 
@@ -131,5 +135,6 @@ val resume :
     [pool] re-attaches a domain pool and [obs] a metrics registry
     (runtime resources are not serialised). Malformed or
     version-mismatched input yields [Error message], never an
-    exception. The current format is version 2 (version 1 predates the
-    observability counters and is refused). *)
+    exception. The current format is version 3 (version 1 predates the
+    observability counters, version 2 the message count; both are
+    refused). *)

@@ -1,0 +1,129 @@
+module Df = Rt_lattice.Depfun
+module H = Rt_learn.Heuristic
+module E = Rt_learn.Exact
+
+type algorithm =
+  | Exact of { limit : int option }
+  | Heuristic of { bound : int }
+
+type core = Hstate of H.state | Estate of E.state
+
+type t = {
+  core : core;
+  obs : Rt_obs.Registry.t option;
+  feed_hist : Rt_obs.Histogram.t option;
+  periods_gauge : Rt_obs.Registry.gauge option;
+  msgs_gauge : Rt_obs.Registry.gauge option;
+}
+
+type snapshot = {
+  hypotheses : Df.t list;
+  lub : Df.t option;
+  converged : bool;
+  consistent : bool;
+  periods : int;
+  messages : int;
+}
+
+let wrap ?obs core =
+  {
+    core;
+    obs;
+    feed_hist =
+      Option.map (fun r -> Rt_obs.Registry.histogram r "engine.feed_ns") obs;
+    periods_gauge =
+      Option.map
+        (fun r -> Rt_obs.Registry.gauge r "engine.periods_in_flight")
+        obs;
+    msgs_gauge =
+      Option.map
+        (fun r -> Rt_obs.Registry.gauge r "engine.messages_in_flight")
+        obs;
+  }
+
+let create ?window ?pool ?obs ~ntasks algorithm =
+  let core =
+    match algorithm with
+    | Exact { limit } -> Estate (E.init ?limit ?window ?obs ~ntasks ())
+    | Heuristic { bound } -> Hstate (H.init ?window ?pool ?obs ~bound ~ntasks ())
+  in
+  wrap ?obs core
+
+let of_heuristic ?obs st = wrap ?obs (Hstate st)
+
+let periods_fed t =
+  match t.core with
+  | Hstate st -> (H.stats st).periods_processed
+  | Estate st -> (E.stats st).periods_processed
+
+let messages_fed t =
+  match t.core with
+  | Hstate st -> H.messages_processed st
+  | Estate st -> E.messages_processed st
+
+let feed t p =
+  let t0 = if t.feed_hist = None then 0 else Rt_obs.Registry.now_ns () in
+  (match t.core with Hstate st -> H.feed st p | Estate st -> E.feed st p);
+  match t.feed_hist with
+  | None -> ()
+  | Some h ->
+    Rt_obs.Histogram.record h (Rt_obs.Registry.now_ns () - t0);
+    (match t.periods_gauge with
+     | Some g -> Rt_obs.Registry.set_gauge g (periods_fed t)
+     | None -> ());
+    (match t.msgs_gauge with
+     | Some g -> Rt_obs.Registry.set_gauge g (messages_fed t)
+     | None -> ())
+
+let rec feed_source ?on_period t seg =
+  match Rt_trace.Segmenter.next seg with
+  | None -> Ok (periods_fed t)
+  | Some (`Invalid e) -> Error e
+  | Some (`Period p) ->
+    feed t p;
+    (match on_period with Some f -> f t | None -> ());
+    feed_source ?on_period t seg
+
+let current t =
+  match t.core with Hstate st -> H.current st | Estate st -> E.current st
+
+(* The engine's own counter totals come from the core state — which is
+   what checkpoints carry — so a resumed engine republishes the same
+   numbers an uninterrupted one would. *)
+let publish t =
+  (match t.core with Hstate st -> H.publish st | Estate st -> E.publish st);
+  match t.obs with
+  | None -> ()
+  | Some r ->
+    let set = Rt_obs.Registry.set_counter r in
+    set "engine.periods" (periods_fed t);
+    set "engine.messages" (messages_fed t)
+
+let snapshot t =
+  publish t;
+  let hypotheses = current t in
+  {
+    hypotheses;
+    lub = (match hypotheses with [] -> None | l -> Some (Df.lub l));
+    converged = List.length hypotheses = 1;
+    consistent = hypotheses <> [];
+    periods = periods_fed t;
+    messages = messages_fed t;
+  }
+
+let finalize = snapshot
+
+let set_provenance t ~dropped ~repaired =
+  match t.core with
+  | Hstate st -> H.set_provenance st ~dropped ~repaired
+  | Estate _ -> ()
+
+let checkpoint ?tag t =
+  match t.core with
+  | Hstate st -> Ok (H.checkpoint ?tag st)
+  | Estate _ -> Error "the exact algorithm has no checkpoint format"
+
+let resume ?pool ?obs data =
+  match H.resume ?pool ?obs data with
+  | Ok (st, tag) -> Ok (of_heuristic ?obs st, tag)
+  | Error _ as e -> e

@@ -49,6 +49,11 @@ let default_clock () =
     if now > !last then last := now;
     !last
 
+(* Process-wide monotonic time for callers that have no registry at
+   hand (e.g. Learner's elapsed_s): never goes backwards even if NTP
+   steps the wall clock. *)
+let now_ns = default_clock ()
+
 let create ?clock () =
   let clock = match clock with Some c -> c | None -> default_clock () in
   { clock; origin_ns = clock (); counters = []; gauges = []; hists = [];

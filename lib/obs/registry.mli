@@ -27,6 +27,11 @@ val create : ?clock:(unit -> int) -> unit -> t
 
 val elapsed_ns : t -> int
 
+val now_ns : unit -> int
+(** Process-wide monotonic nanoseconds (clamped never to decrease, so
+    timings derived from it cannot go negative under NTP steps). Only
+    differences are meaningful. *)
+
 (** {2 Counters} *)
 
 val counter : t -> string -> counter

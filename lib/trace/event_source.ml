@@ -1,0 +1,28 @@
+type t = {
+  mutable pull : unit -> Event.t option;
+  mutable served : int;
+}
+
+let exhausted () = None
+
+let next t =
+  match t.pull () with
+  | Some _ as e ->
+    t.served <- t.served + 1;
+    e
+  | None ->
+    t.pull <- exhausted;
+    None
+
+let of_fun f = { pull = f; served = 0 }
+
+let of_list events =
+  let rest = ref events in
+  of_fun (fun () ->
+      match !rest with
+      | [] -> None
+      | e :: tl ->
+        rest := tl;
+        Some e)
+
+let count t = t.served

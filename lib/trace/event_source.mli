@@ -1,0 +1,26 @@
+(** Pull-based event streams: the ingestion end of the streaming engine.
+
+    A source yields timestamped {!Event.t} values one at a time until
+    exhausted. Producers decide where the events come from — an
+    in-memory list, a generator closure (a live simulator feed, a bus
+    tap), or a lazily-read capture — and consumers such as
+    {!Segmenter} never see more than they asked for, which is what
+    bounds the memory of streaming ingestion. *)
+
+type t
+
+val next : t -> Event.t option
+(** The next event, or [None] when the source is exhausted. Once [None]
+    is returned every subsequent call returns [None]. *)
+
+val of_list : Event.t list -> t
+(** In-memory source; yields the list in order. *)
+
+val of_fun : (unit -> Event.t option) -> t
+(** Wrap a generator closure — e.g. a live simulator feed or a socket
+    reader. The closure's [None] is latched: after the first [None] the
+    underlying function is never called again, so generators need not be
+    re-entrant past exhaustion. *)
+
+val count : t -> int
+(** Events handed out so far. *)

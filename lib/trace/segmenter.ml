@@ -1,0 +1,138 @@
+type segment_error = { period_index : int; error : Period.error }
+
+type item = [ `Period of Period.t | `Invalid of segment_error ]
+
+type t = {
+  mode : [ `Strict | `Recover ];
+  eps : int option;
+  task_set : Rt_task.Task_set.t;
+  period_len : int;
+  source : Event_source.t;
+  (* The bucket being assembled. Events are accumulated by consing, so
+     the list a finished bucket hands to [Period.make] is in reverse
+     arrival order — the same order the batch hash-bucketing produced,
+     which keeps tie-breaking under [Period.make]'s stable sort
+     identical between batch and streaming ingestion. *)
+  mutable cur_active : bool;
+  mutable cur_bucket : int;          (* original time-based index *)
+  mutable cur_events : Event.t list;
+  mutable cur_len : int;
+  mutable pending : Event.t option;  (* first event of the next bucket *)
+  mutable exhausted : bool;
+  mutable seen : int;                (* buckets flushed = next new index *)
+  mutable max_buffered : int;
+  (* Quarantine accumulators, reverse order. *)
+  mutable kept : int;
+  mutable repaired : Quarantine.period_repair list;
+  mutable dropped : Quarantine.period_drop list;
+}
+
+let create ?(mode = `Strict) ?eps ~task_set ~period_len source =
+  if period_len <= 0 then
+    invalid_arg "Segmenter.create: period_len must be positive";
+  {
+    mode; eps; task_set; period_len; source;
+    cur_active = false;
+    cur_bucket = 0;
+    cur_events = [];
+    cur_len = 0;
+    pending = None;
+    exhausted = false;
+    seen = 0;
+    max_buffered = 0;
+    kept = 0;
+    repaired = [];
+    dropped = [];
+  }
+
+let add_event t e =
+  t.cur_events <- e :: t.cur_events;
+  t.cur_len <- t.cur_len + 1;
+  if t.cur_len > t.max_buffered then t.max_buffered <- t.cur_len
+
+(* Pull until the current bucket is complete: the next event belongs to a
+   later bucket (parked in [pending]) or the source is exhausted. *)
+let rec fill t =
+  if not t.exhausted then
+    match Event_source.next t.source with
+    | None -> t.exhausted <- true
+    | Some e ->
+      let idx = e.Event.time / t.period_len in
+      if not t.cur_active then begin
+        t.cur_active <- true;
+        t.cur_bucket <- idx;
+        add_event t e;
+        fill t
+      end
+      else if idx = t.cur_bucket then begin
+        add_event t e;
+        fill t
+      end
+      else if idx < t.cur_bucket then
+        invalid_arg
+          (Printf.sprintf
+             "Segmenter.next: event at time %d belongs to period %d but \
+              period %d is already being assembled (stream not in \
+              nondecreasing period order)"
+             e.Event.time idx t.cur_bucket)
+      else t.pending <- Some e
+
+(* Close the current bucket and classify it. [None] means the period was
+   quarantine-dropped and the caller should move on to the next one. *)
+let flush t : item option =
+  let old_idx = t.cur_bucket and events = t.cur_events in
+  t.cur_active <- false;
+  t.cur_events <- [];
+  t.cur_len <- 0;
+  let new_idx = t.seen in
+  t.seen <- t.seen + 1;
+  match t.mode with
+  | `Strict ->
+    (match Period.make ~index:new_idx ~task_set:t.task_set events with
+     | Ok p ->
+       t.kept <- t.kept + 1;
+       Some (`Period p)
+     | Error error -> Some (`Invalid { period_index = old_idx; error }))
+  | `Recover ->
+    (match Repair.period ?eps:t.eps ~index:new_idx ~task_set:t.task_set events with
+     | Ok (p, []) ->
+       t.kept <- t.kept + 1;
+       Some (`Period p)
+     | Ok (p, fixes) ->
+       t.repaired <-
+         { Quarantine.period_index = old_idx;
+           fixes = List.map Repair.string_of_fix fixes }
+         :: t.repaired;
+       Some (`Period p)
+     | Error e ->
+       t.dropped <-
+         { Quarantine.period_index = old_idx;
+           reason = Period.string_of_error e }
+         :: t.dropped;
+       None)
+
+let rec next t =
+  (* Promote the parked first event of the next bucket, if any. *)
+  (match t.pending with
+   | Some e ->
+     t.pending <- None;
+     t.cur_active <- true;
+     t.cur_bucket <- e.Event.time / t.period_len;
+     add_event t e
+   | None -> ());
+  fill t;
+  if not t.cur_active then None
+  else
+    match flush t with
+    | Some _ as item -> item
+    | None -> next t  (* recover mode dropped it; keep going *)
+
+let quarantine t =
+  { Quarantine.skipped_lines = [];
+    kept = t.kept;
+    repaired = List.rev t.repaired;
+    dropped = List.rev t.dropped }
+
+let periods_seen t = t.seen
+
+let max_buffered t = t.max_buffered

@@ -1,0 +1,58 @@
+(** Streaming segmentation: cut a pull-based flat event stream into
+    validated (or repaired) periods, one at a time, with memory bounded
+    by a single period.
+
+    This is the incremental core behind {!Trace.segment} and
+    {!Trace.segment_recover}: the batch functions sort their event list
+    by period index and drain a segmenter, so batch and streaming
+    ingestion share one implementation and produce identical periods,
+    errors and quarantine accounts. A live feed (simulator, bus tap)
+    plugs an {!Event_source} in directly and never materializes more
+    than the period currently being assembled.
+
+    Events must arrive in nondecreasing period order (event at time [x]
+    belongs to period [x / period_len]); within a period any order is
+    accepted, exactly as the batch bucketing did. Empty periods cannot
+    occur (a period exists only because an event mapped to it). Yielded
+    periods are renumbered 0.. in arrival order — including invalid or
+    dropped ones, which keep their slot — while errors and quarantine
+    entries report the original time-based index, mirroring the batch
+    behaviour. *)
+
+type segment_error = {
+  period_index : int;  (** original (pre-renumbering) period index *)
+  error : Period.error;
+}
+
+type item =
+  [ `Period of Period.t   (** a valid (or, in recover mode, repaired) period *)
+  | `Invalid of segment_error  (** strict mode only: a malformed period *)
+  ]
+
+type t
+
+val create :
+  ?mode:[ `Strict | `Recover ] -> ?eps:int ->
+  task_set:Rt_task.Task_set.t -> period_len:int -> Event_source.t -> t
+(** [`Strict] (default) surfaces malformed periods as [`Invalid];
+    [`Recover] repairs them with {!Repair} (tolerance [eps]) or drops
+    them, recording either in the quarantine account. @raise
+    Invalid_argument when [period_len <= 0]. *)
+
+val next : t -> item option
+(** The next period of the stream; [None] when the source is exhausted.
+    @raise Invalid_argument if the source violates the nondecreasing
+    period-order contract. *)
+
+val quarantine : t -> Quarantine.t
+(** Snapshot of the recover-mode account so far (kept, repaired and
+    dropped periods by original index; never any skipped lines). In
+    strict mode only [kept] moves. *)
+
+val periods_seen : t -> int
+(** Periods flushed so far, valid or not — the next period's new index. *)
+
+val max_buffered : t -> int
+(** High-water mark of events buffered at once — the memory bound. For a
+    well-formed stream this is the size of the largest single period, no
+    matter how long the stream runs. *)

@@ -1,0 +1,231 @@
+type line_source = unit -> string option
+
+let lines_of_string s =
+  let lines = ref (String.split_on_char '\n' s) in
+  fun () ->
+    match !lines with
+    | [] -> None
+    | l :: tl ->
+      lines := tl;
+      Some l
+
+let lines_of_channel ic =
+  fun () -> match input_line ic with l -> Some l | exception End_of_file -> None
+
+let follow_lines ?(poll_interval = 0.05) ~stop ic =
+  let buf = Buffer.create 256 in
+  let finished = ref false in
+  let take () =
+    let l = Buffer.contents buf in
+    Buffer.clear buf;
+    Some l
+  in
+  let rec read () =
+    match input_char ic with
+    | '\n' -> take ()
+    | c ->
+      Buffer.add_char buf c;
+      read ()
+    | exception End_of_file ->
+      if stop () then begin
+        finished := true;
+        if Buffer.length buf > 0 then take () else None
+      end
+      else begin
+        Unix.sleepf poll_interval;
+        read ()
+      end
+  in
+  fun () -> if !finished then None else read ()
+
+type parse_error = { line : int; message : string }
+
+type mode = [ `Strict | `Recover ]
+
+type t = {
+  mode : mode;
+  eps : int option;
+  source : line_source;
+  mutable lineno : int;
+  mutable task_set : Rt_task.Task_set.t option;
+  mutable cur_index : int option;
+  mutable cur_events : Event.t list;  (* reverse line order *)
+  mutable state : [ `Running | `Done | `Failed of parse_error ];
+  (* Quarantine accumulators, reverse order. *)
+  mutable kept : int;
+  mutable skipped : Quarantine.line_issue list;
+  mutable repaired : Quarantine.period_repair list;
+  mutable dropped : Quarantine.period_drop list;
+}
+
+let create ?(mode = `Strict) ?eps source =
+  {
+    mode; eps; source;
+    lineno = 0;
+    task_set = None;
+    cur_index = None;
+    cur_events = [];
+    state = `Running;
+    kept = 0;
+    skipped = [];
+    repaired = [];
+    dropped = [];
+  }
+
+let task_set t = t.task_set
+
+let lines_read t = t.lineno
+
+let quarantine t =
+  { Quarantine.skipped_lines = List.rev t.skipped;
+    kept = t.kept;
+    repaired = List.rev t.repaired;
+    dropped = List.rev t.dropped }
+
+exception Fail of parse_error
+
+let fail line message = raise (Fail { line; message })
+
+let strict t = t.mode = `Strict
+
+(* A malformed line is fatal in strict mode, a diagnostic in recover
+   mode. *)
+let skip_line t lineno message =
+  if strict t then fail lineno message
+  else t.skipped <- { Quarantine.line = lineno; message } :: t.skipped
+
+(* Close the period under construction, if any. Returns it when it
+   survives validation/repair; [None] when there was nothing to close or
+   the period was quarantined. *)
+let flush_period t lineno : Period.t option =
+  match t.cur_index with
+  | None -> None
+  | Some index ->
+    let events = List.rev t.cur_events in
+    t.cur_index <- None;
+    t.cur_events <- [];
+    (match t.task_set with
+     | None ->
+       if strict t then fail lineno "period before tasks line"
+       else begin
+         t.dropped <-
+           { Quarantine.period_index = index; reason = "before tasks line" }
+           :: t.dropped;
+         None
+       end
+     | Some ts ->
+       if strict t then
+         (match Period.make ~index ~task_set:ts events with
+          | Ok p ->
+            t.kept <- t.kept + 1;
+            Some p
+          | Error e ->
+            fail lineno
+              (Printf.sprintf "invalid period %d: %s" index
+                 (Period.string_of_error e)))
+       else
+         (match Repair.period ?eps:t.eps ~index ~task_set:ts events with
+          | Ok (p, []) ->
+            t.kept <- t.kept + 1;
+            Some p
+          | Ok (p, fixes) ->
+            t.repaired <-
+              { Quarantine.period_index = index;
+                fixes = List.map Repair.string_of_fix fixes }
+              :: t.repaired;
+            Some p
+          | Error e ->
+            t.dropped <-
+              { Quarantine.period_index = index;
+                reason = Period.string_of_error e }
+              :: t.dropped;
+            None))
+
+(* Line-level parse failures signal with a local exception so recover
+   mode can skip just the line. *)
+exception Bad_line of string
+
+let parse_msg_id tok =
+  match int_of_string_opt tok with
+  | Some m -> m
+  | None -> raise (Bad_line ("bad message id: " ^ tok))
+
+let parse_task t tok =
+  match t.task_set with
+  | None -> raise (Bad_line "event before tasks line")
+  | Some ts ->
+    (match Rt_task.Task_set.index ts tok with
+     | Some i -> i
+     | None -> raise (Bad_line ("unknown task: " ^ tok)))
+
+(* Consume one line. Returns a period when the line closed one. *)
+let consume_line t raw : Period.t option =
+  let lineno = t.lineno in
+  let line = String.trim raw in
+  if line = "" || (String.length line > 0 && line.[0] = '#') then None
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | "tasks" :: names ->
+      (if t.task_set <> None then skip_line t lineno "duplicate tasks line"
+       else if names = [] then skip_line t lineno "tasks line without names"
+       else
+         match Rt_task.Task_set.of_names (Array.of_list names) with
+         | ts -> t.task_set <- Some ts
+         | exception Invalid_argument m -> skip_line t lineno m);
+      None
+    | [ "period"; idx ] ->
+      let finished = flush_period t lineno in
+      (match int_of_string_opt idx with
+       | Some n -> t.cur_index <- Some n
+       | None -> skip_line t lineno ("bad period index: " ^ idx));
+      finished
+    | [ time; verb; arg ] ->
+      (match
+         if t.cur_index = None then raise (Bad_line "event before a period line")
+         else begin
+           let time =
+             match int_of_string_opt time with
+             | Some tm when tm >= 0 -> tm
+             | Some _ -> raise (Bad_line "negative timestamp")
+             | None -> raise (Bad_line ("bad timestamp: " ^ time))
+           in
+           let kind =
+             match verb with
+             | "start" -> Event.Task_start (parse_task t arg)
+             | "end" -> Event.Task_end (parse_task t arg)
+             | "rise" -> Event.Msg_rise (parse_msg_id arg)
+             | "fall" -> Event.Msg_fall (parse_msg_id arg)
+             | _ -> raise (Bad_line ("unknown event kind: " ^ verb))
+           in
+           { Event.time; kind }
+         end
+       with
+       | e -> t.cur_events <- e :: t.cur_events
+       | exception Bad_line m -> skip_line t lineno m);
+      None
+    | _ ->
+      skip_line t lineno ("unparseable line: " ^ line);
+      None
+
+let rec next t =
+  match t.state with
+  | `Done -> Ok None
+  | `Failed e -> Error e
+  | `Running ->
+    (try
+       match t.source () with
+       | Some raw ->
+         t.lineno <- t.lineno + 1;
+         (match consume_line t raw with
+          | Some p -> Ok (Some p)
+          | None -> next t)
+       | None ->
+         let finished = flush_period t t.lineno in
+         (match t.task_set with
+          | None -> fail t.lineno "missing tasks line"
+          | Some _ -> ());
+         t.state <- `Done;
+         (match finished with Some p -> Ok (Some p) | None -> Ok None)
+     with Fail e ->
+       t.state <- `Failed e;
+       Error e)

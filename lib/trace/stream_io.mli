@@ -1,0 +1,59 @@
+(** Incremental parsing of the rtgen-trace v1 text format: the streaming
+    twin of {!Trace_io}.
+
+    A parser pulls lines one at a time from a {!line_source} and yields
+    each period as soon as its closing boundary (the next [period] line
+    or end of input) is seen, holding only the period under construction
+    in memory. {!Trace_io.of_string} is a thin wrapper that drains one of
+    these over an in-memory string, so batch and streaming parses share
+    one implementation and agree byte-for-byte on periods, errors and
+    quarantine accounting.
+
+    Line sources never materialize the input: {!lines_of_channel} reads
+    a pipe or file as it goes, and {!follow_lines} tails a growing file,
+    which is what [rtgen watch] and [rtgen learn --stream] sit on. *)
+
+type line_source = unit -> string option
+(** The next raw line (without its newline), or [None] at end of input.
+    Once [None] is returned the parser never calls the source again. *)
+
+val lines_of_string : string -> line_source
+(** Split on ['\n'], exactly as the batch loader did (a trailing newline
+    yields a final empty line). *)
+
+val lines_of_channel : in_channel -> line_source
+(** Read lines as they become available; blocks with the channel. The
+    channel is not closed on exhaustion — the caller owns it. *)
+
+val follow_lines :
+  ?poll_interval:float -> stop:(unit -> bool) -> in_channel -> line_source
+(** [tail -f] over a growing file: at end of file, sleep [poll_interval]
+    seconds (default 0.05) and retry until [stop ()] is true, then yield
+    any final partial line and end. Lines are assembled byte-by-byte so
+    a half-written line is never handed out early. *)
+
+type parse_error = { line : int; message : string }
+
+type mode = [ `Strict | `Recover ]
+
+type t
+
+val create : ?mode:mode -> ?eps:int -> line_source -> t
+(** [`Strict] (default) fails on the first malformed line or period;
+    [`Recover] skips and repairs, filling the quarantine account. [eps]
+    is the clock-skew tolerance forwarded to {!Repair}. *)
+
+val next : t -> (Period.t option, parse_error) result
+(** The next period of the stream; [Ok None] at end of input. Both end
+    of input and errors are latched: subsequent calls return the same
+    answer. A stream that ends before any [tasks] line is an error even
+    in recover mode — there is nothing to parse events against. *)
+
+val task_set : t -> Rt_task.Task_set.t option
+(** The task set, once its header line has been parsed. *)
+
+val quarantine : t -> Quarantine.t
+(** Snapshot of the account so far; grows as the stream is consumed. *)
+
+val lines_read : t -> int
+(** Lines pulled from the source so far. *)

@@ -7,56 +7,57 @@ let of_periods ~task_set ps =
     ps;
   { task_set; periods = Array.of_list ps }
 
-type segment_error = { period_index : int; error : Period.error }
+type segment_error = Segmenter.segment_error = {
+  period_index : int;
+  error : Period.error;
+}
 
-(* [segment]'s bucketing, shared with the recover variant. Returns the
-   buckets in ascending original-index order, renumbered from 0. *)
-let buckets ~period_len events =
-  let by_period : (int, Event.t list) Hashtbl.t = Hashtbl.create 32 in
-  List.iter (fun (e : Event.t) ->
-      let idx = e.time / period_len in
-      let cur = Option.value ~default:[] (Hashtbl.find_opt by_period idx) in
-      Hashtbl.replace by_period idx (e :: cur))
-    events;
-  Hashtbl.fold (fun k _ acc -> k :: acc) by_period []
-  |> List.sort Int.compare
-  |> List.mapi (fun new_idx old_idx -> (new_idx, old_idx, Hashtbl.find by_period old_idx))
+(* The batch entry points are thin wrappers over the streaming
+   {!Segmenter}: stable-sort the flat event list into nondecreasing
+   period order (preserving arrival order within each period, which is
+   what the old hash-bucketing preserved too) and drain the segmenter.
+   One implementation serves both batch and live ingestion. *)
+let ordered_source ~period_len events =
+  List.stable_sort
+    (fun (a : Event.t) (b : Event.t) ->
+      Int.compare (a.time / period_len) (b.time / period_len))
+    events
+  |> Event_source.of_list
 
 let segment ~task_set ~period_len events =
   if period_len <= 0 then invalid_arg "Trace.segment: period_len must be positive";
+  let seg =
+    Segmenter.create ~mode:`Strict ~task_set ~period_len
+      (ordered_source ~period_len events)
+  in
   let oks = ref [] and errs = ref [] in
-  List.iter (fun (new_idx, old_idx, evs) ->
-      match Period.make ~index:new_idx ~task_set evs with
-      | Ok p -> oks := p :: !oks
-      | Error error -> errs := { period_index = old_idx; error } :: !errs)
-    (buckets ~period_len events);
+  let rec drain () =
+    match Segmenter.next seg with
+    | None -> ()
+    | Some (`Period p) -> oks := p :: !oks; drain ()
+    | Some (`Invalid e) -> errs := e :: !errs; drain ()
+  in
+  drain ();
   if !errs <> [] then Error (List.rev !errs)
   else Ok { task_set; periods = Array.of_list (List.rev !oks) }
 
 let segment_recover ?eps ~task_set ~period_len events =
   if period_len <= 0 then
     invalid_arg "Trace.segment_recover: period_len must be positive";
-  let oks = ref [] and kept = ref 0 and repaired = ref [] and dropped = ref [] in
-  List.iter (fun (new_idx, old_idx, evs) ->
-      match Repair.period ?eps ~index:new_idx ~task_set evs with
-      | Ok (p, []) -> oks := p :: !oks; incr kept
-      | Ok (p, fixes) ->
-        oks := p :: !oks;
-        repaired :=
-          { Quarantine.period_index = old_idx;
-            fixes = List.map Repair.string_of_fix fixes }
-          :: !repaired
-      | Error e ->
-        dropped :=
-          { Quarantine.period_index = old_idx;
-            reason = Period.string_of_error e }
-          :: !dropped)
-    (buckets ~period_len events);
+  let seg =
+    Segmenter.create ~mode:`Recover ?eps ~task_set ~period_len
+      (ordered_source ~period_len events)
+  in
+  let oks = ref [] in
+  let rec drain () =
+    match Segmenter.next seg with
+    | None -> ()
+    | Some (`Period p) -> oks := p :: !oks; drain ()
+    | Some (`Invalid _) -> drain ()
+  in
+  drain ();
   ( { task_set; periods = Array.of_list (List.rev !oks) },
-    { Quarantine.skipped_lines = [];
-      kept = !kept;
-      repaired = List.rev !repaired;
-      dropped = List.rev !dropped } )
+    Segmenter.quarantine seg )
 
 let median = function
   | [] -> None

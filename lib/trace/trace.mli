@@ -10,7 +10,7 @@ type t = private {
 val of_periods : task_set:Rt_task.Task_set.t -> Period.t list -> t
 (** All periods must share [task_set]. *)
 
-type segment_error = {
+type segment_error = Segmenter.segment_error = {
   period_index : int;
   error : Period.error;
 }

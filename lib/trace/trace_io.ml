@@ -32,152 +32,40 @@ let output oc t = Stdlib.output_string oc (to_string t)
 
 let save path t = Rt_util.Atomic_file.write path (to_string t)
 
-type parse_error = { line : int; message : string }
+type parse_error = Stream_io.parse_error = { line : int; message : string }
 
-type mode = [ `Strict | `Recover ]
+type mode = Stream_io.mode
 
 (* Quarantine tallies are published with [set_counter] (overwrite, not
    add): each ingestion stage re-states the whole account, so the last
    stage to run — [semantic_filter] when the recover pipeline uses it —
    owns the final numbers. *)
+let publish_quarantine_to r (q : Quarantine.t) =
+  let set = Rt_obs.Registry.set_counter r in
+  set "ingest.lines_skipped" (List.length q.skipped_lines);
+  set "ingest.periods_kept" q.kept;
+  set "ingest.periods_repaired" (List.length q.repaired);
+  set "ingest.periods_dropped" (List.length q.dropped)
+
 let publish_quarantine obs (q : Quarantine.t) =
   match obs with
   | None -> ()
-  | Some r ->
-    let set = Rt_obs.Registry.set_counter r in
-    set "ingest.lines_skipped" (List.length q.skipped_lines);
-    set "ingest.periods_kept" q.kept;
-    set "ingest.periods_repaired" (List.length q.repaired);
-    set "ingest.periods_dropped" (List.length q.dropped)
+  | Some r -> publish_quarantine_to r q
 
+(* Batch parsing drains the incremental {!Stream_io} parser over an
+   in-memory string: one implementation serves both this path and the
+   live [--stream]/[watch] paths, so they cannot disagree. *)
 let of_string_body ~mode ?eps s =
-  let strict = mode = `Strict in
-  let lines = String.split_on_char '\n' s in
-  let exception Fail of parse_error in
-  let fail line message = raise (Fail { line; message }) in
-  (* Quarantine accumulators (all stay empty in strict mode except the
-     kept count). *)
-  let skipped = ref [] and repaired = ref [] and dropped = ref [] in
-  let kept = ref 0 in
-  (* A malformed line is fatal in strict mode, a diagnostic in recover
-     mode. *)
-  let skip_line line message =
-    if strict then fail line message
-    else skipped := { Quarantine.line; message } :: !skipped
+  let p = Stream_io.create ~mode ?eps (Stream_io.lines_of_string s) in
+  let rec drain acc =
+    match Stream_io.next p with
+    | Ok (Some period) -> drain (period :: acc)
+    | Ok None ->
+      let ts = Option.get (Stream_io.task_set p) in
+      Ok (Trace.of_periods ~task_set:ts (List.rev acc), Stream_io.quarantine p)
+    | Error e -> Error e
   in
-  let task_set = ref None in
-  let periods = ref [] in
-  let cur_index = ref None and cur_events = ref [] in
-  let flush_period lineno =
-    match !cur_index with
-    | None -> ()
-    | Some index ->
-      (match !task_set with
-       | None ->
-         if strict then fail lineno "period before tasks line"
-         else
-           dropped :=
-             { Quarantine.period_index = index; reason = "before tasks line" }
-             :: !dropped
-       | Some ts ->
-         let events = List.rev !cur_events in
-         if strict then
-           (match Period.make ~index ~task_set:ts events with
-            | Ok p -> periods := p :: !periods; incr kept
-            | Error e ->
-              fail lineno
-                (Printf.sprintf "invalid period %d: %s" index
-                   (Period.string_of_error e)))
-         else
-           (match Repair.period ?eps ~index ~task_set:ts events with
-            | Ok (p, []) -> periods := p :: !periods; incr kept
-            | Ok (p, fixes) ->
-              periods := p :: !periods;
-              repaired :=
-                { Quarantine.period_index = index;
-                  fixes = List.map Repair.string_of_fix fixes }
-                :: !repaired
-            | Error e ->
-              dropped :=
-                { Quarantine.period_index = index;
-                  reason = Period.string_of_error e }
-                :: !dropped));
-      cur_index := None;
-      cur_events := []
-  in
-  (* Line-level parse helpers signal with [Not_found]-style local
-     exceptions so that recover mode can skip just the line. *)
-  let exception Bad_line of string in
-  let parse_msg_id tok =
-    match int_of_string_opt tok with
-    | Some m -> m
-    | None -> raise (Bad_line ("bad message id: " ^ tok))
-  in
-  let parse_task tok =
-    match !task_set with
-    | None -> raise (Bad_line "event before tasks line")
-    | Some ts ->
-      (match Rt_task.Task_set.index ts tok with
-       | Some i -> i
-       | None -> raise (Bad_line ("unknown task: " ^ tok)))
-  in
-  try
-    List.iteri (fun i raw ->
-        let lineno = i + 1 in
-        let line = String.trim raw in
-        if line = "" || String.length line > 0 && line.[0] = '#' then ()
-        else
-          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-          | "tasks" :: names ->
-            if !task_set <> None then skip_line lineno "duplicate tasks line"
-            else if names = [] then skip_line lineno "tasks line without names"
-            else
-              (match Rt_task.Task_set.of_names (Array.of_list names) with
-               | ts -> task_set := Some ts
-               | exception Invalid_argument m -> skip_line lineno m)
-          | [ "period"; idx ] ->
-            flush_period lineno;
-            (match int_of_string_opt idx with
-             | Some n -> cur_index := Some n
-             | None -> skip_line lineno ("bad period index: " ^ idx))
-          | [ time; verb; arg ] ->
-            (match
-               if !cur_index = None then
-                 raise (Bad_line "event before a period line")
-               else begin
-                 let time =
-                   match int_of_string_opt time with
-                   | Some t when t >= 0 -> t
-                   | Some _ -> raise (Bad_line "negative timestamp")
-                   | None -> raise (Bad_line ("bad timestamp: " ^ time))
-                 in
-                 let kind =
-                   match verb with
-                   | "start" -> Event.Task_start (parse_task arg)
-                   | "end" -> Event.Task_end (parse_task arg)
-                   | "rise" -> Event.Msg_rise (parse_msg_id arg)
-                   | "fall" -> Event.Msg_fall (parse_msg_id arg)
-                   | _ -> raise (Bad_line ("unknown event kind: " ^ verb))
-                 in
-                 { Event.time; kind }
-               end
-             with
-             | e -> cur_events := e :: !cur_events
-             | exception Bad_line m -> skip_line lineno m)
-          | _ -> skip_line lineno ("unparseable line: " ^ line))
-      lines;
-    flush_period (List.length lines);
-    (match !task_set with
-     | None -> fail (List.length lines) "missing tasks line"
-     | Some ts ->
-       let q =
-         { Quarantine.skipped_lines = List.rev !skipped;
-           kept = !kept;
-           repaired = List.rev !repaired;
-           dropped = List.rev !dropped }
-       in
-       Ok (Trace.of_periods ~task_set:ts (List.rev !periods), q))
-  with Fail e -> Error e
+  drain []
 
 let of_string ?(mode = `Strict) ?eps ?obs s =
   (match obs with
@@ -211,55 +99,40 @@ let load ?mode ?eps ?obs path =
    message's edges cannot invalidate the others — candidate sets depend
    only on task times — so we cut the bad frames and re-validate, and
    drop the period only if that fails. *)
-let semantic_filter ?window ?obs (trace : Trace.t) (q : Quarantine.t) =
-  let salvage (p : Period.t) =
-    let bad_msgs =
-      Array.to_list p.msgs
-      |> List.filter (fun m -> Candidates.pairs ?window p m = [])
-    in
-    if bad_msgs = [] then `Clean
-    else begin
-      (* Within a valid period, edges of a given bus id never overlap, so
-         (id, time) identifies each bad edge uniquely. *)
-      let is_bad (e : Event.t) =
-        match e.kind with
-        | Event.Msg_rise id ->
-          List.exists (fun (m : Period.msg) -> m.bus_id = id && m.rise = e.time)
-            bad_msgs
-        | Event.Msg_fall id ->
-          List.exists (fun (m : Period.msg) -> m.bus_id = id && m.fall = e.time)
-            bad_msgs
-        | Event.Task_start _ | Event.Task_end _ -> false
-      in
-      let events = List.filter (fun e -> not (is_bad e)) p.events in
-      match Period.make ~index:p.index ~task_set:p.task_set events with
-      | Ok p' when Candidates.unexplained ?window p' = [] ->
-        `Excised (p', List.length bad_msgs)
-      | Ok _ | Error _ -> `Dropped
-    end
+let salvage_period ?window (p : Period.t) =
+  let bad_msgs =
+    Array.to_list p.msgs
+    |> List.filter (fun m -> Candidates.pairs ?window p m = [])
   in
-  let good = ref [] and excised = ref [] and dropped = ref [] in
-  List.iter (fun (p : Period.t) ->
-      match salvage p with
-      | `Clean -> good := p :: !good
-      | `Excised (p', n) ->
-        good := p' :: !good;
-        excised := (p'.Period.index, n) :: !excised
-      | `Dropped -> dropped := p.index :: !dropped)
-    (Trace.periods trace);
-  let publish_excised q total =
-    match obs with
-    | None -> ()
-    | Some r ->
-      Rt_obs.Registry.set_counter r "ingest.frames_excised" total;
-      publish_quarantine obs q
-  in
-  if !excised = [] && !dropped = [] then begin
-    publish_excised q 0;
-    (trace, q)
-  end
+  if bad_msgs = [] then `Clean
   else begin
-    let excised = List.rev !excised and dropped_idx = List.rev !dropped in
+    (* Within a valid period, edges of a given bus id never overlap, so
+       (id, time) identifies each bad edge uniquely. *)
+    let is_bad (e : Event.t) =
+      match e.kind with
+      | Event.Msg_rise id ->
+        List.exists (fun (m : Period.msg) -> m.bus_id = id && m.rise = e.time)
+          bad_msgs
+      | Event.Msg_fall id ->
+        List.exists (fun (m : Period.msg) -> m.bus_id = id && m.fall = e.time)
+          bad_msgs
+      | Event.Task_start _ | Event.Task_end _ -> false
+    in
+    let events = List.filter (fun e -> not (is_bad e)) p.events in
+    match Period.make ~index:p.index ~task_set:p.task_set events with
+    | Ok p' when Candidates.unexplained ?window p' = [] ->
+      `Excised (p', List.length bad_msgs)
+    | Ok _ | Error _ -> `Dropped
+  end
+
+(* Fold the salvage outcomes back into the quarantine account: excised
+   periods become (or extend) repair entries, unsalvageable ones become
+   drops, and the kept count gives up the periods that were clean before
+   salvage touched them. Shared verbatim between [semantic_filter] and
+   the streaming ingest path, so their accounts cannot diverge. *)
+let salvage_account (q : Quarantine.t) ~excised ~dropped_idx =
+  if excised = [] && dropped_idx = [] then q
+  else begin
     let was_repaired i =
       List.exists
         (fun (r : Quarantine.period_repair) -> r.period_index = i)
@@ -283,24 +156,45 @@ let semantic_filter ?window ?obs (trace : Trace.t) (q : Quarantine.t) =
         { Quarantine.period_index = i;
           fixes = [ Printf.sprintf "excised %d inexplicable frame(s)" n ] }
     in
-    let q =
-      { q with
-        Quarantine.kept = q.kept - clean_touched;
-        repaired =
-          List.filter
-            (fun (r : Quarantine.period_repair) ->
-               not (List.mem r.period_index touched))
-            q.repaired
-          @ List.map fix_of excised;
-        dropped =
-          q.dropped
-          @ List.map
-              (fun i ->
-                 { Quarantine.period_index = i;
-                   reason = "message with no admissible sender/receiver" })
-              dropped_idx;
-      }
-    in
-    publish_excised q (List.fold_left (fun a (_, n) -> a + n) 0 excised);
-    (Trace.of_periods ~task_set:trace.task_set (List.rev !good), q)
+    { q with
+      Quarantine.kept = q.kept - clean_touched;
+      repaired =
+        List.filter
+          (fun (r : Quarantine.period_repair) ->
+             not (List.mem r.period_index touched))
+          q.repaired
+        @ List.map fix_of excised;
+      dropped =
+        q.dropped
+        @ List.map
+            (fun i ->
+               { Quarantine.period_index = i;
+                 reason = "message with no admissible sender/receiver" })
+            dropped_idx;
+    }
   end
+
+let publish_salvage r (q : Quarantine.t) ~frames_excised =
+  Rt_obs.Registry.set_counter r "ingest.frames_excised" frames_excised;
+  publish_quarantine (Some r) q
+
+let semantic_filter ?window ?obs (trace : Trace.t) (q : Quarantine.t) =
+  let good = ref [] and excised = ref [] and dropped = ref [] in
+  List.iter (fun (p : Period.t) ->
+      match salvage_period ?window p with
+      | `Clean -> good := p :: !good
+      | `Excised (p', n) ->
+        good := p' :: !good;
+        excised := (p'.Period.index, n) :: !excised
+      | `Dropped -> dropped := p.index :: !dropped)
+    (Trace.periods trace);
+  let excised = List.rev !excised and dropped_idx = List.rev !dropped in
+  let untouched = excised = [] && dropped_idx = [] in
+  let q = salvage_account q ~excised ~dropped_idx in
+  (match obs with
+   | None -> ()
+   | Some r ->
+     publish_salvage r q
+       ~frames_excised:(List.fold_left (fun a (_, n) -> a + n) 0 excised));
+  if untouched then (trace, q)
+  else (Trace.of_periods ~task_set:trace.task_set (List.rev !good), q)

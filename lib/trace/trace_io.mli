@@ -30,9 +30,9 @@ val save : string -> Trace.t -> unit
 (** Write to a file path, atomically (tmp + rename): an interrupted
     export never leaves a truncated trace on disk. *)
 
-type parse_error = { line : int; message : string }
+type parse_error = Stream_io.parse_error = { line : int; message : string }
 
-type mode = [ `Strict | `Recover ]
+type mode = Stream_io.mode
 
 val of_string :
   ?mode:mode -> ?eps:int -> ?obs:Rt_obs.Registry.t -> string ->
@@ -54,6 +54,31 @@ val load :
   ?mode:mode -> ?eps:int -> ?obs:Rt_obs.Registry.t -> string ->
   (Trace.t * Quarantine.t, parse_error) result
 (** Read from a file path. *)
+
+val salvage_period :
+  ?window:int -> Period.t ->
+  [ `Clean | `Excised of Period.t * int | `Dropped ]
+(** The per-period core of {!semantic_filter}, exposed for streaming
+    pipelines that see one period at a time. [`Clean]: every message has
+    a non-empty candidate set. [`Excised (p', n)]: [n] inexplicable
+    frames were cut and the period re-validated. [`Dropped]: the period
+    does not survive excision. [window] must match the learner's. *)
+
+val salvage_account :
+  Quarantine.t -> excised:(int * int) list -> dropped_idx:int list ->
+  Quarantine.t
+(** Fold {!salvage_period} outcomes back into an ingestion account:
+    [excised] is [(period_index, frames)] per [`Excised] period (in
+    trace order), [dropped_idx] the indices of [`Dropped] ones. The
+    exact accounting {!semantic_filter} applies — streaming callers use
+    it so batch and streamed quarantine reports are identical. *)
+
+val publish_quarantine_to : Rt_obs.Registry.t -> Quarantine.t -> unit
+(** Publish the account as ["ingest.*"] counters (overwriting). *)
+
+val publish_salvage : Rt_obs.Registry.t -> Quarantine.t -> frames_excised:int -> unit
+(** {!publish_quarantine_to} plus the ["ingest.frames_excised"] total —
+    what {!semantic_filter} publishes. *)
 
 val semantic_filter :
   ?window:int -> ?obs:Rt_obs.Registry.t ->

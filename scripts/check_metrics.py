@@ -78,6 +78,50 @@ def check(value, schema, root, path):
         raise AssertionError(f"schema uses unsupported type {expected!r}")
 
 
+def check_engine_section(doc, path):
+    """Cross-instrument consistency for streaming-engine runs.
+
+    A run that went through Rt_engine publishes engine.* counters,
+    gauges, and a feed-latency histogram; their totals are different
+    views of the same stream and must agree — with each other and with
+    the learn.* counters the core publishes.
+    """
+    counters = doc.get("counters", {})
+    if "engine.periods" not in counters:
+        return  # not an engine run (e.g. a bench sidecar)
+    periods = counters["engine.periods"]
+    messages = counters.get("engine.messages")
+    if messages is None:
+        fail(path, "engine.periods present without engine.messages")
+    if "learn.periods" in counters and counters["learn.periods"] != periods:
+        fail(
+            path,
+            f"engine.periods {periods} != learn.periods "
+            f"{counters['learn.periods']}",
+        )
+    hist = doc.get("histograms", {}).get("engine.feed_ns")
+    if hist is None:
+        fail(path, "engine run without an engine.feed_ns histogram")
+    elif hist.get("count") != periods:
+        fail(
+            path,
+            f"engine.feed_ns count {hist.get('count')} != "
+            f"engine.periods {periods}",
+        )
+    for gauge_name, total in (
+        ("engine.periods_in_flight", periods),
+        ("engine.messages_in_flight", messages),
+    ):
+        gauge = doc.get("gauges", {}).get(gauge_name)
+        if gauge is None:
+            fail(path, f"engine run without a {gauge_name} gauge")
+        elif gauge.get("last") != total:
+            fail(
+                path,
+                f"{gauge_name} last {gauge.get('last')} != {total}",
+            )
+
+
 def check_section_order(doc, path):
     order = list(doc.keys())
     expected = [
@@ -101,13 +145,20 @@ def main():
     check(doc, schema, schema, metrics_path.name)
     if isinstance(doc, dict):
         check_section_order(doc, metrics_path.name)
+        check_engine_section(doc, metrics_path.name)
     if errors:
         print("\n".join(errors), file=sys.stderr)
         sys.exit(1)
     counters = doc.get("counters", {})
+    engine = (
+        f", engine run over {counters['engine.periods']} periods"
+        if "engine.periods" in counters
+        else ""
+    )
     print(
         f"{metrics_path.name}: valid rtgen-metrics v{doc.get('version')}; "
         f"{len(counters)} counters, {len(doc.get('spans', {}))} span names"
+        f"{engine}"
     )
 
 

@@ -248,16 +248,16 @@ let test_anonymize_hides_names () =
 
 let test_auto_bound_gm () =
   let trace = Gm.trace ~periods:10 () in
-  let report, bound = Rt_learn.Learner.auto trace in
+  let report, bound = Rt_engine.Learner.auto trace in
   Alcotest.(check bool) "bound is a power of two" true
     (List.mem bound [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]);
   Alcotest.(check bool) "consistent" true report.consistent;
-  Alcotest.(check bool) "verified" true (Rt_learn.Learner.verify report trace)
+  Alcotest.(check bool) "verified" true (Rt_engine.Learner.verify report trace)
 
 let test_auto_bound_validates () =
   Alcotest.check_raises "initial 0"
     (Invalid_argument "Learner.auto: initial bound must be >= 1")
-    (fun () -> ignore (Rt_learn.Learner.auto ~initial:0 (Gm.trace ~periods:2 ())))
+    (fun () -> ignore (Rt_engine.Learner.auto ~initial:0 (Gm.trace ~periods:2 ())))
 
 let () =
   Alcotest.run "case_study"

@@ -196,13 +196,11 @@ let test_checkpoint_wrong_trace_refused () =
           ckpt));
   Sys.remove ckpt
 
-(* --- observability --- *)
-
 (* The counters section of a metrics file — the part that must be
-   deterministic across -j levels and checkpoint resumes (histograms and
-   spans cover only the resumed segment's work and timing). The registry
-   orders it before the timing-dependent sections precisely to allow
-   this textual cut. *)
+   deterministic across -j levels, checkpoint resumes, and batch vs
+   streamed ingestion (histograms and spans cover only the resumed
+   segment's work and timing). The registry orders it before the
+   timing-dependent sections precisely to allow this textual cut. *)
 let counters_section path =
   let text = read_file path in
   let find needle from =
@@ -216,6 +214,117 @@ let counters_section path =
   in
   let a = find "\"counters\"" 0 in
   String.sub text a (find "\"gauges\"" a - a)
+
+(* --- streaming engine surfaces --- *)
+
+let test_learn_stream_equals_batch () =
+  let batch = run (Printf.sprintf "learn %s --bound 4" trace_file) in
+  let streamed = run (Printf.sprintf "learn --stream %s --bound 4" trace_file) in
+  Alcotest.(check string) "streamed model = batch model" batch streamed;
+  (* And the same through a pipe: stdin is spelled "-". *)
+  let piped =
+    run (Printf.sprintf "learn --stream --bound 4 - < %s" trace_file)
+  in
+  Alcotest.(check string) "stdin model = batch model" batch piped
+
+let test_learn_stream_recover_equals_batch () =
+  let batch =
+    run (Printf.sprintf "learn %s --mode recover --eps 60 --bound 4"
+           corrupted_file)
+  in
+  let batch_err = read_file (tmp "stderr") in
+  let streamed =
+    run (Printf.sprintf "learn --stream %s --mode recover --eps 60 --bound 4"
+           corrupted_file)
+  in
+  Alcotest.(check string) "recover stream = recover batch" batch streamed;
+  Alcotest.(check string) "identical quarantine summary" batch_err
+    (read_file (tmp "stderr"))
+
+let test_learn_stream_metrics_equal_batch () =
+  let mb = tmp "gm_metrics_batch.json" and ms = tmp "gm_metrics_stream.json" in
+  ignore (run (Printf.sprintf "learn %s --bound 4 --metrics %s" trace_file mb));
+  ignore
+    (run (Printf.sprintf "learn --stream %s --bound 4 --metrics %s" trace_file
+            ms));
+  Alcotest.(check string) "engine counters identical batch vs stream"
+    (counters_section mb) (counters_section ms);
+  Alcotest.(check bool) "engine section present" true
+    (contains ~needle:"\"engine.periods\"" (read_file ms))
+
+let test_learn_stream_conflicts () =
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "learn --stream %s --checkpoint %s" trace_file
+          (tmp "never.ckpt")));
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "learn --stream --auto %s" trace_file));
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "learn --auto --exact %s" trace_file))
+
+let test_learn_auto_trajectory () =
+  let out = run (Printf.sprintf "learn --auto %s" trace_file) in
+  Alcotest.(check bool) "trajectory header" true
+    (contains ~needle:"auto bound search:" out);
+  Alcotest.(check bool) "bound 1 pass shown" true
+    (contains ~needle:"bound 1:" out);
+  Alcotest.(check bool) "selection reported" true
+    (contains ~needle:"selected bound" out);
+  Alcotest.(check bool) "model printed" true
+    (contains ~needle:"least upper bound" out)
+
+let test_watch_reports_drift () =
+  let out = run (Printf.sprintf "watch %s --bound 1" trace_file) in
+  Alcotest.(check bool) "first period reported" true
+    (contains ~needle:"period 1: 1 hypothesis(es), converged" out);
+  Alcotest.(check bool) "drift noticed" true
+    (contains ~needle:"drift: previously converged model invalidated" out)
+
+let test_watch_max_periods_stdin () =
+  let out =
+    run (Printf.sprintf "watch - --bound 1 --max-periods 2 < %s" trace_file)
+  in
+  Alcotest.(check bool) "stops at period 2" true
+    (contains ~needle:"period 2:" out);
+  Alcotest.(check bool) "never reaches period 3" false
+    (contains ~needle:"period 3:" out)
+
+let test_watch_follow_growing_file () =
+  (* tail -f semantics: start on a half-written capture, append the rest
+     while the watcher polls, and it must pick the new periods up. *)
+  let growing = tmp "growing.trace" in
+  let full = read_file trace_file in
+  let cut =
+    (* Split at the "period 3" line so 3 whole periods are visible. *)
+    let needle = "period 3\n" in
+    let rec find i =
+      if i + String.length needle > String.length full then
+        Alcotest.fail "trace too short for the follow test"
+      else if String.sub full i (String.length needle) = needle then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let oc = open_out growing in
+  output_string oc (String.sub full 0 cut);
+  close_out oc;
+  let out_file = tmp "watch_follow.out" in
+  let cmd =
+    Printf.sprintf
+      "( sleep 0.4; tail -c +%d %s >> %s ) & \
+       %s watch %s --follow --poll 0.05 --bound 1 --max-periods 5 > %s 2>&1"
+      (cut + 1) trace_file growing rtgen growing out_file
+  in
+  Alcotest.(check int) "watch -f exits once satisfied" 0 (Sys.command cmd);
+  let out = read_file out_file in
+  Alcotest.(check bool) "saw an early period" true
+    (contains ~needle:"period 1:" out);
+  Alcotest.(check bool) "saw appended periods" true
+    (contains ~needle:"period 5:" out)
+
+(* --- observability --- *)
 
 let test_learn_metrics_and_report () =
   let metrics = tmp "gm_metrics.json" in
@@ -327,6 +436,23 @@ let () =
             test_checkpoint_wrong_trace_refused;
           Alcotest.test_case "vcd import round trip" `Quick
             test_vcd_import_roundtrip;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "learn --stream = batch" `Quick
+            test_learn_stream_equals_batch;
+          Alcotest.test_case "recover stream = batch" `Quick
+            test_learn_stream_recover_equals_batch;
+          Alcotest.test_case "stream metrics = batch" `Quick
+            test_learn_stream_metrics_equal_batch;
+          Alcotest.test_case "flag conflicts" `Quick test_learn_stream_conflicts;
+          Alcotest.test_case "learn --auto trajectory" `Quick
+            test_learn_auto_trajectory;
+          Alcotest.test_case "watch drift" `Quick test_watch_reports_drift;
+          Alcotest.test_case "watch --max-periods stdin" `Quick
+            test_watch_max_periods_stdin;
+          Alcotest.test_case "watch --follow growing file" `Quick
+            test_watch_follow_growing_file;
         ] );
       ( "observability",
         [

@@ -155,14 +155,14 @@ let test_library_fixtures_agree () =
 
 let test_learner_facade () =
   let trace = fig2_trace () in
-  let r = Rt_learn.Learner.learn Rt_learn.Learner.Exact trace in
+  let r = Rt_engine.Learner.learn Rt_engine.Learner.Exact trace in
   Alcotest.(check bool) "consistent" true r.consistent;
   Alcotest.(check bool) "not converged" false r.converged;
   Alcotest.(check int) "5 hypotheses" 5 (List.length r.hypotheses);
   (match r.lub with
    | Some l -> Alcotest.(check depfun) "facade lub" dlub l
    | None -> Alcotest.fail "lub expected");
-  Alcotest.(check bool) "verify (thm 2)" true (Rt_learn.Learner.verify r trace)
+  Alcotest.(check bool) "verify (thm 2)" true (Rt_engine.Learner.verify r trace)
 
 let () =
   Alcotest.run "paper_example"
