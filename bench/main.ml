@@ -53,9 +53,9 @@ let json_path =
   else from_env
 
 let wall f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rt_obs.Registry.now_ns () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, float_of_int (Rt_obs.Registry.now_ns () - t0) /. 1e9)
 
 let section title =
   Printf.printf "\n==== %s ====\n%!" title
@@ -80,7 +80,7 @@ let bechamel_estimates ~quota tests =
       | Some [ ns ] -> (name, ns) :: acc
       | Some _ | None -> (name, Float.nan) :: acc)
     results []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let pp_ns ns =
   if Float.is_nan ns then "n/a"
@@ -124,7 +124,7 @@ type table1_row = {
 let crossover_bound rows =
   List.find_map
     (fun r -> if r.workset_s < r.legacy_s then Some r.bound else None)
-    (List.sort (fun a b -> compare a.bound b.bound) rows)
+    (List.sort (fun a b -> Int.compare a.bound b.bound) rows)
 
 let bench_table1 trace =
   section "Table 1: heuristic runtime vs bound (paper's only table)";
@@ -234,7 +234,7 @@ let emit_metrics path rows =
   List.iter (fun r ->
       Rt_obs.Histogram.record hw (int_of_float (r.workset_s *. 1e6));
       Rt_obs.Histogram.record hl (int_of_float (r.legacy_s *. 1e6)))
-    (List.sort (fun a b -> compare a.bound b.bound) rows);
+    (List.sort (fun a b -> Int.compare a.bound b.bound) rows);
   Rt_obs.Registry.set_counter reg "bench.bounds_swept" (List.length rows);
   (match crossover_bound rows with
    | Some b -> Rt_obs.Registry.set_gauge_named reg "bench.crossover_bound" b
@@ -752,6 +752,39 @@ let bench_baseline trace =
      contains hypotheses that dominate what any single ordering-based model\n\
      can achieve."
 
+(* ------------------------------------------------------------------ *)
+(* Static analysis: how long a whole-tree rtlint pass costs, so CI's
+   lint gate has a tracked budget.                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The bench binary runs from _build/default/bench; walk up to the
+   checkout root (the directory holding dune-project) to find the
+   sources rtlint audits. *)
+let source_root () =
+  let rec up dir n =
+    if n = 0 then None
+    else if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else up (Filename.dirname dir) (n - 1)
+  in
+  up (Sys.getcwd ()) 6
+
+let bench_lint () =
+  section "Static analysis: rtlint over lib/ bin/ bench/";
+  match source_root () with
+  | None -> print_endline "dune-project not found above cwd; skipped"
+  | Some root ->
+    let paths =
+      List.map (Filename.concat root) [ "lib"; "bin"; "bench" ]
+      |> List.filter Sys.file_exists
+    in
+    let res, dt = wall (fun () -> Rt_lint.Lint.lint_paths paths) in
+    (match res with
+     | Error msg -> Printf.printf "rtlint failed: %s\n" msg
+     | Ok findings ->
+       Printf.printf "linted %s in %.3f s: %d finding(s)\n"
+         (String.concat " " (List.map Filename.basename paths))
+         dt (List.length findings))
+
 let () =
   Printf.printf "rtgen benchmark harness%s\n"
     (if fast_mode then " (RTGEN_BENCH_FAST=1: reduced sweeps)" else "");
@@ -774,4 +807,5 @@ let () =
   bench_robustness trace;
   bench_streaming ();
   bench_baseline trace;
+  bench_lint ();
   print_newline ()

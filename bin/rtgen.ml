@@ -1,7 +1,20 @@
 (* rtgen — command-line front end: simulate black-box systems, learn
-   dependency models from traces, analyze and export them. *)
+   dependency models from traces, analyze and export them.
+
+   Exit codes (shared with rtlint, see Rt_check.Exit_code): 0 success,
+   1 findings / violated properties, 2 unreadable or malformed input,
+   3 internal error; cmdliner keeps 124 for command-line misuse. *)
 
 open Cmdliner
+
+module Ec = Rt_check.Exit_code
+
+(* Commands evaluate to their exit code (Cmd.eval'); every input
+   failure goes through here so stderr phrasing and the exit code
+   stay consistent. *)
+let err msg =
+  prerr_endline ("rtgen: " ^ msg);
+  Ec.input_error
 
 (* Load a trace; in recover mode the quarantine summary goes to stderr so
    stdout stays pipeable model output. *)
@@ -49,7 +62,7 @@ let simulate case_study tasks seed periods output dot drop_rate local_fraction
   let design, _names = design_of_spec ~case_study ~tasks ~local_fraction ~seed in
   if dot then begin
     print_string (Rt_task.Design.to_dot design);
-    `Ok ()
+    Ec.ok
   end
   else
     match
@@ -58,8 +71,7 @@ let simulate case_study tasks seed periods output dot drop_rate local_fraction
           periods; seed; drop_rate; jitter_spike_rate; glitch_rate }
     with
     | exception Rt_sim.Simulator.Overrun { period; time } ->
-      `Error (false,
-              Printf.sprintf "design not schedulable: period %d overran at %dus"
+      err (Printf.sprintf "design not schedulable: period %d overran at %dus"
                 period time)
     | trace ->
       (match output with
@@ -68,7 +80,7 @@ let simulate case_study tasks seed periods output dot drop_rate local_fraction
          Rt_trace.Trace_io.save path trace;
          Printf.eprintf "wrote %s (%s)\n" path
            (Format.asprintf "%a" Rt_trace.Trace.pp_summary trace));
-      `Ok ()
+      Ec.ok
 
 (* --- learn --- *)
 
@@ -176,8 +188,7 @@ let write_sinks ~metrics ~trace_events obs =
 let render_model ~names ~dot ~output hs =
   match hs with
   | [] ->
-    `Error (false,
-            "inconsistent trace: some message has no admissible \
+    err ("inconsistent trace: some message has no admissible \
              sender/receiver under the assumed model of computation")
   | hs ->
     let lub = Rt_lattice.Depfun.lub hs in
@@ -195,7 +206,7 @@ let render_model ~names ~dot ~output hs =
         (List.length hs);
       Format.printf "%s@." (Rt_lattice.Depfun.to_string ~names lub)
     end;
-    `Ok ()
+    Ec.ok
 
 let blowup_msg set_size limit =
   Printf.sprintf
@@ -214,7 +225,7 @@ let learn_stream ~exact ~bound ~window ~jobs ~obs ~mode ~eps ~progress
   match (if path = "-" then Ok stdin
          else try Ok (open_in path) with Sys_error m -> Error m)
   with
-  | Error m -> `Error (false, m)
+  | Error m -> err (m)
   | Ok ic ->
     Fun.protect ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
       (fun () ->
@@ -276,7 +287,7 @@ let learn_stream ~exact ~bound ~window ~jobs ~obs ~mode ~eps ~progress
                | r -> r
              in
              match outcome with
-             | Error m -> `Error (false, m)
+             | Error m -> err (m)
              | Ok () ->
                let excised = List.rev !excised
                and dropped_idx = List.rev !sem_dropped in
@@ -309,7 +320,7 @@ let learn_stream ~exact ~bound ~window ~jobs ~obs ~mode ~eps ~progress
                  in
                  render_model ~names ~dot ~output snap.Eng.hypotheses
                | Some _ | None ->
-                 `Error (false, "no usable periods after quarantine")))
+                 err ("no usable periods after quarantine")))
 
 let learn path exact auto stream bound window jobs dot output mode eps
     checkpoint every stop_after metrics trace_events progress =
@@ -330,16 +341,16 @@ let learn path exact auto stream bound window jobs dot output mode eps
     else None
   in
   match conflict with
-  | Some m -> `Error (false, m)
+  | Some m -> err (m)
   | None ->
     if stream then
       learn_stream ~exact ~bound ~window ~jobs ~obs ~mode ~eps ~progress
         ~dot ~output ~metrics ~trace_events path
     else begin
       match read_trace ~mode ~eps ?window ?obs path with
-      | Error m -> `Error (false, m)
+      | Error m -> err (m)
       | Ok (trace, _) when Rt_trace.Trace.period_count trace = 0 ->
-        `Error (false, "no usable periods after quarantine")
+        err ("no usable periods after quarantine")
       | Ok (trace, q) ->
         let names = Rt_task.Task_set.names trace.task_set in
         if auto then begin
@@ -406,8 +417,8 @@ let learn path exact auto stream bound window jobs dot output mode eps
           in
           write_sinks ~metrics ~trace_events obs;
           (match hypotheses with
-           | Error m -> `Error (false, m)
-           | Ok None -> `Ok ()  (* --stop-after: checkpoint written *)
+           | Error m -> err (m)
+           | Ok None -> Ec.ok  (* --stop-after: checkpoint written *)
            | Ok (Some hs) -> render_model ~names ~dot ~output hs)
     end
 
@@ -422,7 +433,7 @@ let watch path bound window mode eps poll follow max_periods =
   match (if path = "-" then Ok stdin
          else try Ok (open_in path) with Sys_error m -> Error m)
   with
-  | Error m -> `Error (false, m)
+  | Error m -> err (m)
   | Ok ic ->
     Fun.protect ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
       (fun () ->
@@ -437,14 +448,13 @@ let watch path bound window mode eps poll follow max_periods =
          let eng = ref None in
          let prev_lub = ref None in
          let was_converged = ref false in
-         let result = ref (`Ok ()) in
+         let result = ref (Ec.ok) in
          let finished = ref false in
          while not !finished do
            match Rt_trace.Stream_io.next parser with
            | Error e ->
              result :=
-               `Error (false,
-                       Printf.sprintf "%s: line %d: %s" path e.line e.message);
+               err (Printf.sprintf "%s: line %d: %s" path e.line e.message);
              finished := true
            | Ok None -> finished := true
            | Ok (Some p) ->
@@ -515,9 +525,9 @@ let watch path bound window mode eps poll follow max_periods =
 
 let analyze path bound window jobs mode eps =
   match read_trace ~mode ~eps ?window path with
-  | Error m -> `Error (false, m)
+  | Error m -> err (m)
   | Ok (trace, _) when Rt_trace.Trace.period_count trace = 0 ->
-    `Error (false, "no usable periods after quarantine")
+    err ("no usable periods after quarantine")
   | Ok (trace, q) ->
     let names = Rt_task.Task_set.names trace.task_set in
     if mode = `Recover then begin
@@ -533,7 +543,7 @@ let analyze path bound window jobs mode eps =
        with_pool jobs (fun pool ->
            (Rt_learn.Heuristic.run ?pool ?window ~bound trace).hypotheses)
      with
-     | [] -> `Error (false, "inconsistent trace")
+     | [] -> err ("inconsistent trace")
      | hs ->
        let model = Rt_lattice.Depfun.lub hs in
        Format.printf "== dependency relations ==@.%s@."
@@ -557,14 +567,14 @@ let analyze path bound window jobs mode eps =
        List.iter (fun (a, b) ->
            Format.printf "mutually exclusive: %s vs %s@." names.(a) names.(b))
          (Rt_analysis.Modes.exclusive_pairs trace);
-       `Ok ())
+       Ec.ok)
 
 (* --- stats / vcd --- *)
 
 let stats path recover eps =
   let mode = if recover then `Recover else `Strict in
   match read_trace ~mode ~eps ~quiet:true path with
-  | Error m -> `Error (false, m)
+  | Error m -> err (m)
   | Ok (trace, q) ->
     print_endline (Rt_trace.Stats.to_string trace);
     (* With --recover the quarantine account is part of the statistics,
@@ -575,7 +585,7 @@ let stats path recover eps =
       Printf.printf "confidence: %.0f%%\n"
         (100.0 *. Rt_trace.Quarantine.confidence q)
     end;
-    `Ok ()
+    Ec.ok
 
 (* --- report --- *)
 
@@ -585,45 +595,45 @@ let report path =
     Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
         really_input_string ic (in_channel_length ic))
   with
-  | exception Sys_error m -> `Error (false, m)
+  | exception Sys_error m -> err (m)
   | content ->
     (match Rt_obs.Json.of_string content with
-     | Error m -> `Error (false, Printf.sprintf "%s: %s" path m)
+     | Error m -> err (Printf.sprintf "%s: %s" path m)
      | Ok json ->
        (match Rt_obs.Report.render json with
-        | Error m -> `Error (false, Printf.sprintf "%s: %s" path m)
-        | Ok rendered -> print_string rendered; `Ok ()))
+        | Error m -> err (Printf.sprintf "%s: %s" path m)
+        | Ok rendered -> print_string rendered; Ec.ok))
 
 let vcd path import period_len output =
   if import then
     match Rt_trace.Vcd.load ?period_len path with
     | Error (e : Rt_trace.Vcd.parse_error) ->
-      `Error (false, Printf.sprintf "%s: line %d: %s" path e.line e.message)
-    | exception Sys_error m -> `Error (false, m)
+      err (Printf.sprintf "%s: line %d: %s" path e.line e.message)
+    | exception Sys_error m -> err (m)
     | Ok (trace, used_len) ->
       (match output with
        | None -> print_string (Rt_trace.Trace_io.to_string trace)
        | Some file ->
          Rt_trace.Trace_io.save file trace;
          Printf.eprintf "wrote %s (period length %dus)\n" file used_len);
-      `Ok ()
+      Ec.ok
   else
     match read_trace path with
-    | Error m -> `Error (false, m)
+    | Error m -> err (m)
     | Ok (trace, _) ->
       (match output with
        | None -> print_string (Rt_trace.Vcd.to_string ?period_len trace)
        | Some file -> Rt_trace.Vcd.save ?period_len file trace);
-      `Ok ()
+      Ec.ok
 
 (* --- inject --- *)
 
 let inject path kinds rate eps seed output =
   match read_trace path with
-  | Error m -> `Error (false, m)
+  | Error m -> err (m)
   | Ok (trace, _) ->
     if rate < 0.0 || rate > 1.0 then
-      `Error (false, "--rate must be in [0, 1]")
+      err ("--rate must be in [0, 1]")
     else begin
       let spec = { Rt_trace.Corrupt.kinds; rate; eps; seed } in
       let raw = Rt_trace.Corrupt.apply spec trace in
@@ -633,14 +643,14 @@ let inject path kinds rate eps seed output =
          Rt_trace.Corrupt.save file raw;
          Printf.eprintf "wrote %s (%d periods corrupted with seed %d)\n"
            file (List.length raw.raw_periods) seed);
-      `Ok ()
+      Ec.ok
     end
 
 (* --- anonymize --- *)
 
 let anonymize path output =
   match read_trace path with
-  | Error m -> `Error (false, m)
+  | Error m -> err (m)
   | Ok (trace, _) ->
     let anon, mapping = Rt_trace.Anonymize.anonymize trace in
     (match output with
@@ -651,30 +661,30 @@ let anonymize path output =
     List.iter (fun (original, hidden) ->
         Printf.eprintf "%s -> %s\n" original hidden)
       mapping.Rt_trace.Anonymize.task_names;
-    `Ok ()
+    Ec.ok
 
 (* --- gantt --- *)
 
 let gantt path period output =
   match read_trace path with
-  | Error m -> `Error (false, m)
+  | Error m -> err (m)
   | Ok (trace, _) ->
     (match List.nth_opt (Rt_trace.Trace.periods trace) period with
-     | None -> `Error (false, Printf.sprintf "no period %d in the trace" period)
+     | None -> err (Printf.sprintf "no period %d in the trace" period)
      | Some pd ->
        (match output with
         | None -> print_string (Rt_trace.Gantt.to_svg pd)
         | Some file -> Rt_trace.Gantt.save file pd);
-       `Ok ())
+       Ec.ok)
 
-(* --- check --- *)
+(* --- query (was `check` before the model auditor took that name) --- *)
 
-let check path query bound window jobs model_file =
+let run_query path query bound window jobs model_file =
   match read_trace path with
-  | Error m -> `Error (false, m)
+  | Error m -> err (m)
   | Ok (trace, _) ->
     (match Rt_analysis.Query.parse query with
-     | Error m -> `Error (false, "query: " ^ m)
+     | Error m -> err ("query: " ^ m)
      | Ok q ->
        let model_result =
          match model_file with
@@ -701,10 +711,10 @@ let check path query bound window jobs model_file =
                   Rt_task.Task_set.names trace.task_set))
        in
        (match model_result with
-        | Error m -> `Error (false, m)
+        | Error m -> err (m)
         | Ok (model, names) ->
           (match Rt_analysis.Query.eval ~model ~names ~trace q with
-           | Error m -> `Error (false, m)
+           | Error m -> err (m)
            | Ok verdicts ->
              let all = List.for_all (fun v -> v.Rt_analysis.Query.holds) verdicts in
              List.iter (fun (v : Rt_analysis.Query.verdict) ->
@@ -713,7 +723,71 @@ let check path query bound window jobs model_file =
                    (Rt_analysis.Query.clause_to_string v.clause)
                    v.detail)
                verdicts;
-             if all then `Ok () else `Error (false, "property violated"))))
+             if all then Ec.ok
+             else begin
+               prerr_endline "rtgen: property violated";
+               Ec.findings
+             end)))
+
+(* --- check: static audit of learned artifacts --- *)
+
+let model_check models ckpt trace_file format output strict =
+  let module Mc = Rt_check.Model_check in
+  let module F = Rt_check.Finding in
+  if models = [] && ckpt = None then
+    err "nothing to check: give MODEL files and/or --checkpoint"
+  else begin
+    let input_errors = ref [] in
+    let bad_input m = input_errors := m :: !input_errors in
+    let loaded =
+      List.filter_map (fun path ->
+          match Mc.load_model path with
+          | Ok m -> Some m
+          | Error m -> bad_input m; None)
+        models
+    in
+    (* The lattice-law self-check is cheap (7^3 triples) and silent on a
+       healthy build, so every audit includes it. *)
+    let findings = ref (Mc.check_laws ()) in
+    let add fs = findings := !findings @ fs in
+    List.iter (fun m -> add (Mc.check_model m)) loaded;
+    if List.length loaded > 1 then add (Mc.check_answer_set loaded);
+    (match trace_file with
+     | None -> ()
+     | Some tf ->
+       (match read_trace ~quiet:true tf with
+        | Error m -> bad_input m
+        | Ok (trace, _) ->
+          List.iter (fun m -> add (Mc.check_against_trace m trace)) loaded));
+    (match ckpt with
+     | None -> ()
+     | Some path ->
+       (match read_file path with
+        | exception Sys_error m -> bad_input m
+        | data ->
+          (match Mc.check_checkpoint ~source:path data with
+           | Ok fs -> add fs
+           | Error m -> bad_input (path ^ ": " ^ m))));
+    let fs =
+      if strict then
+        List.map (fun (f : F.t) ->
+            if f.severity = F.Warning then { f with severity = F.Error }
+            else f)
+          !findings
+      else !findings
+    in
+    print_string (F.render ~tool:"rtgen check" ~format fs);
+    Option.iter (fun file ->
+        Rt_util.Atomic_file.write file
+          (F.render ~tool:"rtgen check" ~format:F.Sarif fs);
+        Printf.eprintf "wrote %s\n" file)
+      output;
+    match List.rev !input_errors with
+    | [] -> F.exit_code fs
+    | es ->
+      List.iter (fun m -> ignore (err m)) es;
+      Ec.combine Ec.input_error (F.exit_code fs)
+  end
 
 (* --- table1 --- *)
 
@@ -724,9 +798,9 @@ let table1 fast jobs =
   let rows =
     with_pool jobs (fun pool ->
         List.map (fun bound ->
-            let t0 = Unix.gettimeofday () in
+            let t0 = Rt_obs.Registry.now_ns () in
             let o = Rt_learn.Heuristic.run ?pool ~bound trace in
-            let dt = Unix.gettimeofday () -. t0 in
+            let dt = float_of_int (Rt_obs.Registry.now_ns () - t0) /. 1e9 in
             [ string_of_int bound; Printf.sprintf "%.3f" dt;
               string_of_int (List.length o.hypotheses) ])
           bounds)
@@ -736,7 +810,7 @@ let table1 fast jobs =
        ~aligns:[ Rt_util.Table.Right; Rt_util.Table.Right; Rt_util.Table.Right ]
        ~header:[ "bound"; "run time (s)"; "|D*|" ]
        rows);
-  `Ok ()
+  Ec.ok
 
 (* --- example --- *)
 
@@ -747,7 +821,7 @@ let example () =
     (List.length o.hypotheses);
   Format.printf "dLUB:@.%s@."
     (Rt_lattice.Depfun.to_string (Rt_lattice.Depfun.lub o.hypotheses));
-  `Ok ()
+  Ec.ok
 
 (* --- cmdliner wiring --- *)
 
@@ -796,6 +870,21 @@ let eps_arg =
          ~doc:"Clock-skew tolerance for recover-mode repairs, in \
                microseconds.")
 
+let format_arg =
+  let fmt_conv =
+    Arg.enum
+      [ ("text", Rt_check.Finding.Text);
+        ("json", Rt_check.Finding.Json_format);
+        ("sarif", Rt_check.Finding.Sarif) ]
+  in
+  Arg.(value & opt fmt_conv Rt_check.Finding.Text & info [ "format" ] ~docv:"FMT"
+         ~doc:"Findings format: $(b,text), $(b,json) or $(b,sarif).")
+
+let findings_out_arg =
+  Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE"
+         ~doc:"Additionally write a SARIF 2.1.0 report to FILE (for code \
+               scanning upload), independent of $(b,--format).")
+
 let simulate_cmd =
   let case_study =
     Arg.(value & flag & info [ "case-study" ]
@@ -830,7 +919,7 @@ let simulate_cmd =
                  period, logged under high CAN ids.")
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a system and log its bus trace")
-    Term.(ret (const simulate $ case_study $ tasks $ seed_arg $ periods_arg
+    Term.((const simulate $ case_study $ tasks $ seed_arg $ periods_arg
                $ output $ dot_arg $ drop_rate $ local_fraction
                $ jitter_spike_rate $ glitch_rate))
 
@@ -890,7 +979,7 @@ let learn_cmd =
                  algorithm only).")
   in
   Cmd.v (Cmd.info "learn" ~doc:"Learn a dependency model from a trace")
-    Term.(ret (const learn $ stream_trace_arg $ exact $ auto $ stream
+    Term.((const learn $ stream_trace_arg $ exact $ auto $ stream
                $ bound_arg $ window_arg $ jobs_arg $ dot_arg $ output
                $ mode_arg $ eps_arg $ checkpoint $ every $ stop_after
                $ metrics $ trace_events $ progress))
@@ -913,13 +1002,13 @@ let watch_cmd =
   Cmd.v (Cmd.info "watch"
            ~doc:"Follow a trace source and print the model as it evolves \
                  (LUB on change, drift notices)")
-    Term.(ret (const watch $ stream_trace_arg $ bound_arg $ window_arg
+    Term.((const watch $ stream_trace_arg $ bound_arg $ window_arg
                $ mode_arg $ eps_arg $ poll $ follow $ max_periods))
 
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze"
            ~doc:"Learn and analyze: classification, state space, modes")
-    Term.(ret (const analyze $ trace_arg $ bound_arg $ window_arg $ jobs_arg
+    Term.((const analyze $ trace_arg $ bound_arg $ window_arg $ jobs_arg
                $ mode_arg $ eps_arg))
 
 let inject_cmd =
@@ -957,7 +1046,7 @@ let inject_cmd =
   Cmd.v (Cmd.info "inject"
            ~doc:"Corrupt a trace reproducibly, for exercising recover-mode \
                  ingestion")
-    Term.(ret (const inject $ trace_arg $ kinds $ rate $ eps $ seed_arg
+    Term.((const inject $ trace_arg $ kinds $ rate $ eps $ seed_arg
                $ output))
 
 let stats_cmd =
@@ -968,7 +1057,7 @@ let stats_cmd =
                  confidence) in the statistics.")
   in
   Cmd.v (Cmd.info "stats" ~doc:"Print descriptive statistics of a trace")
-    Term.(ret (const stats $ trace_arg $ recover $ eps_arg))
+    Term.((const stats $ trace_arg $ recover $ eps_arg))
 
 let report_cmd =
   let metrics_file =
@@ -977,7 +1066,7 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report"
            ~doc:"Render a metrics file as a per-phase table")
-    Term.(ret (const report $ metrics_file))
+    Term.((const report $ metrics_file))
 
 let vcd_cmd =
   let import =
@@ -997,7 +1086,7 @@ let vcd_cmd =
   Cmd.v (Cmd.info "vcd"
            ~doc:"Export a trace as a Value Change Dump for waveform viewers \
                  (or import one)")
-    Term.(ret (const vcd $ trace_arg $ import $ period_len $ output))
+    Term.((const vcd $ trace_arg $ import $ period_len $ output))
 
 let anonymize_cmd =
   let output =
@@ -1007,7 +1096,7 @@ let anonymize_cmd =
   Cmd.v (Cmd.info "anonymize"
            ~doc:"Rename tasks and bus ids for sharing a proprietary trace \
                  (mapping printed on stderr)")
-    Term.(ret (const anonymize $ trace_arg $ output))
+    Term.((const anonymize $ trace_arg $ output))
 
 let gantt_cmd =
   let period =
@@ -1019,9 +1108,9 @@ let gantt_cmd =
            ~doc:"Write the SVG to FILE instead of stdout.")
   in
   Cmd.v (Cmd.info "gantt" ~doc:"Render one period as an SVG Gantt chart")
-    Term.(ret (const gantt $ trace_arg $ period $ output))
+    Term.((const gantt $ trace_arg $ period $ output))
 
-let check_cmd =
+let query_cmd =
   let query =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
            ~doc:"Property to check, e.g. 'd(A,L) = -> & conjunction(Q)'.")
@@ -1030,24 +1119,62 @@ let check_cmd =
     Arg.(value & opt (some file) None & info [ "model" ] ~docv:"FILE"
            ~doc:"Use a model saved by `learn -o` instead of re-learning.")
   in
-  Cmd.v (Cmd.info "check"
-           ~doc:"Check a dependency property against the learned model")
-    Term.(ret (const check $ trace_arg $ query $ bound_arg $ window_arg
+  Cmd.v (Cmd.info "query"
+           ~doc:"Check a dependency property against the learned model \
+                 (exit 1 when it does not hold)")
+    Term.((const run_query $ trace_arg $ query $ bound_arg $ window_arg
                $ jobs_arg $ model_file))
+
+let check_cmd =
+  (* [string], not [file]: a missing model is this tool's input error
+     (exit 2), not command-line misuse (124). *)
+  let models =
+    Arg.(value & pos_all string [] & info [] ~docv:"MODEL"
+           ~doc:"Model files saved by $(b,learn -o); several files are \
+                 additionally audited together as one answer set.")
+  in
+  let ckpt =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Audit a learner checkpoint written by $(b,learn \
+                 --checkpoint): bound respected, working set canonical.")
+  in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"TRACE"
+           ~doc:"Also verify every definite cell of every MODEL against \
+                 this trace (post-processing hygiene).")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Escalate warnings to errors for the exit code.")
+  in
+  Cmd.v (Cmd.info "check"
+           ~doc:"Statically audit learned models, answer sets and \
+                 checkpoints")
+    Term.((const model_check $ models $ ckpt $ trace_file $ format_arg
+               $ findings_out_arg $ strict))
 
 let table1_cmd =
   let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Only the small bounds.") in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's runtime-vs-bound table")
-    Term.(ret (const table1 $ fast $ jobs_arg))
+    Term.((const table1 $ fast $ jobs_arg))
 
 let example_cmd =
   Cmd.v (Cmd.info "example" ~doc:"Run the paper's worked example")
-    Term.(ret (const example $ const ()))
+    Term.((const example $ const ()))
 
 let () =
   let doc = "automatic model generation for black box real-time systems" in
   let info = Cmd.info "rtgen" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
-                    [ simulate_cmd; learn_cmd; watch_cmd; analyze_cmd;
-                      check_cmd; inject_cmd; stats_cmd; report_cmd; vcd_cmd;
-                      gantt_cmd; anonymize_cmd; table1_cmd; example_cmd ]))
+  let group =
+    Cmd.group info
+      [ simulate_cmd; learn_cmd; watch_cmd; analyze_cmd; query_cmd;
+        check_cmd; inject_cmd; stats_cmd; report_cmd; vcd_cmd;
+        gantt_cmd; anonymize_cmd; table1_cmd; example_cmd ]
+  in
+  let code =
+    try Cmd.eval' ~catch:false group
+    with exn ->
+      prerr_endline ("rtgen: internal error: " ^ Printexc.to_string exn);
+      Ec.internal_error
+  in
+  exit code

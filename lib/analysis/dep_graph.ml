@@ -8,13 +8,25 @@ let select pred d a =
   done;
   !acc
 
-let determines = select (function Dv.Fwd | Dv.Bi -> true | _ -> false)
+let determines =
+  select (function
+    | Dv.Fwd | Dv.Bi -> true
+    | Dv.Par | Dv.Bwd | Dv.Fwd_maybe | Dv.Bwd_maybe | Dv.Bi_maybe -> false)
 
-let depends_on = select (function Dv.Bwd | Dv.Bi -> true | _ -> false)
+let depends_on =
+  select (function
+    | Dv.Bwd | Dv.Bi -> true
+    | Dv.Par | Dv.Fwd | Dv.Fwd_maybe | Dv.Bwd_maybe | Dv.Bi_maybe -> false)
 
-let may_determine = select (function Dv.Fwd_maybe | Dv.Bi_maybe -> true | _ -> false)
+let may_determine =
+  select (function
+    | Dv.Fwd_maybe | Dv.Bi_maybe -> true
+    | Dv.Par | Dv.Fwd | Dv.Bwd | Dv.Bi | Dv.Bwd_maybe -> false)
 
-let may_depend_on = select (function Dv.Bwd_maybe | Dv.Bi_maybe -> true | _ -> false)
+let may_depend_on =
+  select (function
+    | Dv.Bwd_maybe | Dv.Bi_maybe -> true
+    | Dv.Par | Dv.Fwd | Dv.Bwd | Dv.Bi | Dv.Fwd_maybe -> false)
 
 let definite_edges d =
   List.rev

@@ -19,7 +19,7 @@ let co_execution_classes d =
     Hashtbl.replace classes r (i :: Option.value ~default:[] (Hashtbl.find_opt classes r))
   done;
   Hashtbl.fold (fun _ members acc -> List.rev members :: acc) classes []
-  |> List.sort compare
+  |> List.sort (List.compare Int.compare)
 
 let exclusive_pairs trace =
   let n = Rt_trace.Trace.task_count trace in
@@ -60,4 +60,5 @@ let mode_alternatives d trace task =
       if List.for_all (fun m -> not (exclusive s m)) g then (s :: g) :: rest
       else g :: place rest s
   in
-  List.fold_left place [] succs |> List.map List.rev |> List.sort compare
+  List.fold_left place [] succs |> List.map List.rev
+  |> List.sort (List.compare Int.compare)

@@ -1,0 +1,27 @@
+(* One exit-code convention for every rtgen / rtlint entry point, so CI
+   and scripts can distinguish "the input is broken" from "the input is
+   well-formed but violates a rule" without parsing stderr. *)
+
+let ok = 0
+let findings = 1
+let input_error = 2
+let internal_error = 3
+
+let describe = function
+  | 0 -> "success"
+  | 1 -> "findings at error severity (lint/check rule violations, failed properties)"
+  | 2 -> "input error (unreadable file, parse error, invalid flag combination)"
+  | 3 -> "internal error (uncaught exception; please report)"
+  | _ -> "reserved"
+
+(* Worst-of for commands that aggregate several sub-results: input
+   errors trump findings (the scan was incomplete, so a clean findings
+   list proves nothing), and internal errors trump everything. *)
+let combine a b =
+  let rank = function
+    | 0 -> 0
+    | 1 -> 1
+    | 2 -> 2
+    | _ -> 3
+  in
+  if rank a >= rank b then a else b

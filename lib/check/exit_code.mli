@@ -1,0 +1,24 @@
+(** Process exit codes shared by [rtgen] and [rtlint].
+
+    - [ok] (0): success, no error-severity findings.
+    - [findings] (1): the inputs were well-formed but violate at least
+      one rule at error severity (lint findings, model-check findings,
+      failed property queries, inconsistent traces).
+    - [input_error] (2): an input could not be read or parsed (missing
+      file, malformed trace/model/metrics document, conflicting flags).
+    - [internal_error] (3): an uncaught exception; a bug in the tool.
+
+    Command-line misuse (unknown flags) keeps cmdliner's own code 124. *)
+
+val ok : int
+val findings : int
+val input_error : int
+val internal_error : int
+
+val describe : int -> string
+(** One-line meaning of a code, for [--help] and docs. *)
+
+val combine : int -> int -> int
+(** Worst-of two codes: [internal_error > input_error > findings > ok].
+    An input error trumps findings because an incomplete scan proves
+    nothing about the unread remainder. *)

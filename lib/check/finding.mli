@@ -1,0 +1,71 @@
+(** The findings record shared by [rtlint] (AST rules over the
+    codebase) and [rtgen check] (semantic rules over learned models):
+    one record type, one rule registry, and renderers for human text,
+    JSON ([findings.schema.json]) and SARIF 2.1.0 — so CI consumes
+    both tools identically. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+
+type pos = { file : string; line : int; col : int }
+
+type t = {
+  rule : string;      (** stable rule id, e.g. ["RTL002"] *)
+  severity : severity;
+  pos : pos option;   (** [None] for whole-input findings *)
+  message : string;
+}
+
+val v : ?pos:pos -> rule:string -> severity:severity -> string -> t
+
+val at : file:string -> line:int -> col:int -> pos
+
+(** {2 Rule registry} *)
+
+type rule_info = { id : string; name : string; summary : string }
+
+val rules : rule_info list
+(** Every rule either tool can emit, in id order. Ids are stable API:
+    suppression comments, tests and CI greps key on them. *)
+
+val rule_info : string -> rule_info option
+
+val rule_name : string -> string
+(** Short kebab-case name, or the id itself for unknown rules. *)
+
+(** {2 Aggregation} *)
+
+val count : severity -> t list -> int
+
+val has_errors : t list -> bool
+
+val exit_code : t list -> int
+(** {!Exit_code.findings} iff any error-severity finding, else
+    {!Exit_code.ok}. *)
+
+val sort : t list -> t list
+(** Stable report order: file, then position, then rule id. *)
+
+val summary_line : tool:string -> t list -> string
+
+(** {2 Renderers} *)
+
+val pp_text : Format.formatter -> t -> unit
+(** [file:line:col: severity[RULE name] message]. *)
+
+val to_text : t list -> string
+
+val to_json : tool:string -> t list -> Rt_obs.Json.t
+(** The [rtgen-findings] document validated by [findings.schema.json]
+    (schema tag and version first, like the metrics documents). *)
+
+val to_sarif : tool:string -> t list -> Rt_obs.Json.t
+(** Minimal SARIF 2.1.0: driver + rule catalogue + one result per
+    finding; uploadable to GitHub code scanning. *)
+
+type format = Text | Json_format | Sarif
+
+val render : tool:string -> format:format -> t list -> string
+(** Full report in the chosen format, findings sorted; text format
+    appends the summary line. *)

@@ -180,6 +180,8 @@ let feed st (p : Period.t) =
      Rt_obs.Registry.span_end r
    | None -> ())
 
+let bound st = st.bound
+
 let current st =
   Array.to_list (Array.map (fun h -> Df.copy (Hypothesis.depfun h)) st.hs)
 

@@ -74,6 +74,11 @@ val feed : state -> Rt_trace.Period.t -> unit
 val current : state -> Rt_lattice.Depfun.t list
 (** The current hypothesis list, lightest first (fresh copies). *)
 
+val bound : state -> int
+(** The working-set bound the state was created with; exposed so
+    auditors ({!Rt_check.Model_check}) can verify a resumed checkpoint
+    respects it. *)
+
 val stats : state -> stats
 
 val messages_processed : state -> int

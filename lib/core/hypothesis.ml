@@ -178,6 +178,10 @@ let hash h = h.hash
 
 let a_hash h = h.a_hash
 
+let compare_assumption (a1, b1) (a2, b2) =
+  let c = Int.compare a1 a2 in
+  if c <> 0 then c else Int.compare b1 b2
+
 let compare_full h1 h2 =
   let c = Int.compare h1.hash h2.hash in
   if c <> 0 then c
@@ -186,7 +190,8 @@ let compare_full h1 h2 =
     if c <> 0 then c
     else
       let c = Df.compare h1.dep h2.dep in
-      if c <> 0 then c else Stdlib.compare h1.assumptions h2.assumptions
+      if c <> 0 then c
+      else List.compare compare_assumption h1.assumptions h2.assumptions
 
 let leq h1 h2 = Df.leq h1.dep h2.dep
 

@@ -19,9 +19,10 @@ type gauge = {
   mutable g_samples : int;
 }
 
-(* A completed span. [depth] is the stack depth at entry (0 = root),
-   which the Chrome trace-event sink does not need (nesting is conveyed
-   by time containment on one track) but the summary sink uses. *)
+(* A completed span. [depth] is the stack depth at entry (0 = root);
+   the Chrome trace-event sink conveys nesting by time containment on
+   one track and carries the depth in the event's [args] for the
+   viewers' detail pane. *)
 type span = {
   s_name : string;
   s_depth : int;
@@ -235,5 +236,6 @@ let trace_events_json t =
              ("pid", Json.Int 1);
              ("tid", Json.Int 1);
              ("ts", Json.Float (float_of_int s.s_start_ns /. 1e3));
-             ("dur", Json.Float (float_of_int s.s_dur_ns /. 1e3)) ])
+             ("dur", Json.Float (float_of_int s.s_dur_ns /. 1e3));
+             ("args", Json.Obj [ ("depth", Json.Int s.s_depth) ]) ])
         t.spans)

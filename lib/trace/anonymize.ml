@@ -52,7 +52,7 @@ let anonymize ?(rebase_time = true) (t : Trace.t) =
         Array.to_list (Array.mapi (fun i n -> (n, new_names.(i))) old_names);
       bus_ids =
         Hashtbl.fold (fun o a acc -> (o, a) :: acc) id_map []
-        |> List.sort compare;
+        |> List.sort (fun (o1, _) (o2, _) -> Int.compare o1 o2);
     }
   in
   (Trace.of_periods ~task_set periods, mapping)

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validate an rtgen findings file against findings.schema.json.
+
+Standard library only (CI containers have no jsonschema package), so
+this implements exactly the subset of JSON Schema draft-07 the committed
+schema uses — const, enum, type, required, additionalProperties,
+minimum, pattern, $ref into definitions — plus the cross-checks the
+schema cannot state: the errors/warnings tallies must match the
+findings array, a finding with any of file/line/col must carry all
+three, and the array must be sorted the way Rt_check.Finding.sort
+emits it (by file, line, column, then rule id).
+
+Usage: scripts/check_findings.py FINDINGS.json [SCHEMA.json]
+Exit 0 when valid; prints each violation and exits 1 otherwise.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+errors = []
+
+
+def fail(path, message):
+    errors.append(f"{path}: {message}")
+
+
+def resolve(schema, root):
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        assert ref.startswith("#/"), f"unsupported $ref {ref}"
+        node = root
+        for part in ref[2:].split("/"):
+            node = node[part]
+        return node
+    return schema
+
+
+def check(value, schema, root, path):
+    schema = resolve(schema, root)
+    if "const" in schema:
+        if value != schema["const"]:
+            fail(path, f"expected {schema['const']!r}, got {value!r}")
+        return
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            fail(path, f"{value!r} not one of {schema['enum']}")
+        return
+    expected = schema.get("type")
+    if expected == "object":
+        if not isinstance(value, dict):
+            fail(path, f"expected object, got {type(value).__name__}")
+            return
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(path, f"missing required member {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, member in value.items():
+            if key in props:
+                check(member, props[key], root, f"{path}.{key}")
+            elif extra is False:
+                fail(path, f"unexpected member {key!r}")
+            elif isinstance(extra, dict):
+                check(member, extra, root, f"{path}.{key}")
+    elif expected == "array":
+        if not isinstance(value, list):
+            fail(path, f"expected array, got {type(value).__name__}")
+            return
+        items = schema.get("items")
+        if items:
+            for i, item in enumerate(value):
+                check(item, items, root, f"{path}[{i}]")
+    elif expected == "integer":
+        # bool is an int subclass in Python; JSON true is not an integer.
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(path, f"expected integer, got {type(value).__name__}")
+            return
+        if "minimum" in schema and value < schema["minimum"]:
+            fail(path, f"{value} below minimum {schema['minimum']}")
+    elif expected == "string":
+        if not isinstance(value, str):
+            fail(path, f"expected string, got {type(value).__name__}")
+            return
+        pattern = schema.get("pattern")
+        if pattern and not re.search(pattern, value):
+            fail(path, f"{value!r} does not match {pattern!r}")
+    else:
+        raise AssertionError(f"schema uses unsupported type {expected!r}")
+
+
+def check_consistency(doc, path):
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        return
+    tallies = {"error": 0, "warning": 0, "info": 0}
+    for i, f in enumerate(findings):
+        if not isinstance(f, dict):
+            continue
+        sev = f.get("severity")
+        if sev in tallies:
+            tallies[sev] += 1
+        located = [k for k in ("file", "line", "col") if k in f]
+        if located and len(located) != 3:
+            fail(
+                f"{path}.findings[{i}]",
+                f"partial location: has {located}, needs file+line+col",
+            )
+    for member, sev in (("errors", "error"), ("warnings", "warning")):
+        declared = doc.get(member)
+        if isinstance(declared, int) and declared != tallies[sev]:
+            fail(
+                path,
+                f"{member} says {declared} but the findings array "
+                f"holds {tallies[sev]} {sev}(s)",
+            )
+    # Finding.sort's emission order: located findings grouped by file,
+    # then line, then column, ties broken by rule id; unlocated first.
+    def key(f):
+        return (
+            f.get("file", ""),
+            f.get("line", -1),
+            f.get("col", -1),
+            f.get("rule", ""),
+        )
+
+    keys = [key(f) for f in findings if isinstance(f, dict)]
+    if keys != sorted(keys):
+        fail(f"{path}.findings", "array is not in Finding.sort order")
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__.strip().splitlines()[-2].strip(), file=sys.stderr)
+        return 2
+    doc_path = Path(sys.argv[1])
+    schema_path = (
+        Path(sys.argv[2])
+        if len(sys.argv) == 3
+        else Path(__file__).resolve().parent.parent / "findings.schema.json"
+    )
+    doc = json.loads(doc_path.read_text())
+    schema = json.loads(schema_path.read_text())
+    check(doc, schema, schema, "$")
+    check_consistency(doc, "$")
+    if errors:
+        for e in errors:
+            print(f"{doc_path}: {e}", file=sys.stderr)
+        return 1
+    print(f"{doc_path}: ok ({len(doc.get('findings', []))} finding(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,3 @@
-module Dv = Rt_lattice.Depval
-module Df = Rt_lattice.Depfun
 module Dg = Rt_analysis.Dep_graph
 module Cl = Rt_analysis.Classify
 module R = Rt_analysis.Reachability

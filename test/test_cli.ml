@@ -13,7 +13,34 @@ let rtgen =
   | Some p -> p
   | None -> failwith "rtgen.exe not found; run `dune build` first"
 
+let rtlint =
+  let candidates =
+    [ "../tool/rtlint.exe"; "_build/default/tool/rtlint.exe"; "tool/rtlint.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> failwith "rtlint.exe not found; run `dune build` first"
+
 let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("rtgen_test_" ^ name)
+
+let read_file p =
+  let ic = open_in p in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+let write_file p s =
+  let oc = open_out p in
+  output_string oc s;
+  close_out oc
+
+(* Run and return the exact exit code plus captured stdout. The
+   documented code convention (0 ok / 1 findings / 2 input error /
+   3 internal error) is part of the contract under test. *)
+let run_code ?(bin = rtgen) args =
+  let out = tmp "stdout" in
+  let cmd = Printf.sprintf "%s %s > %s 2> %s" bin args out (tmp "stderr") in
+  let code = Sys.command cmd in
+  (code, read_file out)
 
 let run ?(expect_fail = false) args =
   let out = tmp "stdout" in
@@ -58,26 +85,31 @@ let test_learn_dot () =
   let out = run (Printf.sprintf "learn %s --bound 1 --dot" trace_file) in
   Alcotest.(check bool) "dot deps" true (contains ~needle:"digraph dependencies" out)
 
-let test_check_pass () =
-  let out =
-    run (Printf.sprintf "check %s \"d(A,L) = -> & conjunction(Q)\" --model %s"
-           trace_file model_file)
+let test_query_pass () =
+  let code, out =
+    run_code
+      (Printf.sprintf "query %s \"d(A,L) = -> & conjunction(Q)\" --model %s"
+         trace_file model_file)
   in
+  Alcotest.(check int) "holding property exits 0" 0 code;
   Alcotest.(check bool) "both ok" true (contains ~needle:"[ok]" out);
   Alcotest.(check bool) "no failures" false (contains ~needle:"[FAIL]" out)
 
-let test_check_fail () =
-  let _ =
-    run ~expect_fail:true
-      (Printf.sprintf "check %s \"d(A,L) = ||\" --model %s" trace_file model_file)
+let test_query_fail () =
+  let code, _ =
+    run_code
+      (Printf.sprintf "query %s \"d(A,L) = ||\" --model %s" trace_file
+         model_file)
   in
-  ()
+  Alcotest.(check int) "violated property exits 1" 1 code
 
-let test_check_bad_query () =
-  ignore
-    (run ~expect_fail:true
-       (Printf.sprintf "check %s \"frobnicate(A)\" --model %s" trace_file
-          model_file))
+let test_query_bad () =
+  let code, _ =
+    run_code
+      (Printf.sprintf "query %s \"frobnicate(A)\" --model %s" trace_file
+         model_file)
+  in
+  Alcotest.(check int) "unparseable property exits 2" 2 code
 
 let test_analyze () =
   let out = run (Printf.sprintf "analyze %s --bound 1" trace_file) in
@@ -115,12 +147,133 @@ let test_anonymize () =
 let test_missing_file () =
   ignore (run ~expect_fail:true "learn /nonexistent/file.trace")
 
-(* --- fault injection / recovery / checkpointing --- *)
+(* --- static analysis: rtgen check + rtlint exit codes and rule ids --- *)
 
-let read_file p =
-  let ic = open_in p in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-      really_input_string ic (in_channel_length ic))
+let bad_diag_text = "    A    B\nA   ->   ->\nB   <-   ||\n"
+
+let test_model_check_learned () =
+  let code, _ = run_code (Printf.sprintf "check %s" model_file) in
+  Alcotest.(check int) "learned model audits clean" 0 code;
+  let code, _ =
+    run_code (Printf.sprintf "check %s --trace %s" model_file trace_file)
+  in
+  Alcotest.(check int) "conforms to its own trace" 0 code
+
+let test_model_check_broken () =
+  let bad = tmp "bad_diag.model" in
+  write_file bad bad_diag_text;
+  let code, out = run_code (Printf.sprintf "check %s" bad) in
+  Alcotest.(check int) "broken model exits 1" 1 code;
+  Alcotest.(check bool) "rule id on stdout" true (contains ~needle:"RTC101" out);
+  let code, out = run_code (Printf.sprintf "check %s --format json" bad) in
+  Alcotest.(check int) "json rendering keeps exit 1" 1 code;
+  Alcotest.(check bool) "json findings doc" true
+    (contains ~needle:"rtgen-findings" out)
+
+let test_model_check_answer_set () =
+  let a = tmp "dup_cli_a.model" and b = tmp "dup_cli_b.model" in
+  let text = "    A    B\nA   ||   ->?\nB   <-?  ||\n" in
+  write_file a text;
+  write_file b text;
+  let code, out = run_code (Printf.sprintf "check %s %s" a b) in
+  Alcotest.(check int) "duplicate hypotheses exit 1" 1 code;
+  Alcotest.(check bool) "RTC201 reported" true (contains ~needle:"RTC201" out)
+
+let test_model_check_missing () =
+  let code, _ = run_code "check /nonexistent/m.model" in
+  Alcotest.(check int) "missing model exits 2" 2 code;
+  let code, _ = run_code "check" in
+  Alcotest.(check int) "nothing to check exits 2" 2 code
+
+let test_model_check_checkpoint () =
+  let ckpt = tmp "audit.ckpt" in
+  if Sys.file_exists ckpt then Sys.remove ckpt;
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 --checkpoint %s --stop-after 2"
+            trace_file ckpt));
+  let code, _ = run_code (Printf.sprintf "check --checkpoint %s" ckpt) in
+  Alcotest.(check int) "mid-run checkpoint audits clean" 0 code;
+  Sys.remove ckpt;
+  let garbage = tmp "garbage.ckpt" in
+  write_file garbage "not a checkpoint at all";
+  let code, _ = run_code (Printf.sprintf "check --checkpoint %s" garbage) in
+  Alcotest.(check int) "garbage checkpoint exits 2" 2 code
+
+let test_model_check_all_learn_paths () =
+  (* Models produced by every learn path must satisfy the auditor:
+     batch (already covered), streamed, and checkpoint-resumed. *)
+  let streamed = tmp "streamed.model" in
+  ignore
+    (run (Printf.sprintf "learn --stream %s --bound 4 -o %s" trace_file
+            streamed));
+  let code, _ =
+    run_code (Printf.sprintf "check %s --trace %s" streamed trace_file)
+  in
+  Alcotest.(check int) "streamed model audits clean" 0 code;
+  let ckpt = tmp "resume_chain.ckpt" and resumed = tmp "resumed.model" in
+  if Sys.file_exists ckpt then Sys.remove ckpt;
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 --checkpoint %s --stop-after 2"
+            trace_file ckpt));
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 --checkpoint %s -o %s" trace_file
+            ckpt resumed));
+  let code, _ =
+    run_code (Printf.sprintf "check %s --trace %s" resumed trace_file)
+  in
+  Alcotest.(check int) "checkpoint-resumed model audits clean" 0 code
+
+let test_model_check_sarif () =
+  let bad = tmp "bad_diag.model" and sarif = tmp "check.sarif" in
+  write_file bad bad_diag_text;
+  let code, _ = run_code (Printf.sprintf "check %s --sarif %s" bad sarif) in
+  Alcotest.(check int) "sarif side channel keeps exit 1" 1 code;
+  Alcotest.(check bool) "sarif log written" true
+    (contains ~needle:"\"2.1.0\"" (read_file sarif))
+
+let test_rtlint_cli () =
+  let dirty = tmp "rtlint_dirty.ml" in
+  write_file dirty
+    "let t0 = Unix.gettimeofday ()\nlet c = Stdlib.compare 1 2\n";
+  let code, out = run_code ~bin:rtlint dirty in
+  Alcotest.(check int) "violations exit 1" 1 code;
+  Alcotest.(check bool) "RTL003 reported" true (contains ~needle:"RTL003" out);
+  Alcotest.(check bool) "RTL002 reported" true (contains ~needle:"RTL002" out);
+  let clean = tmp "rtlint_clean.ml" in
+  write_file clean "let xs = List.sort Int.compare [ 2; 1 ]\n";
+  let code, _ = run_code ~bin:rtlint clean in
+  Alcotest.(check int) "clean file exits 0" 0 code;
+  let code, _ = run_code ~bin:rtlint "/nonexistent/dir" in
+  Alcotest.(check int) "missing path exits 2" 2 code;
+  let code, out =
+    run_code ~bin:rtlint (Printf.sprintf "%s --format json" dirty)
+  in
+  Alcotest.(check int) "json rendering keeps exit 1" 1 code;
+  Alcotest.(check bool) "json findings doc" true
+    (contains ~needle:"rtgen-findings" out)
+
+let test_rtlint_own_tree_clean () =
+  (* The sources this binary was built from must lint clean; the tree
+     root is two levels up from the test cwd (_build/default/test). *)
+  let root =
+    List.find_opt
+      (fun d -> Sys.file_exists (Filename.concat d "dune-project"))
+      [ "../.."; "." ]
+  in
+  match root with
+  | None -> () (* exotic cwd; the CI job covers this path *)
+  | Some root ->
+    (* Depending on what has been built, not every source dir is
+       materialized next to the test; lint whichever are. *)
+    let paths =
+      List.map (Filename.concat root) [ "lib"; "bin"; "bench" ]
+      |> List.filter Sys.file_exists
+    in
+    Alcotest.(check bool) "at least lib present" true (paths <> []);
+    let code, _ = run_code ~bin:rtlint (String.concat " " paths) in
+    Alcotest.(check int) "own sources lint clean" 0 code
+
+(* --- fault injection / recovery / checkpointing --- *)
 
 let corrupted_file = tmp "gm_corrupted.trace"
 
@@ -412,9 +565,9 @@ let () =
           Alcotest.test_case "simulate --dot" `Quick test_simulate_dot;
           Alcotest.test_case "learn" `Quick test_learn;
           Alcotest.test_case "learn --dot" `Quick test_learn_dot;
-          Alcotest.test_case "check passes" `Quick test_check_pass;
-          Alcotest.test_case "check fails" `Quick test_check_fail;
-          Alcotest.test_case "check bad query" `Quick test_check_bad_query;
+          Alcotest.test_case "query holds" `Quick test_query_pass;
+          Alcotest.test_case "query violated" `Quick test_query_fail;
+          Alcotest.test_case "query unparseable" `Quick test_query_bad;
           Alcotest.test_case "analyze" `Quick test_analyze;
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "vcd" `Quick test_vcd;
@@ -422,6 +575,25 @@ let () =
           Alcotest.test_case "example" `Quick test_example;
           Alcotest.test_case "anonymize" `Quick test_anonymize;
           Alcotest.test_case "missing file" `Quick test_missing_file;
+        ] );
+      ( "static analysis",
+        [
+          Alcotest.test_case "check learned model" `Quick
+            test_model_check_learned;
+          Alcotest.test_case "check broken model" `Quick
+            test_model_check_broken;
+          Alcotest.test_case "check answer set" `Quick
+            test_model_check_answer_set;
+          Alcotest.test_case "check missing input" `Quick
+            test_model_check_missing;
+          Alcotest.test_case "check checkpoint" `Quick
+            test_model_check_checkpoint;
+          Alcotest.test_case "check all learn paths" `Quick
+            test_model_check_all_learn_paths;
+          Alcotest.test_case "check sarif" `Quick test_model_check_sarif;
+          Alcotest.test_case "rtlint exit codes" `Quick test_rtlint_cli;
+          Alcotest.test_case "rtlint own tree clean" `Quick
+            test_rtlint_own_tree_clean;
         ] );
       ( "robustness",
         [

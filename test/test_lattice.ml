@@ -1,5 +1,3 @@
-module Dv = Rt_lattice.Depval
-module Df = Rt_lattice.Depfun
 open Test_support
 
 let all = Dv.all

@@ -1,5 +1,3 @@
-module Dv = Rt_lattice.Depval
-module Df = Rt_lattice.Depfun
 module H = Rt_learn.Hypothesis
 module M = Rt_learn.Matching
 module V = Rt_learn.Violations

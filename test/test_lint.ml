@@ -1,0 +1,136 @@
+(* The rtlint engine, rule by rule: each RTL id fires on a minimal
+   snippet and stays silent on the idiomatic alternative; suppression
+   comments silence exactly one site and demand a reason. *)
+
+module F = Rt_check.Finding
+module Lint = Rt_lint.Lint
+
+let lint ?(file = "lib/core/snippet.ml") src = Lint.lint_source ~file src
+
+let rules fs = List.sort_uniq String.compare (List.map (fun (f : F.t) -> f.rule) fs)
+
+let check_rules name expected src =
+  Alcotest.(check (list string)) name expected (rules (lint src))
+
+let test_poly_hash () =
+  check_rules "Hashtbl.hash flagged" [ "RTL001" ]
+    "let f x = Hashtbl.hash x";
+  check_rules "seeded too" [ "RTL001" ]
+    "let f x = Hashtbl.seeded_hash 7 x";
+  check_rules "monomorphic hash fine" []
+    "let f h = Rt_core.Hypothesis.hash h"
+
+let test_poly_compare () =
+  check_rules "bare compare flagged" [ "RTL002" ]
+    "let xs = List.sort compare [3; 1]";
+  check_rules "Stdlib.compare flagged" [ "RTL002" ]
+    "let c = Stdlib.compare a b";
+  check_rules "Int.compare fine" []
+    "let xs = List.sort Int.compare [3; 1]";
+  (* A file that rebinds [compare] uses its own, monomorphic one. *)
+  check_rules "local rebinding disables the bare form" []
+    "let compare a b = Int.compare a b\nlet xs = List.sort compare [3; 1]"
+
+let test_depval_equality () =
+  check_rules "= against a lattice constructor" [ "RTL002" ]
+    "let p v = v = Dv.Par";
+  check_rules "<> too" [ "RTL002" ]
+    "let p v = v <> Rt_lattice.Depval.Fwd_maybe";
+  check_rules "integer comparison of indices fine" []
+    "let p v = v <> Dv.index Dv.Par";
+  check_rules "Depval.equal fine" []
+    "let p v = Dv.equal v Dv.Par"
+
+let test_wall_clock () =
+  check_rules "gettimeofday flagged" [ "RTL003" ]
+    "let t0 = Unix.gettimeofday ()";
+  check_rules "Sys.time flagged" [ "RTL003" ]
+    "let t0 = Sys.time ()";
+  check_rules "Random.self_init flagged" [ "RTL003" ]
+    "let () = Random.self_init ()";
+  Alcotest.(check (list string)) "allowed in lib/obs" []
+    (rules
+       (Lint.lint_source ~file:"lib/obs/registry.ml"
+          "let t0 = Unix.gettimeofday ()"));
+  Alcotest.(check (list string)) "allowed in the simulator" []
+    (rules
+       (Lint.lint_source ~file:"lib/sim/simulator.ml"
+          "let t0 = Unix.gettimeofday ()"))
+
+let test_pool_mutation () =
+  check_rules "captured ref mutated in pool closure" [ "RTL004" ]
+    "let n = ref 0\n\
+     let run pool xs = Rt_util.Domain_pool.map pool (fun x -> incr n; x) xs";
+  check_rules "captured array mutated" [ "RTL004" ]
+    "let a = Array.make 4 0\n\
+     let run pool xs = Domain_pool.map pool (fun i -> a.(i) <- i; i) xs";
+  check_rules "locally allocated state fine" []
+    "let run pool xs =\n\
+    \  Rt_util.Domain_pool.map pool\n\
+    \    (fun x -> let b = Bytes.create 4 in Bytes.set b 0 'a'; b) xs";
+  check_rules "mutation outside a pool call fine" []
+    "let n = ref 0\nlet bump () = incr n";
+  (* Module aliases to Domain_pool are resolved. *)
+  check_rules "aliased pool module" [ "RTL004" ]
+    "module Pool = Rt_util.Domain_pool\n\
+     let n = ref 0\n\
+     let run pool xs = Pool.map pool (fun x -> n := x; x) xs"
+
+let test_depval_wildcard () =
+  check_rules "wildcard over the lattice" [ "RTL005" ]
+    "let def = function Dv.Fwd | Dv.Bi -> true | _ -> false";
+  check_rules "catch-all variable too" [ "RTL005" ]
+    "let f v = match v with Dv.Par -> 0 | other -> ignore other; 1";
+  check_rules "exhaustive match fine" []
+    "let def = function\n\
+    \  | Dv.Fwd | Dv.Bi -> true\n\
+    \  | Dv.Par | Dv.Bwd | Dv.Fwd_maybe | Dv.Bwd_maybe | Dv.Bi_maybe -> false";
+  check_rules "wildcard over strings fine" []
+    "let f = function \"a\" -> 1 | _ -> 0"
+
+let test_suppression () =
+  check_rules "justified suppression silences" []
+    "(* rtlint: allow RTL003 bench harness timing, not model input *)\n\
+     let t0 = Unix.gettimeofday ()";
+  check_rules "same-line suppression" []
+    "let t0 = Unix.gettimeofday () (* rtlint: allow RTL003 harness only *)";
+  check_rules "reasonless suppression becomes RTL000" [ "RTL000" ]
+    "(* rtlint: allow RTL003 *)\nlet t0 = Unix.gettimeofday ()";
+  check_rules "wrong rule id does not silence" [ "RTL003" ]
+    "(* rtlint: allow RTL001 wrong id *)\nlet t0 = Unix.gettimeofday ()"
+
+let test_parse_error () =
+  check_rules "unparseable source" [ "RTL999" ] "let let let"
+
+let test_positions_and_severity () =
+  match lint "let a = 1\nlet t0 = Sys.time ()" with
+  | [ f ] ->
+    Alcotest.(check string) "rule" "RTL003" f.F.rule;
+    Alcotest.(check bool) "error severity" true (f.F.severity = F.Error);
+    (match f.F.pos with
+     | Some p -> Alcotest.(check int) "line" 2 p.F.line
+     | None -> Alcotest.fail "no position")
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "RTL001 poly hash" `Quick test_poly_hash;
+          Alcotest.test_case "RTL002 poly compare" `Quick test_poly_compare;
+          Alcotest.test_case "RTL002 lattice equality" `Quick
+            test_depval_equality;
+          Alcotest.test_case "RTL003 wall clock" `Quick test_wall_clock;
+          Alcotest.test_case "RTL004 pool mutation" `Quick test_pool_mutation;
+          Alcotest.test_case "RTL005 depval wildcard" `Quick
+            test_depval_wildcard;
+          Alcotest.test_case "RTL999 parse error" `Quick test_parse_error;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "suppressions" `Quick test_suppression;
+          Alcotest.test_case "positions and severity" `Quick
+            test_positions_and_severity;
+        ] );
+    ]

@@ -1,7 +1,5 @@
 module F = Rt_mining.Follows
 module Om = Rt_mining.Order_miner
-module Dv = Rt_lattice.Depval
-module Df = Rt_lattice.Depfun
 open Test_support
 
 let trace () = fig2_trace ()

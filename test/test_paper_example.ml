@@ -4,7 +4,6 @@
    the bound-1 heuristic agreement (the Lemma). All matrices are copied
    verbatim from the paper. *)
 
-module Df = Rt_lattice.Depfun
 open Test_support
 
 let d21 = df [ [ p; f; p; f ]; [ b; p; p; p ]; [ p; p; p; p ]; [ b; p; p; p ] ]

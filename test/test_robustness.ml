@@ -15,7 +15,6 @@ module Rp = Rt_trace.Repair
 module C = Rt_trace.Corrupt
 module V = Rt_trace.Vcd
 module H = Rt_learn.Heuristic
-module Df = Rt_lattice.Depfun
 
 let ev time kind = { E.time; kind }
 

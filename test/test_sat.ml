@@ -2,8 +2,6 @@ module Cnf = Rt_sat.Cnf
 module Dimacs = Rt_sat.Dimacs
 module Dpll = Rt_sat.Dpll
 module Me = Rt_sat.Match_encoding
-module Df = Rt_lattice.Depfun
-module Dv = Rt_lattice.Depval
 module P = Rt_trace.Period
 module E = Rt_trace.Event
 open Test_support

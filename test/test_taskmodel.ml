@@ -1,8 +1,6 @@
 module Ts = Rt_task.Task_set
 module D = Rt_task.Design
 module G = Rt_task.Generator
-module Dv = Rt_lattice.Depval
-module Df = Rt_lattice.Depfun
 open Test_support
 
 (* --- Task_set --- *)

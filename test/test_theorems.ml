@@ -14,8 +14,6 @@
      is domination: [⊔D* ⊑ d*(bound=1)], with both sides matching the
      trace. That is what we test. *)
 
-module Dv = Rt_lattice.Depval
-module Df = Rt_lattice.Depfun
 module M = Rt_learn.Matching
 open Test_support
 

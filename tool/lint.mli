@@ -1,0 +1,32 @@
+(** The rtlint engine (the codebase prong of the static-analysis
+    layer): syntactic rules over the Parsetree, parsed with the
+    in-tree compiler front-end so the grammar always matches the
+    toolchain.
+
+    Rules (ids are stable, see {!Rt_check.Finding.rules}):
+    - RTL001 no-poly-hash — [Hashtbl.hash] family
+    - RTL002 no-poly-compare — bare/[Stdlib.compare], and [=]/[<>]
+      against a Depval constructor; a file-local [let compare]
+      rebinding disables the bare-ident form for that file
+    - RTL003 no-wall-clock — [Unix.gettimeofday]/[Unix.time]/
+      [Sys.time]/[Random.self_init] outside [lib/obs] and [lib/sim]
+    - RTL004 no-captured-mutation — closures handed to [Domain_pool]
+      mutating state they did not allocate
+    - RTL005 depval-wildcard — catch-all cases in matches over the
+      7-value lattice
+    - RTL000 suppression-needs-reason; RTL999 parse-error
+
+    Suppression: [(* rtlint: allow RTL00X <reason> *)] on the flagged
+    line or the line above. *)
+
+val lint_source : file:string -> string -> Rt_check.Finding.t list
+(** Lint source text as if read from [file]; [file] also drives the
+    directory-scoped rules. Findings are sorted and suppressions
+    already applied. *)
+
+val lint_file : string -> Rt_check.Finding.t list
+
+val lint_paths : string list -> (Rt_check.Finding.t list, string) result
+(** Recursively lint every [.ml] under the given files/directories
+    (skipping [_build], [.git] and test [fixtures]); [Error] when a
+    path does not exist. *)

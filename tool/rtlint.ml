@@ -1,0 +1,92 @@
+(* rtlint — static analysis over the rtgen codebase itself.
+
+   Exit codes follow the shared convention (Rt_check.Exit_code):
+   0 clean, 1 findings at error severity, 2 input error (missing
+   path), 3 internal error; cmdliner keeps 124 for CLI misuse. *)
+
+module F = Rt_check.Finding
+module Ec = Rt_check.Exit_code
+
+open Cmdliner
+
+let format_conv =
+  let parse = function
+    | "text" -> Ok F.Text
+    | "json" -> Ok F.Json_format
+    | "sarif" -> Ok F.Sarif
+    | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))
+  in
+  let print ppf = function
+    | F.Text -> Format.pp_print_string ppf "text"
+    | F.Json_format -> Format.pp_print_string ppf "json"
+    | F.Sarif -> Format.pp_print_string ppf "sarif"
+  in
+  Arg.conv (parse, print)
+
+let paths_arg =
+  let doc = "Files or directories to lint (default: lib bin bench)." in
+  Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+
+let format_arg =
+  let doc = "Report format: $(b,text), $(b,json) or $(b,sarif)." in
+  Arg.(value & opt format_conv F.Text & info [ "format" ] ~docv:"FMT" ~doc)
+
+let output_arg =
+  let doc = "Write the report to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let quiet_arg =
+  let doc = "Suppress the report; only the exit code speaks." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let write_report output text =
+  match output with
+  | None -> print_string text
+  | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc text)
+
+let run paths format output quiet =
+  let paths = if paths = [] then [ "lib"; "bin"; "bench" ] else paths in
+  match Rt_lint.Lint.lint_paths paths with
+  | Error msg ->
+      prerr_endline ("rtlint: " ^ msg);
+      Ec.input_error
+  | Ok findings ->
+      if not quiet then
+        write_report output (F.render ~tool:"rtlint" ~format findings);
+      F.exit_code findings
+
+let cmd =
+  let doc = "static analysis for the rtgen codebase" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every .ml file under the given paths with the \
+         compiler front-end and enforces the project's hot-path \
+         invariants: no polymorphic hash/compare on lattice values, \
+         no wall-clock reads outside the observability and simulator \
+         layers, no captured-state mutation in Domain_pool closures, \
+         and no wildcard matches over the 7-value dependency lattice.";
+      `P
+        "Suppress a finding with (* rtlint: allow RTL00X reason *) on \
+         the flagged line or the line above; the reason is mandatory.";
+      `S Manpage.s_exit_status;
+      `P "0 on a clean tree; 1 when findings of error severity exist; \
+          2 when an input path is missing; 3 on internal errors.";
+    ]
+  in
+  let term = Term.(const run $ paths_arg $ format_arg $ output_arg $ quiet_arg) in
+  Cmd.v (Cmd.info "rtlint" ~version:"%%VERSION%%" ~doc ~man) term
+
+let () =
+  let code =
+    try Cmd.eval' cmd
+    with exn ->
+      prerr_endline ("rtlint: internal error: " ^ Printexc.to_string exn);
+      Ec.internal_error
+  in
+  exit code
