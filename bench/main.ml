@@ -197,10 +197,73 @@ let bench_table1 trace =
        [ 1; 4 ]);
   data
 
+(* ------------------------------------------------------------------ *)
+(* Sharded head-to-head: the K-shard fold (DESIGN.md §14) against the
+   monolithic heuristic run on the same bound.                          *)
+(* ------------------------------------------------------------------ *)
+
+type sharded_row = { k : int; sharded_s : float }
+
+type sharded_data = {
+  sh_bound : int;
+  sh_jobs : int;
+  monolithic_s : float;  (** wall time, single-engine heuristic run *)
+  runs : sharded_row list;
+}
+
+let bench_sharded trace =
+  section "Sharded learning: K-shard fold vs monolithic run (DESIGN.md sec. 14)";
+  let bound = if fast_mode then 16 else 150 in
+  (* The fold is exact at bound 1 for every K (the companion design of
+     lib/shard); every sharded run is asserted byte-equal to it. *)
+  let oracle =
+    match (Rt_learn.Heuristic.run ~bound:1 trace).Rt_learn.Heuristic.hypotheses with
+    | [ d ] -> d
+    | _ -> failwith "sharded bench: reference trace must be consistent"
+  in
+  let _, mono_s = wall (fun () -> Rt_learn.Heuristic.run ~bound trace) in
+  let pool =
+    if jobs > 1 then Some (Rt_util.Domain_pool.create ~jobs) else None
+  in
+  let runs =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Rt_util.Domain_pool.shutdown pool)
+      (fun () ->
+         List.map
+           (fun k ->
+              let o, dt =
+                wall (fun () ->
+                    Rt_shard.Shard.learn ?pool ~bound ~shards:k trace)
+              in
+              (match o.Rt_shard.Shard.model with
+               | Some m when Df.equal m oracle -> ()
+               | Some _ | None ->
+                 failwith "sharded bench: fold differs from monolithic d*(1)");
+              { k; sharded_s = dt })
+           [ 1; 2; 4; 8 ])
+  in
+  print_string
+    (Table.render
+       ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right ]
+       ~header:[ "shards"; "sharded (s)"; "monolithic (s)"; "speedup" ]
+       (List.map
+          (fun r ->
+             [ string_of_int r.k; Printf.sprintf "%.3f" r.sharded_s;
+               Printf.sprintf "%.3f" mono_s;
+               Printf.sprintf "%.2fx" (mono_s /. Float.max r.sharded_s 1e-9) ])
+          runs));
+  Printf.printf
+    "bound %d, %d worker domain(s); every fold asserted byte-equal to the\n\
+     monolithic bound-1 model. Each shard also runs a bound-1 companion, so\n\
+     at jobs=1 the sweep measures pure fan-out overhead — wall-clock wins\n\
+     need RTGEN_BENCH_JOBS >= 2 (see EXPERIMENTS.md).\n"
+    bound jobs;
+  { sh_bound = bound; sh_jobs = jobs; monolithic_s = mono_s; runs }
+
 (* BENCH_heuristic.json: the Table 1 per-bound wall times, machine
    readable for tracking runs over time. Written by hand — the bench
    payload is flat and predates Rt_obs.Json. *)
-let emit_json path trace rows =
+let emit_json path trace rows sharded =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       Printf.fprintf oc "{\n";
@@ -213,6 +276,16 @@ let emit_json path trace rows =
         (match crossover_bound rows with
          | Some b -> string_of_int b
          | None -> "null");
+      Printf.fprintf oc
+        "  \"sharded\": { \"bound\": %d, \"jobs\": %d, \
+         \"monolithic_seconds\": %.6f, \"runs\": [ %s ] },\n"
+        sharded.sh_bound sharded.sh_jobs sharded.monolithic_s
+        (String.concat ", "
+           (List.map
+              (fun r ->
+                 Printf.sprintf "{ \"shards\": %d, \"seconds\": %.6f }"
+                   r.k r.sharded_s)
+              sharded.runs));
       Printf.fprintf oc "  \"bounds\": [\n";
       List.iteri (fun i r ->
           Printf.fprintf oc
@@ -227,7 +300,7 @@ let emit_json path trace rows =
 (* The same sweep through the Rt_obs sinks: both implementations' wall
    times as histograms plus the crossover gauge, in the schema `rtgen
    report` renders. Written next to the raw JSON ("*.metrics.json"). *)
-let emit_metrics path rows =
+let emit_metrics path rows sharded =
   let reg = Rt_obs.Registry.create () in
   let hw = Rt_obs.Registry.histogram reg "bench.workset_us" in
   let hl = Rt_obs.Registry.histogram reg "bench.legacy_us" in
@@ -236,6 +309,13 @@ let emit_metrics path rows =
       Rt_obs.Histogram.record hl (int_of_float (r.legacy_s *. 1e6)))
     (List.sort (fun a b -> Int.compare a.bound b.bound) rows);
   Rt_obs.Registry.set_counter reg "bench.bounds_swept" (List.length rows);
+  Rt_obs.Registry.set_counter reg "bench.jobs" sharded.sh_jobs;
+  Rt_obs.Registry.set_counter reg "bench.shards"
+    (List.fold_left (fun acc r -> max acc r.k) 0 sharded.runs);
+  let hs = Rt_obs.Registry.histogram reg "bench.sharded_us" in
+  List.iter
+    (fun r -> Rt_obs.Histogram.record hs (int_of_float (r.sharded_s *. 1e6)))
+    sharded.runs;
   (match crossover_bound rows with
    | Some b -> Rt_obs.Registry.set_gauge_named reg "bench.crossover_bound" b
    | None -> ());
@@ -790,11 +870,12 @@ let () =
     (if fast_mode then " (RTGEN_BENCH_FAST=1: reduced sweeps)" else "");
   let trace = Gm.trace () in
   let table1_rows = bench_table1 trace in
+  let sharded = bench_sharded trace in
   Option.iter (fun path ->
-      emit_json path trace table1_rows;
+      emit_json path trace table1_rows sharded;
       emit_metrics
         (Filename.remove_extension path ^ ".metrics.json")
-        table1_rows)
+        table1_rows sharded)
     json_path;
   bench_exact_vs_heuristic ();
   bench_worked_example ();

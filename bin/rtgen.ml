@@ -17,9 +17,24 @@ let err msg =
   Ec.input_error
 
 (* Load a trace; in recover mode the quarantine summary goes to stderr so
-   stdout stays pipeable model output. *)
+   stdout stays pipeable model output. Strict loads go through the
+   zero-copy mmap reader (byte-for-byte parity with the boxed loader,
+   enforced by test_arena); timestamps beyond the 41-bit packed range —
+   or any OS-level mmap refusal — fall back to the boxed path, whose
+   error phrasing is the contract. *)
 let read_trace ?(mode = `Strict) ?eps ?window ?obs ?(quiet = false) path =
-  match Rt_trace.Trace_io.load ~mode ?eps ?obs path with
+  let boxed () = Rt_trace.Trace_io.load ~mode ?eps ?obs path in
+  let load () =
+    match mode with
+    | `Recover -> boxed ()
+    | `Strict ->
+      (match Rt_trace.Mmap_io.load ?obs path with
+       | Ok (mm, q) -> Ok (mm.Rt_trace.Mmap_io.trace, q)
+       | Error e when Rt_trace.Mmap_io.is_range_error e -> boxed ()
+       | Error _ as e -> e
+       | exception Unix.Unix_error _ -> boxed ())
+  in
+  match load () with
   | Ok (t, q) ->
     let t, q =
       if mode = `Recover then Rt_trace.Trace_io.semantic_filter ?window ?obs t q
@@ -170,6 +185,138 @@ let run_checkpointed ~pool ~obs ~progress ~window ~bound ~every ~stop_after
       end
     end
 
+(* `--shards K --checkpoint`: shards are processed sequentially, each
+   snapshotting its engine pair (main + bound-1 companion) to
+   FILE.shard<i> / FILE.shard<i>.b1 every [every] periods. Tags bind
+   the trace digest, shard index, partition width and bound, so a
+   resume against different data or a different partition is refused
+   rather than silently wrong. All files are removed on success.
+   Returns [Ok None] when --stop-after cut the run short, otherwise
+   [Ok (Some model)] with the folded model option. *)
+let run_checkpointed_sharded ~obs ~progress ~window ~bound ~shards ~every
+    ~stop_after ~ckpt_path trace =
+  let module Eng = Rt_engine.Engine in
+  let module S = Rt_shard.Shard in
+  ignore obs;
+  let digest =
+    Digest.to_hex (Digest.string (Rt_trace.Trace_io.to_string trace))
+  in
+  let periods = trace.Rt_trace.Trace.periods in
+  let total = Array.length periods in
+  let ranges = S.plan ~shards ~periods:total in
+  let k = Array.length ranges in
+  let ntasks = Rt_trace.Trace.task_count trace in
+  let tag i which = Printf.sprintf "%s+shard%d/%d+b%d+%s" digest i k bound which in
+  let path_of i which =
+    Printf.sprintf "%s.shard%d%s" ckpt_path i
+      (if which = "b1" then ".b1" else "")
+  in
+  (* Resume an engine from its per-shard file, or start fresh. *)
+  let engine_at i which engine_bound =
+    let path = path_of i which in
+    if Sys.file_exists path then
+      match Eng.resume (read_file path) with
+      | Ok (eng, t) when t = tag i which ->
+        if Eng.periods_fed eng > 0 then
+          Printf.eprintf "resumed %s: %d periods already processed\n" path
+            (Eng.periods_fed eng);
+        Ok eng
+      | Ok _ ->
+        Error (Printf.sprintf
+                 "%s was checkpointed against a different trace or \
+                  partition; delete it to start over" path)
+      | Error m -> Error (Printf.sprintf "%s: %s" path m)
+    else Ok (Eng.create ?window ~ntasks (Eng.Heuristic { bound = engine_bound }))
+  in
+  let budget = ref (match stop_after with Some n -> n | None -> max_int) in
+  let stopped = ref false in
+  let done_total = ref 0 in
+  let finished = ref [] in
+  let rec shard_loop i =
+    if i >= k || !stopped then Ok ()
+    else
+      let lo, hi = ranges.(i) in
+      match engine_at i "main" bound with
+      | Error _ as e -> e
+      | Ok main ->
+        (match
+           if bound = 1 then Ok None
+           else Result.map Option.some (engine_at i "b1" 1)
+         with
+         | Error _ as e -> e
+         | Ok comp ->
+           let skip = Eng.periods_fed main in
+           let comp_skip =
+             match comp with Some c -> Eng.periods_fed c | None -> skip
+           in
+           if comp_skip <> skip then
+             Error (Printf.sprintf
+                      "%s and its .b1 companion disagree on progress; \
+                       delete both to start over" (path_of i "main"))
+           else if skip > hi - lo then
+             Error (Printf.sprintf
+                      "%s claims %d periods processed but shard %d has \
+                       only %d" (path_of i "main") skip i (hi - lo))
+           else begin
+             done_total := !done_total + skip;
+             let write_ckpt () =
+               let dump which eng =
+                 match Eng.checkpoint ~tag:(tag i which) eng with
+                 | Ok data -> Rt_util.Atomic_file.write (path_of i which) data
+                 | Error m -> Printf.eprintf "checkpoint failed: %s\n" m
+               in
+               dump "main" main;
+               Option.iter (dump "b1") comp
+             in
+             (try
+                for j = lo + skip to hi - 1 do
+                  if not !stopped then begin
+                    Eng.feed main periods.(j);
+                    Option.iter (fun c -> Eng.feed c periods.(j)) comp;
+                    incr done_total;
+                    decr budget;
+                    (match progress with
+                     | Some n when !done_total mod n = 0 || !done_total = total ->
+                       Printf.eprintf
+                         "progress: %d/%d periods (shard %d), %d hypotheses\n%!"
+                         !done_total total i (List.length (Eng.current main))
+                     | Some _ | None -> ());
+                    let fed = Eng.periods_fed main in
+                    if fed mod every = 0 || fed = hi - lo then write_ckpt ();
+                    if !budget <= 0 then stopped := true
+                  end
+                done
+              with e -> write_ckpt (); raise e);
+             if Eng.periods_fed main < hi - lo then begin
+               write_ckpt ();
+               Ok ()  (* stopped mid-shard; the outer match reports it *)
+             end
+             else begin
+               finished := Option.value comp ~default:main :: !finished;
+               shard_loop (i + 1)
+             end
+           end)
+  in
+  match shard_loop 0 with
+  | Error _ as e -> e
+  | Ok () ->
+    if !stopped then begin
+      Printf.eprintf "stopped after %d periods (checkpoints in %s.shard*)\n"
+        !done_total ckpt_path;
+      Ok None
+    end
+    else begin
+      let companions = Array.of_list (List.rev !finished) in
+      let model = S.fold_engines companions in
+      (* Success: the checkpoints have served their purpose. *)
+      for i = 0 to k - 1 do
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ path_of i "main"; path_of i "b1" ]
+      done;
+      Ok (Some model)
+    end
+
 (* Write the registry's sinks. Atomic writes: a run killed mid-dump never
    leaves a truncated JSON document behind. *)
 let write_sinks ~metrics ~trace_events obs =
@@ -184,29 +331,41 @@ let write_sinks ~metrics ~trace_events obs =
     Option.iter (fun p -> dump p (Rt_obs.Registry.trace_events_json reg))
       trace_events
 
+let inconsistent_msg =
+  "inconsistent trace: some message has no admissible \
+   sender/receiver under the assumed model of computation"
+
+let output_model ~names ~dot ~output lub =
+  (match output with
+   | Some file ->
+     let oc = open_out file in
+     Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+         output_string oc (Rt_lattice.Depfun.to_string ~names lub);
+         output_char oc '\n');
+     Printf.eprintf "wrote model to %s\n" file
+   | None -> ());
+  if dot then print_string (Rt_analysis.Dep_graph.to_dot ~names lub)
+  else Format.printf "%s@." (Rt_lattice.Depfun.to_string ~names lub);
+  Ec.ok
+
 (* Shared tail of `learn`: print (or save, or dot) the answer set. *)
 let render_model ~names ~dot ~output hs =
   match hs with
-  | [] ->
-    err ("inconsistent trace: some message has no admissible \
-             sender/receiver under the assumed model of computation")
+  | [] -> err inconsistent_msg
   | hs ->
-    let lub = Rt_lattice.Depfun.lub hs in
-    (match output with
-     | Some file ->
-       let oc = open_out file in
-       Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-           output_string oc (Rt_lattice.Depfun.to_string ~names lub);
-           output_char oc '\n');
-       Printf.eprintf "wrote model to %s\n" file
-     | None -> ());
-    if dot then print_string (Rt_analysis.Dep_graph.to_dot ~names lub)
-    else begin
+    if not dot then
       Format.printf "%d most specific hypothesis(es); least upper bound:@."
         (List.length hs);
-      Format.printf "%s@." (Rt_lattice.Depfun.to_string ~names lub)
-    end;
-    Ec.ok
+    output_model ~names ~dot ~output (Rt_lattice.Depfun.lub hs)
+
+(* Sharded tail: stdout carries only the folded model, which is
+   byte-identical for every shard count (the sharding contract);
+   per-shard accounting goes to stderr. *)
+let render_folded ~names ~dot ~output = function
+  | None -> err inconsistent_msg
+  | Some model ->
+    if not dot then Format.printf "folded model (exact at bound 1):@.";
+    output_model ~names ~dot ~output model
 
 let blowup_msg set_size limit =
   Printf.sprintf
@@ -219,9 +378,10 @@ let blowup_msg set_size limit =
    live logger) costs one period of memory. Produces the same model and
    the same quarantine account as the batch path, because both sit on
    Stream_io / salvage_period / Engine. *)
-let learn_stream ~exact ~bound ~window ~jobs ~obs ~mode ~eps ~progress
+let learn_stream ~exact ~shards ~bound ~window ~jobs ~obs ~mode ~eps ~progress
     ~dot ~output ~metrics ~trace_events path =
   let module Eng = Rt_engine.Engine in
+  let module SStream = Rt_shard.Shard.Stream in
   match (if path = "-" then Ok stdin
          else try Ok (open_in path) with Sys_error m -> Error m)
   with
@@ -238,16 +398,37 @@ let learn_stream ~exact ~bound ~window ~jobs ~obs ~mode ~eps ~progress
                if exact then Eng.Exact { limit = None }
                else Eng.Heuristic { bound }
              in
-             let eng = ref None in
-             let engine_of ts =
-               match !eng with
-               | Some e -> e
+             (* One engine, or — with --shards K — K round-robin units
+                (engine pairs) folded at end of stream. The sharded
+                units are private and obs-free; shard.* counters are
+                published from this domain instead. *)
+             let core = ref None in
+             let core_of ts =
+               match !core with
+               | Some c -> c
                | None ->
-                 let e =
-                   Eng.create ?window ?pool ?obs
-                     ~ntasks:(Rt_task.Task_set.size ts) alg
+                 let ntasks = Rt_task.Task_set.size ts in
+                 let c =
+                   match shards with
+                   | Some k ->
+                     `Sharded
+                       (SStream.create ?window ~ntasks ~bound ~shards:k ())
+                   | None -> `Single (Eng.create ?window ?pool ?obs ~ntasks alg)
                  in
-                 eng := Some e; e
+                 core := Some c; c
+             in
+             let feed_core c p =
+               match c with
+               | `Single e -> Eng.feed e p
+               | `Sharded s -> SStream.feed s p
+             in
+             let periods_fed_core = function
+               | `Single e -> Eng.periods_fed e
+               | `Sharded s -> SStream.periods_fed s
+             in
+             let hypotheses_core = function
+               | `Single e -> List.length (Eng.current e)
+               | `Sharded s -> SStream.hypotheses s
              in
              let excised = ref [] and sem_dropped = ref [] in
              let rec pump () =
@@ -256,27 +437,26 @@ let learn_stream ~exact ~bound ~window ~jobs ~obs ~mode ~eps ~progress
                  Error (Printf.sprintf "%s: line %d: %s" path e.line e.message)
                | Ok None -> Ok ()
                | Ok (Some p) ->
-                 let e =
-                   engine_of
-                     (Option.get (Rt_trace.Stream_io.task_set parser))
+                 let c =
+                   core_of (Option.get (Rt_trace.Stream_io.task_set parser))
                  in
                  let fed =
                    if mode = `Recover then
                      match Rt_trace.Trace_io.salvage_period ?window p with
-                     | `Clean -> Eng.feed e p; true
+                     | `Clean -> feed_core c p; true
                      | `Excised (p', n) ->
                        excised := (p'.Rt_trace.Period.index, n) :: !excised;
-                       Eng.feed e p'; true
+                       feed_core c p'; true
                      | `Dropped ->
                        sem_dropped := p.Rt_trace.Period.index :: !sem_dropped;
                        false
-                   else (Eng.feed e p; true)
+                   else (feed_core c p; true)
                  in
                  (if fed then
                     match progress with
-                    | Some n when Eng.periods_fed e mod n = 0 ->
+                    | Some n when periods_fed_core c mod n = 0 ->
                       Printf.eprintf "progress: %d periods, %d hypotheses\n%!"
-                        (Eng.periods_fed e) (List.length (Eng.current e))
+                        (periods_fed_core c) (hypotheses_core c)
                     | Some _ | None -> ());
                  pump ()
              in
@@ -307,22 +487,35 @@ let learn_stream ~exact ~bound ~window ~jobs ~obs ~mode ~eps ~progress
                 | None -> ());
                if mode = `Recover then
                  prerr_endline (Rt_trace.Quarantine.summary q);
-               match !eng with
-               | Some e when Eng.periods_fed e > 0 ->
-                 Eng.set_provenance e
-                   ~dropped:(List.length q.Rt_trace.Quarantine.dropped)
-                   ~repaired:(List.length q.Rt_trace.Quarantine.repaired);
-                 let snap = Eng.finalize e in
-                 write_sinks ~metrics ~trace_events obs;
+               match !core with
+               | Some c when periods_fed_core c > 0 ->
                  let names =
                    Rt_task.Task_set.names
                      (Option.get (Rt_trace.Stream_io.task_set parser))
                  in
-                 render_model ~names ~dot ~output snap.Eng.hypotheses
+                 (match c with
+                  | `Single e ->
+                    Eng.set_provenance e
+                      ~dropped:(List.length q.Rt_trace.Quarantine.dropped)
+                      ~repaired:(List.length q.Rt_trace.Quarantine.repaired);
+                    let snap = Eng.finalize e in
+                    write_sinks ~metrics ~trace_events obs;
+                    render_model ~names ~dot ~output snap.Eng.hypotheses
+                  | `Sharded s ->
+                    (match obs with
+                     | Some r ->
+                       let set = Rt_obs.Registry.set_counter r in
+                       set "shard.shards" (SStream.shards s);
+                       set "shard.periods" (SStream.periods_fed s);
+                       set "shard.messages" (SStream.messages_fed s);
+                       set "shard.jobs" jobs
+                     | None -> ());
+                    write_sinks ~metrics ~trace_events obs;
+                    render_folded ~names ~dot ~output (SStream.fold s))
                | Some _ | None ->
                  err ("no usable periods after quarantine")))
 
-let learn path exact auto stream bound window jobs dot output mode eps
+let learn path exact auto stream shards bound window jobs dot output mode eps
     checkpoint every stop_after metrics trace_events progress =
   let module Eng = Rt_engine.Engine in
   let obs =
@@ -338,14 +531,20 @@ let learn path exact auto stream bound window jobs dot output mode eps
             drop --stream"
     else if auto && exact then
       Some "--auto searches for a heuristic bound; drop --exact"
+    else if (match shards with Some k -> k < 1 | None -> false) then
+      Some "--shards must be >= 1"
+    else if shards <> None && exact then
+      Some "sharded learning runs the bounded heuristic; drop --exact"
+    else if shards <> None && auto then
+      Some "--auto searches for a heuristic bound; drop --shards"
     else None
   in
   match conflict with
   | Some m -> err (m)
   | None ->
     if stream then
-      learn_stream ~exact ~bound ~window ~jobs ~obs ~mode ~eps ~progress
-        ~dot ~output ~metrics ~trace_events path
+      learn_stream ~exact ~shards ~bound ~window ~jobs ~obs ~mode ~eps
+        ~progress ~dot ~output ~metrics ~trace_events path
     else begin
       match read_trace ~mode ~eps ?window ?obs path with
       | Error m -> err (m)
@@ -369,6 +568,40 @@ let learn path exact auto stream bound window jobs dot output mode eps
           write_sinks ~metrics ~trace_events obs;
           render_model ~names ~dot ~output
             report.Rt_engine.Learner.hypotheses
+        end
+        else if shards <> None then begin
+          let shards = Option.get shards in
+          match checkpoint with
+          | Some ckpt_path ->
+            (match
+               run_checkpointed_sharded ~obs ~progress ~window ~bound ~shards
+                 ~every ~stop_after ~ckpt_path trace
+             with
+             | Error m -> write_sinks ~metrics ~trace_events obs; err m
+             | Ok None ->
+               write_sinks ~metrics ~trace_events obs;
+               Ec.ok  (* --stop-after: checkpoints written *)
+             | Ok (Some model) ->
+               write_sinks ~metrics ~trace_events obs;
+               render_folded ~names ~dot ~output model)
+          | None ->
+            let out =
+              with_pool jobs (fun pool ->
+                  Rt_shard.Shard.learn ?window ?pool ?obs ~bound ~shards trace)
+            in
+            Array.iteri
+              (fun i (r : Rt_shard.Shard.result) ->
+                 Printf.eprintf
+                   "shard %d: %d periods, %d messages, %d hypotheses, %.3fs\n"
+                   i r.periods r.messages
+                   (List.length r.hypotheses)
+                   (float_of_int r.elapsed_ns /. 1e9))
+              out.shards;
+            (match obs with
+             | Some r -> Rt_obs.Registry.set_counter r "shard.jobs" jobs
+             | None -> ());
+            write_sinks ~metrics ~trace_events obs;
+            render_folded ~names ~dot ~output out.model
         end
         else
           let hypotheses =
@@ -978,8 +1211,17 @@ let learn_cmd =
            ~doc:"Report progress on stderr every N periods (heuristic \
                  algorithm only).")
   in
+  let shards =
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"K"
+           ~doc:"Partition the trace into K period ranges, learn each \
+                 with a private engine (in parallel with $(b,-j)) and \
+                 fold the per-shard results into one model — byte-equal \
+                 for every K. Composes with $(b,--stream) (round-robin \
+                 shard units) and $(b,--checkpoint) (sequential shards, \
+                 one checkpoint pair per shard).")
+  in
   Cmd.v (Cmd.info "learn" ~doc:"Learn a dependency model from a trace")
-    Term.((const learn $ stream_trace_arg $ exact $ auto $ stream
+    Term.((const learn $ stream_trace_arg $ exact $ auto $ stream $ shards
                $ bound_arg $ window_arg $ jobs_arg $ dot_arg $ output
                $ mode_arg $ eps_arg $ checkpoint $ every $ stop_after
                $ metrics $ trace_events $ progress))

@@ -63,6 +63,11 @@ let rules =
       summary = "wildcard match arm over the 7-value dependency \
                  lattice; enumerate the constructors so adding a value \
                  is a compile error" };
+    { id = "RTL006"; name = "no-hot-loop-alloc";
+      summary = "record or tuple construction inside a while/for body \
+                 of the packed ingest path (mmap_io, event_arena); \
+                 per-event allocation defeats the zero-allocation \
+                 contract — keep state in the arena or scalar refs" };
     { id = "RTL999"; name = "parse-error";
       summary = "the source file could not be parsed" };
     { id = "RTC001"; name = "law-idempotence";

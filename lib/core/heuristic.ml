@@ -190,6 +190,8 @@ let stats st =
 
 let messages_processed st = st.msgs
 
+let violations st = Array.map Array.copy (Violations.matrix st.violations)
+
 let counters st =
   {
     branches = st.branches;

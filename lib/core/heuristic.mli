@@ -85,6 +85,13 @@ val messages_processed : state -> int
 (** Bus messages consumed so far, across all fed periods. Travels
     through {!checkpoint}/{!resume} like the other totals. *)
 
+val violations : state -> bool array array
+(** A copy of the accumulated violation matrix — which ordered pairs
+    [(a, b)] have had [a] execute in some period where [b] did not.
+    This is the evidence the end-of-period weakening pass conditions
+    on; the shard fold ({!Rt_shard}) unions these matrices across
+    shards to reproduce the monolithic run's weakenings exactly. *)
+
 val counters : state -> counters
 (** The current observability totals (see {!type-counters}). *)
 

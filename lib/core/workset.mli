@@ -18,7 +18,16 @@
 
     Contents are a function of the {e set} of inserted hypotheses only —
     the sorted order is canonical, never insertion order — which is what
-    keeps parallel fan-out deterministic (see DESIGN.md §9). *)
+    keeps parallel fan-out deterministic (see DESIGN.md §9).
+
+    The array machinery only pays for itself once the set is large:
+    below {!crossover_bound} (the break-even measured in
+    BENCH_heuristic.json) {!create} silently selects the seed's sorted
+    singly-linked-list layout instead — same canonical order, same
+    dedup decisions, same eviction victims, observably identical, just
+    without the hash index and blits that dominate at small bounds.
+    {!create_with} forces a representation, for tests and A/B
+    benchmarks. *)
 
 type t
 
@@ -34,9 +43,21 @@ type victim_policy =
   | Heaviest_pair  (** ablation: merge the two highest-weight *)
   | First_last     (** ablation: merge the lightest with the heaviest *)
 
+val crossover_bound : int
+(** The measured array-vs-list break-even bound (see
+    BENCH_heuristic.json); {!create} uses the list representation
+    strictly below it. *)
+
 val create : bound:int -> t
 (** Empty set; [bound] sizes the backing array ([bound + 1] slots: the
-    set only ever overflows by the one hypothesis being inserted). *)
+    set only ever overflows by the one hypothesis being inserted).
+    Selects the representation from [bound] (see {!crossover_bound}). *)
+
+val create_with : repr:[ `Array | `List ] -> bound:int -> t
+(** {!create} with the representation forced. *)
+
+val uses_list_repr : t -> bool
+(** Which representation a set ended up with (for tests). *)
 
 val length : t -> int
 

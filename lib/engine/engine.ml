@@ -87,6 +87,11 @@ let rec feed_source ?on_period t seg =
 let current t =
   match t.core with Hstate st -> H.current st | Estate st -> E.current st
 
+let violations t =
+  match t.core with
+  | Hstate st -> Some (H.violations st)
+  | Estate _ -> None
+
 (* The engine's own counter totals come from the core state — which is
    what checkpoints carry — so a resumed engine republishes the same
    numbers an uninterrupted one would. *)

@@ -66,6 +66,11 @@ val messages_fed : t -> int
 val current : t -> Rt_lattice.Depfun.t list
 (** The current hypothesis list (fresh copies), cheapest first. *)
 
+val violations : t -> bool array array option
+(** A copy of the heuristic core's accumulated violation matrix
+    ({!Rt_learn.Heuristic.violations}); [None] for an exact-core
+    engine. Consumed by {!Rt_shard} when folding per-shard engines. *)
+
 val publish : t -> unit
 (** Push the core's and the engine's counter totals into the attached
     registry without building a snapshot. *)

@@ -125,6 +125,56 @@ let lub = function
     List.iter (fun d' -> join_into ~dst:acc d') rest;
     acc
 
+(* Batched lub over a whole working set's matrices: one destination
+   allocation, then a single tight unsafe byte loop per source matrix.
+   Matrix-outer / cell-inner keeps each source sequential in memory,
+   which is what the prefetcher wants; the per-cell body is the same
+   [join_ix_tbl] lookup the pairwise kernels use. *)
+let lub_many ds =
+  let k = Array.length ds in
+  if k = 0 then invalid_arg "Depfun.lub_many: empty array";
+  let n = ds.(0).n in
+  let m = n * n in
+  for i = 1 to k - 1 do
+    if ds.(i).n <> n then invalid_arg "Depfun.lub_many: size mismatch"
+  done;
+  let cells = Bytes.copy ds.(0).cells in
+  for i = 1 to k - 1 do
+    let src = ds.(i).cells in
+    for j = 0 to m - 1 do
+      Bytes.unsafe_set cells j
+        (Char.unsafe_chr
+           join_ix.(((Char.code (Bytes.unsafe_get cells j)) * 7)
+                    + Char.code (Bytes.unsafe_get src j)))
+    done
+  done;
+  { n; cells }
+
+(* End-of-fold conditional-dependency pass on a bare matrix: weaken every
+   definite cell whose pair some period violated. The shard fold applies
+   this once with the union of the shards' violation matrices; see
+   DESIGN.md sec. 14 for why that equals the monolithic interleaving. *)
+let weaken_violations d ~violated =
+  let n = d.n in
+  if Array.length violated <> n then
+    invalid_arg "Depfun.weaken_violations: size mismatch";
+  let changed = ref 0 in
+  for a = 0 to n - 1 do
+    let row = violated.(a) in
+    for b = 0 to n - 1 do
+      if a <> b && row.(b) then begin
+        let i = (a * n) + b in
+        let v = Depval.of_index (Char.code (Bytes.unsafe_get d.cells i)) in
+        if Depval.is_definite v then begin
+          Bytes.unsafe_set d.cells i
+            (Char.unsafe_chr (Depval.index (Depval.weaken v)));
+          incr changed
+        end
+      end
+    done
+  done;
+  !changed
+
 let weight d =
   let w = ref 0 in
   for i = 0 to Bytes.length d.cells - 1 do

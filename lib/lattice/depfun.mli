@@ -65,6 +65,24 @@ val join_into : dst:t -> t -> unit
 val lub : t list -> t
 (** Least upper bound of a non-empty list. *)
 
+val lub_many : t array -> t
+(** Batched least upper bound of a non-empty array: one fused unsafe
+    byte-table pass per source matrix into a single fresh destination.
+    Semantically [lub (Array.to_list ds)]; exists so whole-workset folds
+    (the shard merge, the final model) pay one allocation instead of a
+    list walk of pairwise kernels. Raises [Invalid_argument] on an empty
+    array or a size mismatch. *)
+
+val weaken_violations : t -> violated:bool array array -> int
+(** In-place conditional-dependency pass (Section 4.3): for every ordered
+    pair [(a, b)] with [a <> b] and [violated.(a).(b)], replace a definite
+    cell value by its weakened ([…?]) counterpart. Returns the number of
+    cells changed. [violated] must be [n × n]. Used by the shard fold to
+    apply the union of per-shard violation matrices exactly once after
+    joining; idempotent, and commutes with pointwise join in the sense
+    [w (w x ⊔ d) = w (x ⊔ d)], which is what makes the single
+    end-of-fold pass equal to the monolithic run's interleaved passes. *)
+
 val weight : t -> int
 (** Definition 8: sum over ordered pairs of [Depval.distance]. *)
 

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""CI perf gate over BENCH_heuristic.json.
+
+Compares a freshly generated bench payload against the committed
+baseline and fails on a relative regression of the workset learner.
+
+Absolute wall times are useless across machines (the committed baseline
+was measured on whatever box last regenerated it), so the gate is on a
+machine-neutral ratio: at each bound, both files carry the workset and
+the seed-list implementation measured back to back on the *same* host,
+and their quotient cancels the host speed. The gate is
+
+    slowdown(bound) = (fresh_workset / fresh_legacy)
+                    / (baseline_workset / baseline_legacy)
+
+and any bound present in both files with slowdown > 1.25 (a >25%
+relative regression of the workset path) fails the run. Bounds whose
+combined wall time sits under a small noise floor in either file are
+reported but not gated — a ~50 ms sweep's quotient is scheduler noise.
+
+The sharded section, when present in both files *at the same bound*, is
+gated the same way: per shard count K, sharded seconds normalized by
+the same file's monolithic seconds. Files that predate the sharded
+section (or fast-mode payloads sharding at a different bound) pass the
+sharded gate vacuously, so the gate can land before the baseline is
+regenerated.
+
+Standard library only (CI containers have no extra packages).
+
+Usage: scripts/check_bench.py FRESH.json [BASELINE.json]
+BASELINE defaults to the committed BENCH_heuristic.json next to this
+script's repo root. Exit 0 when within budget; prints each regression
+and exits 1 otherwise.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+THRESHOLD = 1.25
+
+# Rows whose combined wall time is below this are dominated by timer and
+# scheduler noise (a bound-4 sweep runs in ~50 ms); they are printed for
+# information but never gated.
+NOISE_FLOOR_S = 0.2
+
+errors = []
+
+
+def rows_by_bound(doc):
+    return {row["bound"]: row for row in doc.get("bounds", [])}
+
+
+def ratio(row):
+    legacy = row["legacy_seconds"]
+    if legacy <= 0:
+        return None
+    return row["workset_seconds"] / legacy
+
+
+def check_bounds(fresh, base):
+    fresh_rows = rows_by_bound(fresh)
+    base_rows = rows_by_bound(base)
+    shared = sorted(set(fresh_rows) & set(base_rows))
+    if not shared:
+        errors.append("no common bounds between fresh and baseline payloads")
+        return
+    for bound in shared:
+        fr = ratio(fresh_rows[bound])
+        br = ratio(base_rows[bound])
+        if fr is None or br is None or br <= 0:
+            # A sub-millisecond legacy run truncated to zero cannot be
+            # normalized; skip rather than divide by it.
+            print(f"bound {bound}: unusable timing, skipped")
+            continue
+        slowdown = fr / br
+        if any(
+            rows[bound]["workset_seconds"] + rows[bound]["legacy_seconds"]
+            < NOISE_FLOOR_S
+            for rows in (fresh_rows, base_rows)
+        ):
+            print(
+                f"bound {bound}: workset/legacy {fr:.3f} vs baseline "
+                f"{br:.3f} -> slowdown {slowdown:.2f}x "
+                f"[below {NOISE_FLOOR_S:.1f}s noise floor, informational]"
+            )
+            continue
+        verdict = "FAIL" if slowdown > THRESHOLD else "ok"
+        print(
+            f"bound {bound}: workset/legacy {fr:.3f} vs baseline {br:.3f} "
+            f"-> slowdown {slowdown:.2f}x [{verdict}]"
+        )
+        if slowdown > THRESHOLD:
+            errors.append(
+                f"bound {bound}: workset slowed down {slowdown:.2f}x vs "
+                f"baseline (budget {THRESHOLD:.2f}x)"
+            )
+
+
+def sharded_by_k(doc):
+    section = doc.get("sharded")
+    if not section or section.get("monolithic_seconds", 0) <= 0:
+        return None
+    mono = section["monolithic_seconds"]
+    return {run["shards"]: run["seconds"] / mono for run in section["runs"]}
+
+
+def check_sharded(fresh, base):
+    fresh_runs = sharded_by_k(fresh)
+    base_runs = sharded_by_k(base)
+    if fresh_runs is None or base_runs is None:
+        print("sharded section absent or untimed in one payload; skipped")
+        return
+    fb = fresh.get("sharded", {}).get("bound")
+    bb = base.get("sharded", {}).get("bound")
+    if fb != bb:
+        # Fast-mode payloads shard at a small bound; the per-shard /
+        # monolithic ratio is bound-dependent, so cross-bound quotients
+        # are meaningless.
+        print(f"sharded bounds differ (fresh {fb}, baseline {bb}); skipped")
+        return
+    for k in sorted(set(fresh_runs) & set(base_runs)):
+        if base_runs[k] <= 0:
+            continue
+        slowdown = fresh_runs[k] / base_runs[k]
+        verdict = "FAIL" if slowdown > THRESHOLD else "ok"
+        print(
+            f"shards {k}: sharded/monolithic {fresh_runs[k]:.3f} vs "
+            f"baseline {base_runs[k]:.3f} -> slowdown {slowdown:.2f}x "
+            f"[{verdict}]"
+        )
+        if slowdown > THRESHOLD:
+            errors.append(
+                f"shards {k}: sharded path slowed down {slowdown:.2f}x vs "
+                f"baseline (budget {THRESHOLD:.2f}x)"
+            )
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(__doc__)
+    fresh_path = Path(sys.argv[1])
+    base_path = (
+        Path(sys.argv[2]) if len(sys.argv) == 3
+        else Path(__file__).resolve().parent.parent / "BENCH_heuristic.json"
+    )
+    fresh = json.loads(fresh_path.read_text())
+    base = json.loads(base_path.read_text())
+    check_bounds(fresh, base)
+    check_sharded(fresh, base)
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        sys.exit(1)
+    print(f"{fresh_path.name}: within {THRESHOLD:.2f}x of {base_path.name}")
+
+
+if __name__ == "__main__":
+    main()

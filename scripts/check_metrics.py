@@ -122,6 +122,49 @@ def check_engine_section(doc, path):
             )
 
 
+def check_shard_section(doc, path):
+    """Cross-instrument consistency for sharded runs.
+
+    A run through Rt_shard publishes shard.* counters from the calling
+    domain (pool workers carry no registry): the shard count, the
+    worker-pool width it ran on, the fed totals, and one worker_us
+    sample per shard. The bench sidecar's bench.jobs / bench.shards
+    pair follows the same rule.
+    """
+    counters = doc.get("counters", {})
+    if "shard.shards" in counters:
+        shards = counters["shard.shards"]
+        if shards < 1:
+            fail(path, f"shard.shards {shards} < 1")
+        jobs = counters.get("shard.jobs")
+        if jobs is None:
+            fail(path, "shard.shards present without shard.jobs")
+        elif jobs < 1:
+            fail(path, f"shard.jobs {jobs} < 1")
+        for key in ("shard.periods", "shard.messages"):
+            if key not in counters:
+                fail(path, f"shard.shards present without {key}")
+        # Batch runs record one worker_us sample per shard; streaming
+        # runs feed obs-free units and legitimately omit the histogram.
+        hist = doc.get("histograms", {}).get("shard.worker_us")
+        if hist is not None and hist.get("count") != shards:
+            fail(
+                path,
+                f"shard.worker_us count {hist.get('count')} != "
+                f"shard.shards {shards}",
+            )
+    if "bench.shards" in counters:
+        if counters["bench.shards"] < 1:
+            fail(path, f"bench.shards {counters['bench.shards']} < 1")
+        jobs = counters.get("bench.jobs")
+        if jobs is None:
+            fail(path, "bench.shards present without bench.jobs")
+        elif jobs < 1:
+            fail(path, f"bench.jobs {jobs} < 1")
+        if "bench.sharded_us" not in doc.get("histograms", {}):
+            fail(path, "bench.shards present without bench.sharded_us")
+
+
 def check_section_order(doc, path):
     order = list(doc.keys())
     expected = [
@@ -146,6 +189,7 @@ def main():
     if isinstance(doc, dict):
         check_section_order(doc, metrics_path.name)
         check_engine_section(doc, metrics_path.name)
+        check_shard_section(doc, metrics_path.name)
     if errors:
         print("\n".join(errors), file=sys.stderr)
         sys.exit(1)

@@ -417,6 +417,98 @@ let test_learn_stream_conflicts () =
     (run ~expect_fail:true
        (Printf.sprintf "learn --auto --exact %s" trace_file))
 
+(* --- sharded learning surfaces --- *)
+
+(* The sharding contract: the folded model is the exact bound-1 model
+   for every K, so model files and stdout are byte-identical across
+   shard counts and match the non-sharded bound-1 run's saved model. *)
+let test_learn_shards_equal_across_k () =
+  let base = tmp "gm_shard_base.model" in
+  ignore (run (Printf.sprintf "learn %s --bound 1 -o %s" trace_file base));
+  let base_bytes = read_file base in
+  let out1 = run (Printf.sprintf "learn %s --bound 6 --shards 1" trace_file) in
+  Alcotest.(check bool) "folded header" true
+    (contains ~needle:"folded model (exact at bound 1):" out1);
+  List.iter
+    (fun k ->
+       let m = tmp (Printf.sprintf "gm_shard_%d.model" k) in
+       let out =
+         run (Printf.sprintf "learn %s --bound 6 --shards %d -o %s -j 2"
+                trace_file k m)
+       in
+       Alcotest.(check string)
+         (Printf.sprintf "K=%d model file = non-sharded bound-1 model" k)
+         base_bytes (read_file m);
+       Alcotest.(check string)
+         (Printf.sprintf "K=%d stdout = K=1 stdout" k)
+         out1 out)
+    [ 2; 4; 8 ];
+  (* Per-shard accounting goes to stderr, not the comparable stdout. *)
+  Alcotest.(check bool) "per-shard accounting on stderr" true
+    (contains ~needle:"shard 0:" (read_file (tmp "stderr")))
+
+let test_learn_shards_stream_equals_batch () =
+  let batch = run (Printf.sprintf "learn %s --bound 4 --shards 3" trace_file) in
+  let streamed =
+    run (Printf.sprintf "learn --stream %s --bound 4 --shards 3" trace_file)
+  in
+  Alcotest.(check string) "sharded stream model = sharded batch model"
+    batch streamed
+
+let test_learn_shards_checkpoint_resume () =
+  let ckpt = tmp "gm_shard.ckpt" in
+  List.iter (fun i ->
+      List.iter (fun suffix ->
+          let p = Printf.sprintf "%s.shard%d%s" ckpt i suffix in
+          if Sys.file_exists p then Sys.remove p)
+        [ ""; ".b1" ])
+    [ 0; 1; 2 ];
+  ignore
+    (run (Printf.sprintf
+            "learn %s --bound 4 --shards 3 --checkpoint %s --stop-after 2"
+            trace_file ckpt));
+  Alcotest.(check bool) "per-shard checkpoint written" true
+    (Sys.file_exists (ckpt ^ ".shard0"));
+  let resumed =
+    run (Printf.sprintf "learn %s --bound 4 --shards 3 --checkpoint %s"
+           trace_file ckpt)
+  in
+  let uninterrupted =
+    run (Printf.sprintf "learn %s --bound 4 --shards 3" trace_file)
+  in
+  Alcotest.(check string) "resumed fold = uninterrupted fold"
+    uninterrupted resumed;
+  List.iter (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d checkpoints removed on success" i) false
+        (Sys.file_exists (Printf.sprintf "%s.shard%d" ckpt i)
+         || Sys.file_exists (Printf.sprintf "%s.shard%d.b1" ckpt i)))
+    [ 0; 1; 2 ]
+
+let test_learn_shards_metrics () =
+  let m = tmp "gm_shard_metrics.json" in
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 --shards 3 -j 2 --metrics %s"
+            trace_file m));
+  let text = read_file m in
+  List.iter
+    (fun needle ->
+       Alcotest.(check bool) (needle ^ " recorded") true
+         (contains ~needle:(Printf.sprintf "%S" needle) text))
+    [ "shard.shards"; "shard.periods"; "shard.messages"; "shard.jobs";
+      "shard.worker_us" ]
+
+let test_learn_shards_conflicts () =
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "learn --shards 0 %s" trace_file));
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "learn --shards 2 --exact %s" trace_file));
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "learn --shards 2 --auto %s" trace_file))
+
 let test_learn_auto_trajectory () =
   let out = run (Printf.sprintf "learn --auto %s" trace_file) in
   Alcotest.(check bool) "trajectory header" true
@@ -618,6 +710,19 @@ let () =
           Alcotest.test_case "stream metrics = batch" `Quick
             test_learn_stream_metrics_equal_batch;
           Alcotest.test_case "flag conflicts" `Quick test_learn_stream_conflicts;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "model byte-equal across K" `Quick
+            test_learn_shards_equal_across_k;
+          Alcotest.test_case "sharded stream = sharded batch" `Quick
+            test_learn_shards_stream_equals_batch;
+          Alcotest.test_case "sharded checkpoint kill-resume" `Quick
+            test_learn_shards_checkpoint_resume;
+          Alcotest.test_case "sharded metrics keys" `Quick
+            test_learn_shards_metrics;
+          Alcotest.test_case "sharded flag conflicts" `Quick
+            test_learn_shards_conflicts;
           Alcotest.test_case "learn --auto trajectory" `Quick
             test_learn_auto_trajectory;
           Alcotest.test_case "watch drift" `Quick test_watch_reports_drift;

@@ -88,6 +88,41 @@ let test_depval_wildcard () =
   check_rules "wildcard over strings fine" []
     "let f = function \"a\" -> 1 | _ -> 0"
 
+let test_hot_loop_alloc () =
+  let hot = "lib/trace/mmap_io.ml" in
+  let check name expected src =
+    Alcotest.(check (list string)) name expected
+      (rules (Lint.lint_source ~file:hot src))
+  in
+  check "record in a while body" [ "RTL006" ]
+    "let scan n =\n\
+    \  let i = ref 0 in\n\
+    \  while !i < n do acc := { time = !i; kind = 0 } :: !acc; incr i done";
+  check "tuple in a for body" [ "RTL006" ]
+    "let scan n =\n\
+    \  for i = 0 to n - 1 do marks := (i, i * 2) :: !marks done";
+  check "scalar refs fine"
+    []
+    "let scan n =\n\
+    \  let i = ref 0 and t = ref 0 in\n\
+    \  while !i < n do t := !t + !i; incr i done";
+  (* Error paths box their payload once per failed load, not per event. *)
+  check "raise in the loop exempt" []
+    "let scan n =\n\
+    \  for i = 0 to n - 1 do\n\
+    \    if bad i then fail i (Printf.sprintf \"bad %d\" i)\n\
+    \  done";
+  (* The rule is scoped to the packed ingest files. *)
+  check_rules "same loop elsewhere is fine" []
+    "let scan n =\n\
+    \  for i = 0 to n - 1 do marks := (i, i * 2) :: !marks done";
+  check "suppression with a reason silences" []
+    "let scan n =\n\
+    \  for i = 0 to n - 1 do\n\
+    \    (* rtlint: allow RTL006 runs once per file header *)\n\
+    \    marks := (i, i * 2) :: !marks\n\
+    \  done"
+
 let test_suppression () =
   check_rules "justified suppression silences" []
     "(* rtlint: allow RTL003 bench harness timing, not model input *)\n\
@@ -125,6 +160,8 @@ let () =
           Alcotest.test_case "RTL004 pool mutation" `Quick test_pool_mutation;
           Alcotest.test_case "RTL005 depval wildcard" `Quick
             test_depval_wildcard;
+          Alcotest.test_case "RTL006 hot-loop alloc" `Quick
+            test_hot_loop_alloc;
           Alcotest.test_case "RTL999 parse error" `Quick test_parse_error;
         ] );
       ( "mechanics",

@@ -107,6 +107,47 @@ let qc_canonical_order =
        let kept = List.filter (W.add t) hs in
        W.to_list t = List.sort W.canonical kept)
 
+(* --- representation auto-selection (the measured crossover) --- *)
+
+let test_crossover_selection () =
+  Alcotest.(check bool) "crossover bound is positive" true
+    (W.crossover_bound > 1);
+  Alcotest.(check bool) "small bound -> seed list" true
+    (W.uses_list_repr (W.create ~bound:1));
+  Alcotest.(check bool) "just below crossover -> seed list" true
+    (W.uses_list_repr (W.create ~bound:(W.crossover_bound - 1)));
+  Alcotest.(check bool) "at crossover -> array" false
+    (W.uses_list_repr (W.create ~bound:W.crossover_bound));
+  Alcotest.(check bool) "large bound -> array" false
+    (W.uses_list_repr (W.create ~bound:150));
+  Alcotest.(check bool) "forced list stays list" true
+    (W.uses_list_repr (W.create_with ~repr:`List ~bound:150));
+  Alcotest.(check bool) "forced array stays array" false
+    (W.uses_list_repr (W.create_with ~repr:`Array ~bound:1))
+
+(* Both representations, driven through the same insert/extract
+   sequence, must agree on every observation — the auto-selection can
+   never change results, only constants. *)
+let qc_repr_equivalence =
+  Test_support.qcheck_case "list repr = array repr, op for op" ~count:100
+    QCheck.(
+      pair
+        (small_list (small_list (pair (int_range 0 4) (int_range 0 4))))
+        (int_range 0 2))
+    (fun (pairlists, pol_ix) ->
+       let policy =
+         [| W.Lightest_pair; W.Heaviest_pair; W.First_last |].(pol_ix)
+       in
+       let drive repr =
+         let t = W.create_with ~repr ~bound:1000 in
+         let kept = List.map (fun h -> W.add t h) (List.map (mk 5) pairlists) in
+         let extracted =
+           if W.length t >= 2 then Some (W.extract_pair t policy) else None
+         in
+         (kept, extracted, W.to_list t, W.length t)
+       in
+       drive `List = drive `Array)
+
 (* --- the headline property: learner equivalence with the seed --- *)
 
 let policies = [| H.Lightest_pair; H.Heaviest_pair; H.First_last |]
@@ -168,6 +209,12 @@ let () =
           Alcotest.test_case "clear and reuse" `Quick test_clear_reuse;
           Alcotest.test_case "of_list" `Quick test_of_list;
           qc_canonical_order;
+        ] );
+      ( "representation",
+        [
+          Alcotest.test_case "crossover auto-selection" `Quick
+            test_crossover_selection;
+          qc_repr_equivalence;
         ] );
       ( "equivalence",
         [

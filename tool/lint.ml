@@ -30,6 +30,7 @@ type ctx = {
   mutable findings : F.t list;
   allow_wall_clock : bool;   (* lib/obs and lib/sim own the clock *)
   check_pool_rule : bool;    (* off inside domain_pool.ml itself *)
+  check_ingest_rule : bool;  (* only in the packed ingest hot path *)
   mutable defines_compare : bool;
   mutable pool_aliases : string list;
 }
@@ -183,6 +184,64 @@ let rec is_fun_literal (e : Parsetree.expression) =
   | Pexp_constraint (e, _) -> is_fun_literal e
   | _ -> false
 
+(* {2 RTL006: heap allocation in the packed ingest hot loop}
+
+   The zero-allocation contract of the mmap reader and the event arena
+   is that their scan loops touch only the mapped buffer, the packed
+   Bigarray and scalar refs — one record or tuple built per event and
+   the minor heap churns in proportion to the trace. The rule is
+   syntactic and scoped: direct [Pexp_record]/[Pexp_tuple] construction
+   anywhere inside a [while]/[for] body, in the two files that own the
+   hot path. Error raises allocate too, but only once per failed load,
+   so constructions whose enclosing expression is a [raise] application
+   are exempt. *)
+
+let ingest_hot_files = [ "mmap_io.ml"; "event_arena.ml" ]
+
+let rec is_raise_apply (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match ident_path f with
+      | Some path ->
+          path_ends_with [ "raise" ] path
+          || path_ends_with [ "failwith" ] path
+          || path_ends_with [ "invalid_arg" ] path
+          || (match List.rev path with
+             | last :: _ -> last = "fail"
+             | [] -> false)
+      | None -> false)
+  | Pexp_constraint (e, _) -> is_raise_apply e
+  | _ -> false
+
+let check_hot_loop_body ctx (body : Parsetree.expression) =
+  let expr it (e : Parsetree.expression) =
+    if is_raise_apply e then ()  (* error paths may box their payload *)
+    else
+      match e.pexp_desc with
+      (* A nested loop's body is flagged once, by its own visit in the
+         main pass; only its condition/bounds belong to this body. *)
+      | Pexp_while (cond, _) -> it.Ast_iterator.expr it cond
+      | Pexp_for (_, lo, hi, _, _) ->
+          it.Ast_iterator.expr it lo;
+          it.Ast_iterator.expr it hi
+      | desc ->
+          (match desc with
+          | Pexp_record _ ->
+              emit ctx ~loc:e.pexp_loc "RTL006"
+                "record construction in a packed-ingest loop allocates \
+                 per event; keep loop state in the arena or in scalar \
+                 refs"
+          | Pexp_tuple _ ->
+              emit ctx ~loc:e.pexp_loc "RTL006"
+                "tuple construction in a packed-ingest loop allocates \
+                 per event; keep loop state in the arena or in scalar \
+                 refs"
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it body
+
 (* {2 The main per-expression rule pass} *)
 
 let check_cases ctx kind (cases : Parsetree.case list) =
@@ -245,6 +304,10 @@ let check_expr ctx (e : Parsetree.expression) =
           args
   | Pexp_match (_, cases) -> check_cases ctx "match" cases
   | Pexp_function cases -> check_cases ctx "function" cases
+  | Pexp_while (_, body) when ctx.check_ingest_rule ->
+      check_hot_loop_body ctx body
+  | Pexp_for (_, _, _, _, body) when ctx.check_ingest_rule ->
+      check_hot_loop_body ctx body
   | _ -> ()
 
 (* {2 Per-file prescan: local [compare] rebindings, pool aliases} *)
@@ -353,6 +416,8 @@ let lint_source ~file text =
       allow_wall_clock =
         contains_dir file "lib/obs/" || contains_dir file "lib/sim/";
       check_pool_rule = not (contains_dir file "domain_pool.ml");
+      check_ingest_rule =
+        List.mem (Filename.basename file) ingest_hot_files;
       defines_compare = false;
       pool_aliases = [];
     }
