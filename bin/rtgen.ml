@@ -72,30 +72,121 @@ let design_of_spec ~case_study ~tasks ~local_fraction ~seed =
     in
     (d, Rt_task.Task_set.names (Rt_task.Design.task_set d))
 
-let simulate case_study tasks seed periods output dot drop_rate local_fraction
-    jitter_spike_rate glitch_rate =
-  let design, _names = design_of_spec ~case_study ~tasks ~local_fraction ~seed in
-  if dot then begin
-    print_string (Rt_task.Design.to_dot design);
+(* End offset after [k] more lines of [text] starting at [off]. *)
+let offset_after_lines text off k =
+  let n = String.length text in
+  let rec go off k =
+    if k = 0 || off >= n then off
+    else
+      match String.index_from_opt text off '\n' with
+      | None -> n
+      | Some i -> go (i + 1) (k - 1)
+  in
+  go off k
+
+(* `simulate --fleet N --spool DIR`: one trace per vehicle (seed+i), all
+   written into the daemon's spool. With --trickle-lines the files grow
+   round-robin, K lines at a time with a flush and a pause per sweep —
+   N concurrently growing logs, which is what `rtgen serve` follows and
+   what the chaos test SIGKILLs a daemon in the middle of. The final
+   bytes are identical to a one-shot write, so reference models can be
+   learned from the same files afterwards. *)
+let simulate_fleet ~case_study ~tasks ~local_fraction ~seed ~periods
+    ~drop_rate ~jitter_spike_rate ~glitch_rate ~fleet ~dir ~trickle_lines
+    ~trickle_sleep =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  match
+    Array.init fleet (fun i ->
+        let seed = seed + i in
+        let design, _ =
+          design_of_spec ~case_study ~tasks ~local_fraction ~seed
+        in
+        let trace =
+          Rt_sim.Simulator.run design
+            { Rt_sim.Simulator.default_config with
+              periods; seed; drop_rate; jitter_spike_rate; glitch_rate }
+        in
+        ( Printf.sprintf "vehicle%02d" i,
+          Rt_trace.Trace_io.to_string trace ))
+  with
+  | exception Rt_sim.Simulator.Overrun { period; time } ->
+    err (Printf.sprintf "design not schedulable: period %d overran at %dus"
+           period time)
+  | vehicles ->
+    (match trickle_lines with
+     | None ->
+       Array.iter
+         (fun (id, text) ->
+           let path = Filename.concat dir (id ^ ".trace") in
+           Rt_util.Atomic_file.write path text;
+           Printf.eprintf "wrote %s\n" path)
+         vehicles
+     | Some k ->
+       let n = Array.length vehicles in
+       let ocs =
+         Array.map
+           (fun (id, _) ->
+             open_out_bin (Filename.concat dir (id ^ ".trace")))
+           vehicles
+       in
+       let offs = Array.make n 0 in
+       let remaining = ref n in
+       while !remaining > 0 do
+         for i = 0 to n - 1 do
+           let _, text = vehicles.(i) in
+           let len = String.length text in
+           if offs.(i) < len then begin
+             let stop = offset_after_lines text offs.(i) k in
+             output_substring ocs.(i) text offs.(i) (stop - offs.(i));
+             flush ocs.(i);
+             offs.(i) <- stop;
+             if stop >= len then begin
+               close_out ocs.(i);
+               decr remaining
+             end
+           end
+         done;
+         if !remaining > 0 && trickle_sleep > 0.0 then Unix.sleepf trickle_sleep
+       done;
+       Printf.eprintf "trickled %d vehicle trace(s) into %s\n" n dir);
     Ec.ok
-  end
-  else
-    match
-      Rt_sim.Simulator.run design
-        { Rt_sim.Simulator.default_config with
-          periods; seed; drop_rate; jitter_spike_rate; glitch_rate }
-    with
-    | exception Rt_sim.Simulator.Overrun { period; time } ->
-      err (Printf.sprintf "design not schedulable: period %d overran at %dus"
-                period time)
-    | trace ->
-      (match output with
-       | None -> print_string (Rt_trace.Trace_io.to_string trace)
-       | Some path ->
-         Rt_trace.Trace_io.save path trace;
-         Printf.eprintf "wrote %s (%s)\n" path
-           (Format.asprintf "%a" Rt_trace.Trace.pp_summary trace));
+
+let simulate case_study tasks seed periods output dot drop_rate local_fraction
+    jitter_spike_rate glitch_rate fleet spool trickle_lines trickle_sleep =
+  match fleet with
+  | Some n when n > 0 ->
+    (match spool with
+     | None -> err ("--fleet requires --spool DIR")
+     | Some dir ->
+       simulate_fleet ~case_study ~tasks ~local_fraction ~seed ~periods
+         ~drop_rate ~jitter_spike_rate ~glitch_rate ~fleet:n ~dir
+         ~trickle_lines ~trickle_sleep)
+  | Some _ -> err ("--fleet must be positive")
+  | None ->
+    let design, _names =
+      design_of_spec ~case_study ~tasks ~local_fraction ~seed
+    in
+    if dot then begin
+      print_string (Rt_task.Design.to_dot design);
       Ec.ok
+    end
+    else
+      match
+        Rt_sim.Simulator.run design
+          { Rt_sim.Simulator.default_config with
+            periods; seed; drop_rate; jitter_spike_rate; glitch_rate }
+      with
+      | exception Rt_sim.Simulator.Overrun { period; time } ->
+        err (Printf.sprintf "design not schedulable: period %d overran at %dus"
+                  period time)
+      | trace ->
+        (match output with
+         | None -> print_string (Rt_trace.Trace_io.to_string trace)
+         | Some path ->
+           Rt_trace.Trace_io.save path trace;
+           Printf.eprintf "wrote %s (%s)\n" path
+             (Format.asprintf "%a" Rt_trace.Trace.pp_summary trace));
+        Ec.ok
 
 (* --- learn --- *)
 
@@ -134,7 +225,16 @@ let run_checkpointed ~pool ~obs ~progress ~window ~bound ~every ~stop_after
         Error (Printf.sprintf
                  "%s was checkpointed against a different trace; delete it \
                   to start over" ckpt_path)
-      | Error m -> Error (Printf.sprintf "%s: %s" ckpt_path m)
+      | Error m ->
+        (* Integrity damage (torn write, flipped bit): the checkpoint
+           is an optimization, not the data — warn and relearn from
+           scratch rather than dying on a recovery aid. A *mismatched*
+           checkpoint still refuses above: that one parsed fine and
+           points at operator error. *)
+        Printf.eprintf
+          "warning: %s: %s; starting fresh (the corrupt checkpoint will \
+           be overwritten)\n" ckpt_path m;
+        fresh ()
     else fresh ()
   in
   match eng with
@@ -225,7 +325,11 @@ let run_checkpointed_sharded ~obs ~progress ~window ~bound ~shards ~every
         Error (Printf.sprintf
                  "%s was checkpointed against a different trace or \
                   partition; delete it to start over" path)
-      | Error m -> Error (Printf.sprintf "%s: %s" path m)
+      | Error m ->
+        (* Same degradation as the unsharded path: a corrupt checkpoint
+           costs a relearn of this shard, never the run. *)
+        Printf.eprintf "warning: %s: %s; starting shard fresh\n" path m;
+        Ok (Eng.create ?window ~ntasks (Eng.Heuristic { bound = engine_bound }))
     else Ok (Eng.create ?window ~ntasks (Eng.Heuristic { bound = engine_bound }))
   in
   let budget = ref (match stop_after with Some n -> n | None -> max_int) in
@@ -249,53 +353,65 @@ let run_checkpointed_sharded ~obs ~progress ~window ~bound ~shards ~every
            let comp_skip =
              match comp with Some c -> Eng.periods_fed c | None -> skip
            in
-           if comp_skip <> skip then
-             Error (Printf.sprintf
-                      "%s and its .b1 companion disagree on progress; \
-                       delete both to start over" (path_of i "main"))
+           if comp_skip <> skip then begin
+             (* A kill between the two dumps (main written, companion
+                not yet) leaves the pair one period apart; engines
+                cannot rewind, so relearn the shard from scratch. *)
+             Printf.eprintf
+               "warning: %s and its .b1 companion disagree on progress \
+                (%d vs %d); restarting shard %d fresh\n"
+               (path_of i "main") skip comp_skip i;
+             let main = Eng.create ?window ~ntasks (Eng.Heuristic { bound }) in
+             let comp =
+               if bound = 1 then None
+               else Some (Eng.create ?window ~ntasks (Eng.Heuristic { bound = 1 }))
+             in
+             run_shard i lo hi main comp
+           end
            else if skip > hi - lo then
              Error (Printf.sprintf
                       "%s claims %d periods processed but shard %d has \
                        only %d" (path_of i "main") skip i (hi - lo))
-           else begin
-             done_total := !done_total + skip;
-             let write_ckpt () =
-               let dump which eng =
-                 match Eng.checkpoint ~tag:(tag i which) eng with
-                 | Ok data -> Rt_util.Atomic_file.write (path_of i which) data
-                 | Error m -> Printf.eprintf "checkpoint failed: %s\n" m
-               in
-               dump "main" main;
-               Option.iter (dump "b1") comp
-             in
-             (try
-                for j = lo + skip to hi - 1 do
-                  if not !stopped then begin
-                    Eng.feed main periods.(j);
-                    Option.iter (fun c -> Eng.feed c periods.(j)) comp;
-                    incr done_total;
-                    decr budget;
-                    (match progress with
-                     | Some n when !done_total mod n = 0 || !done_total = total ->
-                       Printf.eprintf
-                         "progress: %d/%d periods (shard %d), %d hypotheses\n%!"
-                         !done_total total i (List.length (Eng.current main))
-                     | Some _ | None -> ());
-                    let fed = Eng.periods_fed main in
-                    if fed mod every = 0 || fed = hi - lo then write_ckpt ();
-                    if !budget <= 0 then stopped := true
-                  end
-                done
-              with e -> write_ckpt (); raise e);
-             if Eng.periods_fed main < hi - lo then begin
-               write_ckpt ();
-               Ok ()  (* stopped mid-shard; the outer match reports it *)
-             end
-             else begin
-               finished := Option.value comp ~default:main :: !finished;
-               shard_loop (i + 1)
-             end
-           end)
+           else run_shard i lo hi main comp)
+  and run_shard i lo hi main comp =
+    let skip = Eng.periods_fed main in
+    done_total := !done_total + skip;
+    let write_ckpt () =
+      let dump which eng =
+        match Eng.checkpoint ~tag:(tag i which) eng with
+        | Ok data -> Rt_util.Atomic_file.write (path_of i which) data
+        | Error m -> Printf.eprintf "checkpoint failed: %s\n" m
+      in
+      dump "main" main;
+      Option.iter (dump "b1") comp
+    in
+    (try
+       for j = lo + skip to hi - 1 do
+         if not !stopped then begin
+           Eng.feed main periods.(j);
+           Option.iter (fun c -> Eng.feed c periods.(j)) comp;
+           incr done_total;
+           decr budget;
+           (match progress with
+            | Some n when !done_total mod n = 0 || !done_total = total ->
+              Printf.eprintf
+                "progress: %d/%d periods (shard %d), %d hypotheses\n%!"
+                !done_total total i (List.length (Eng.current main))
+            | Some _ | None -> ());
+           let fed = Eng.periods_fed main in
+           if fed mod every = 0 || fed = hi - lo then write_ckpt ();
+           if !budget <= 0 then stopped := true
+         end
+       done
+     with e -> write_ckpt (); raise e);
+    if Eng.periods_fed main < hi - lo then begin
+      write_ckpt ();
+      Ok ()  (* stopped mid-shard; the outer match reports it *)
+    end
+    else begin
+      finished := Option.value comp ~default:main :: !finished;
+      shard_loop (i + 1)
+    end
   in
   match shard_loop 0 with
   | Error _ as e -> e
@@ -663,20 +779,8 @@ let learn path exact auto stream shards bound window jobs dot output mode eps
 let watch path bound window mode eps poll follow max_periods =
   let module Eng = Rt_engine.Engine in
   let module Df = Rt_lattice.Depfun in
-  match (if path = "-" then Ok stdin
-         else try Ok (open_in path) with Sys_error m -> Error m)
-  with
-  | Error m -> err (m)
-  | Ok ic ->
-    Fun.protect ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
-      (fun () ->
-         let stop = ref false in
-         let src =
-           if follow then
-             Rt_trace.Stream_io.follow_lines ~poll_interval:poll
-               ~stop:(fun () -> !stop) ic
-           else Rt_trace.Stream_io.lines_of_channel ic
-         in
+  let stop = ref false in
+  let run src =
          let parser = Rt_trace.Stream_io.create ~mode ~eps src in
          let eng = ref None in
          let prev_lub = ref None in
@@ -752,7 +856,29 @@ let watch path bound window mode eps poll follow max_periods =
                 finished := true
               | Some _ | None -> ())
          done;
-         !result)
+         !result
+  in
+  if follow && path <> "-" then
+    (* Path-tracking follower: survives log rotation (rename + recreate)
+       and copytruncate shrinks, and waits for a not-yet-created file
+       instead of failing — a watch session outlives the logger's
+       housekeeping. *)
+    run
+      (Rt_trace.Stream_io.follow_path ~poll_interval:poll
+         ~stop:(fun () -> !stop) path)
+  else
+    match (if path = "-" then Ok stdin
+           else try Ok (open_in path) with Sys_error m -> Error m)
+    with
+    | Error m -> err (m)
+    | Ok ic ->
+      Fun.protect ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
+        (fun () ->
+           run
+             (if follow then
+                Rt_trace.Stream_io.follow_lines ~poll_interval:poll
+                  ~stop:(fun () -> !stop) ic
+              else Rt_trace.Stream_io.lines_of_channel ic))
 
 (* --- analyze --- *)
 
@@ -822,20 +948,107 @@ let stats path recover eps =
 
 (* --- report --- *)
 
-let report path =
-  match
-    let ic = open_in_bin path in
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-        really_input_string ic (in_channel_length ic))
-  with
-  | exception Sys_error m -> err (m)
-  | content ->
-    (match Rt_obs.Json.of_string content with
-     | Error m -> err (Printf.sprintf "%s: %s" path m)
-     | Ok json ->
-       (match Rt_obs.Report.render json with
-        | Error m -> err (Printf.sprintf "%s: %s" path m)
-        | Ok rendered -> print_string rendered; Ec.ok))
+let render_metrics ~source content =
+  match Rt_obs.Json.of_string content with
+  | Error m -> err (Printf.sprintf "%s: %s" source m)
+  | Ok json ->
+    (match Rt_obs.Report.render json with
+     | Error m -> err (Printf.sprintf "%s: %s" source m)
+     | Ok rendered -> print_string rendered; Ec.ok)
+
+(* One request/response exchange against a live daemon's control
+   socket (the rtgend protocol: request line in, response until EOF). *)
+let control_roundtrip sock req =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+       Unix.connect fd (Unix.ADDR_UNIX sock);
+       let msg = Bytes.of_string (req ^ "\n") in
+       let rec send off =
+         if off < Bytes.length msg then
+           send (off + Unix.write fd msg off (Bytes.length msg - off))
+       in
+       send 0;
+       let buf = Buffer.create 4096 in
+       let chunk = Bytes.create 4096 in
+       let rec drain () =
+         match Unix.read fd chunk 0 4096 with
+         | 0 -> ()
+         | n ->
+           Buffer.add_subbytes buf chunk 0 n;
+           drain ()
+       in
+       drain ();
+       Buffer.contents buf)
+
+let report path socket query =
+  match socket with
+  | Some sock ->
+    (match control_roundtrip sock query with
+     | exception Unix.Unix_error (e, _, _) ->
+       err (Printf.sprintf "%s: %s" sock (Unix.error_message e))
+     | resp ->
+       if query = "metrics" then render_metrics ~source:sock resp
+       else begin
+         print_string resp;
+         if String.length resp >= 6 && String.sub resp 0 6 = "error:" then
+           err ("daemon refused the request")
+         else Ec.ok
+       end)
+  | None ->
+    (match path with
+     | None -> err ("need a METRICS file argument or --socket PATH")
+     | Some path ->
+       (match
+          let ic = open_in_bin path in
+          Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+              really_input_string ic (in_channel_length ic))
+        with
+        | exception Sys_error m -> err (m)
+        | content -> render_metrics ~source:path content))
+
+(* --- serve --- *)
+
+let serve spool listen control out_dir checkpoint_dir checkpoint_every bound
+    window eps jobs max_streams queue_capacity tick max_restarts backoff
+    backoff_cap stall_timeout idle_timeout metrics stop_after_total
+    drain_after_total =
+  let policy =
+    {
+      Rt_daemon.Supervisor.max_restarts;
+      backoff_base = backoff;
+      backoff_factor = 2.0;
+      backoff_cap;
+      stall_timeout;
+      idle_timeout =
+        (match idle_timeout with Some s -> s | None -> infinity);
+    }
+  in
+  let cfg =
+    {
+      Rt_daemon.Daemon.default with
+      spool;
+      listen;
+      control;
+      out_dir;
+      checkpoint_dir;
+      checkpoint_every;
+      bound;
+      window;
+      eps = Some eps;
+      jobs;
+      max_streams;
+      queue_capacity;
+      tick;
+      policy;
+      metrics_path = metrics;
+      stop_after_total;
+      drain_after_total;
+    }
+  in
+  match Rt_daemon.Daemon.run cfg with
+  | Ok _ -> Ec.ok
+  | Error m -> err (m)
 
 let vcd path import period_len output =
   if import then
@@ -861,22 +1074,38 @@ let vcd path import period_len output =
 
 (* --- inject --- *)
 
-let inject path kinds rate eps seed output =
+let inject path kinds rate eps seed torn_at output =
   match read_trace path with
   | Error m -> err (m)
   | Ok (trace, _) ->
     if rate < 0.0 || rate > 1.0 then
       err ("--rate must be in [0, 1]")
+    else if (match torn_at with Some n -> n < 0 | None -> false) then
+      err ("--torn-at must be a non-negative byte offset")
     else begin
       let spec = { Rt_trace.Corrupt.kinds; rate; eps; seed } in
       let raw = Rt_trace.Corrupt.apply spec trace in
-      (match output with
-       | None -> print_string (Rt_trace.Corrupt.to_string raw)
-       | Some file ->
-         Rt_trace.Corrupt.save file raw;
-         Printf.eprintf "wrote %s (%d periods corrupted with seed %d)\n"
-           file (List.length raw.raw_periods) seed);
-      Ec.ok
+      match torn_at with
+      | Some at ->
+        (* torn-write mode: cut the rendered trace mid-line/mid-frame,
+           emulating a writer killed with a partially flushed buffer *)
+        let torn = Rt_trace.Corrupt.torn_write ~at (Rt_trace.Corrupt.to_string raw) in
+        (match output with
+         | None -> print_string torn
+         | Some file ->
+           Rt_util.Atomic_file.write file torn;
+           Printf.eprintf "wrote %s (torn at byte %d of %d)\n" file
+             (String.length torn)
+             (String.length (Rt_trace.Corrupt.to_string raw)));
+        Ec.ok
+      | None ->
+        (match output with
+         | None -> print_string (Rt_trace.Corrupt.to_string raw)
+         | Some file ->
+           Rt_trace.Corrupt.save file raw;
+           Printf.eprintf "wrote %s (%d periods corrupted with seed %d)\n"
+             file (List.length raw.raw_periods) seed);
+        Ec.ok
     end
 
 (* --- anonymize --- *)
@@ -1000,7 +1229,7 @@ let model_check models ckpt trace_file format output strict =
         | data ->
           (match Mc.check_checkpoint ~source:path data with
            | Ok fs -> add fs
-           | Error m -> bad_input (path ^ ": " ^ m))));
+           | Error (m, f) -> bad_input m; add [ f ])));
     let fs =
       if strict then
         List.map (fun (f : F.t) ->
@@ -1151,10 +1380,32 @@ let simulate_cmd =
            ~doc:"Fault injection: expected spurious bus glitches per \
                  period, logged under high CAN ids.")
   in
+  let fleet =
+    Arg.(value & opt (some int) None & info [ "fleet" ] ~docv:"N"
+           ~doc:"Simulate N vehicles (seeds SEED..SEED+N-1) and write one \
+                 trace per vehicle into $(b,--spool).")
+  in
+  let spool =
+    Arg.(value & opt (some string) None & info [ "spool" ] ~docv:"DIR"
+           ~doc:"Directory receiving the fleet's vehicleNN.trace files \
+                 (created if missing) — point $(b,rtgen serve --spool) at \
+                 it.")
+  in
+  let trickle_lines =
+    Arg.(value & opt (some int) None & info [ "trickle-lines" ] ~docv:"K"
+           ~doc:"Grow the fleet files round-robin, K lines per file per \
+                 sweep with a flush in between, instead of writing them \
+                 at once — live loggers for a daemon to follow.")
+  in
+  let trickle_sleep =
+    Arg.(value & opt float 0.01 & info [ "trickle-sleep" ] ~docv:"SEC"
+           ~doc:"Pause between trickle sweeps.")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate a system and log its bus trace")
     Term.((const simulate $ case_study $ tasks $ seed_arg $ periods_arg
                $ output $ dot_arg $ drop_rate $ local_fraction
-               $ jitter_spike_rate $ glitch_rate))
+               $ jitter_spike_rate $ glitch_rate $ fleet $ spool
+               $ trickle_lines $ trickle_sleep))
 
 let learn_cmd =
   let exact =
@@ -1281,6 +1532,12 @@ let inject_cmd =
     Arg.(value & opt int 50 & info [ "eps" ] ~docv:"US"
            ~doc:"Jitter/skew magnitude for the timing corruptions, us.")
   in
+  let torn_at =
+    Arg.(value & opt (some int) None & info [ "torn-at" ] ~docv:"BYTE"
+           ~doc:"Torn-write mode: truncate the rendered trace at byte \
+                 offset BYTE — mid-line or mid-frame — emulating a \
+                 logger killed with a partially flushed write buffer.")
+  in
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the corrupted trace to FILE instead of stdout.")
@@ -1289,7 +1546,7 @@ let inject_cmd =
            ~doc:"Corrupt a trace reproducibly, for exercising recover-mode \
                  ingestion")
     Term.((const inject $ trace_arg $ kinds $ rate $ eps $ seed_arg
-               $ output))
+               $ torn_at $ output))
 
 let stats_cmd =
   let recover =
@@ -1303,12 +1560,118 @@ let stats_cmd =
 
 let report_cmd =
   let metrics_file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"METRICS"
-           ~doc:"Metrics JSON written by $(b,learn --metrics).")
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"METRICS"
+           ~doc:"Metrics JSON written by $(b,learn --metrics). Omit when \
+                 querying a live daemon with $(b,--socket).")
+  in
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Query a live $(b,rtgen serve) daemon over its control \
+                 socket instead of reading a file.")
+  in
+  let query =
+    Arg.(value & opt string "metrics" & info [ "query" ] ~docv:"REQ"
+           ~doc:"Control request to send with $(b,--socket): \
+                 $(b,metrics) (rendered as the usual table), \
+                 $(b,status), $(b,snapshot ID) or $(b,drain) (printed \
+                 verbatim).")
   in
   Cmd.v (Cmd.info "report"
-           ~doc:"Render a metrics file as a per-phase table")
-    Term.((const report $ metrics_file))
+           ~doc:"Render a metrics file, or query a live daemon")
+    Term.((const report $ metrics_file $ socket $ query))
+
+let serve_cmd =
+  let spool =
+    Arg.(value & opt (some string) None & info [ "spool" ] ~docv:"DIR"
+           ~doc:"Follow every *.trace file in DIR as a live stream \
+                 (rescanned continuously; rotation-aware).")
+  in
+  let listen =
+    Arg.(value & opt (some string) None & info [ "listen" ] ~docv:"PATH"
+           ~doc:"Accept trace streams on a unix socket at PATH (greeting \
+                 $(b,OK ID), or $(b,BUSY) over the admission limit).")
+  in
+  let control =
+    Arg.(value & opt (some string) None & info [ "control" ] ~docv:"PATH"
+           ~doc:"Expose status/snapshot/metrics/drain on a unix socket at \
+                 PATH — `rtgen report --socket PATH` speaks it.")
+  in
+  let out_dir =
+    Arg.(value & opt string "." & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory receiving one ID.model file per finalized \
+                 stream.")
+  in
+  let checkpoint_dir =
+    Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR"
+           ~doc:"Periodic crash-safe per-stream checkpoints (ID.ckpt): a \
+                 SIGKILLed daemon restarted over the same spool finishes \
+                 with byte-identical models.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 64 & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Periods between checkpoints.")
+  in
+  let max_streams =
+    Arg.(value & opt int 64 & info [ "max-streams" ] ~docv:"N"
+           ~doc:"Admission limit on concurrently live streams; beyond it, \
+                 connects get $(b,BUSY) and spool files are deferred.")
+  in
+  let queue_capacity =
+    Arg.(value & opt int 4096 & info [ "queue-capacity" ] ~docv:"LINES"
+           ~doc:"Per-stream bounded ingest queue. An overflowing socket \
+                 stream is shed (the stream, never the daemon); an \
+                 overflowing spool stream just stops being read ahead.")
+  in
+  let tick =
+    Arg.(value & opt float 0.05 & info [ "tick" ] ~docv:"SEC"
+           ~doc:"Event-loop tick: select timeout and spool scan cadence.")
+  in
+  let max_restarts =
+    Arg.(value & opt int 5 & info [ "max-restarts" ] ~docv:"N"
+           ~doc:"Restart budget per stream before it is declared FAILED.")
+  in
+  let backoff =
+    Arg.(value & opt float 0.1 & info [ "backoff" ] ~docv:"SEC"
+           ~doc:"First restart delay; doubles per restart.")
+  in
+  let backoff_cap =
+    Arg.(value & opt float 5.0 & info [ "backoff-cap" ] ~docv:"SEC"
+           ~doc:"Ceiling on the restart delay.")
+  in
+  let stall_timeout =
+    Arg.(value & opt float 30.0 & info [ "stall-timeout" ] ~docv:"SEC"
+           ~doc:"Queued input but no periods produced for this long: the \
+                 stream is treated as crashed.")
+  in
+  let idle_timeout =
+    Arg.(value & opt (some float) None & info [ "idle-timeout" ] ~docv:"SEC"
+           ~doc:"No input at all for this long: the stream is drained and \
+                 finalized (off by default).")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the daemon's metrics JSON to FILE when draining.")
+  in
+  let stop_after_total =
+    Arg.(value & opt (some int) None & info [ "stop-after-total" ] ~docv:"N"
+           ~doc:"Exit abruptly — no final checkpoints, no models — once N \
+                 periods were handled: deterministic SIGKILL emulation \
+                 for crash-recovery tests.")
+  in
+  let drain_after_total =
+    Arg.(value & opt (some int) None & info [ "drain-after-total" ] ~docv:"N"
+           ~doc:"Drain and exit once N periods were handled (consumes \
+                 everything already on disk first).")
+  in
+  Cmd.v (Cmd.info "serve"
+           ~doc:"Learn many live trace streams under one supervised daemon \
+                 (rtgend)")
+    Term.((const serve $ spool $ listen $ control $ out_dir $ checkpoint_dir
+               $ checkpoint_every $ bound_arg $ window_arg $ eps_arg
+               $ jobs_arg $ max_streams $ queue_capacity $ tick
+               $ max_restarts $ backoff $ backoff_cap $ stall_timeout
+               $ idle_timeout $ metrics $ stop_after_total
+               $ drain_after_total))
 
 let vcd_cmd =
   let import =
@@ -1409,8 +1772,8 @@ let () =
   let info = Cmd.info "rtgen" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ simulate_cmd; learn_cmd; watch_cmd; analyze_cmd; query_cmd;
-        check_cmd; inject_cmd; stats_cmd; report_cmd; vcd_cmd;
+      [ simulate_cmd; learn_cmd; watch_cmd; serve_cmd; analyze_cmd;
+        query_cmd; check_cmd; inject_cmd; stats_cmd; report_cmd; vcd_cmd;
         gantt_cmd; anonymize_cmd; table1_cmd; example_cmd ]
   in
   let code =

@@ -109,7 +109,9 @@ let rules =
       summary = "a hypothesis has a strictly more specific peer; the \
                  answer set must contain only most specific elements" };
     { id = "RTC203"; name = "bound-overflow";
-      summary = "a checkpointed working set is larger than its bound" };
+      summary = "a checkpointed working set is larger than its bound, or \
+                 the checkpoint failed its integrity check (truncated, \
+                 torn or bit-flipped)" };
     { id = "RTC999"; name = "model-parse-error";
       summary = "the model, checkpoint or trace could not be parsed" };
   ]

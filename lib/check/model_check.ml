@@ -406,7 +406,13 @@ let check_answer_set models =
 
 let check_checkpoint ~source data =
   match Rt_learn.Heuristic.resume data with
-  | Error m -> Error (Printf.sprintf "%s: %s" source m)
+  | Error m ->
+    (* An unreadable checkpoint is both an input error (the audit could
+       not run) and a finding in its own right: CI greps for RTC203 to
+       distinguish integrity damage from a merely missing file. *)
+    Error
+      (Printf.sprintf "%s: %s" source m,
+       finding "RTC203" err "unreadable checkpoint %s: %s" source m)
   | Ok (st, _tag) ->
     let hs = Rt_learn.Heuristic.current st in
     let bound = Rt_learn.Heuristic.bound st in

@@ -251,6 +251,15 @@ let converged o = match o.hypotheses with [ d ] -> Some d | [] | _ :: _ -> None
 let ckpt_magic = "RTGENCKP"
 let ckpt_version = 3
 
+(* Integrity trailer appended after the payload: 8-byte magic, the
+   payload length, and the payload's MD5 — 32 bytes total. A torn write
+   or a flipped bit is detected before any field is trusted, instead of
+   surfacing as a confusing parse error (or worse, loading silently
+   wrong matrices). Checkpoints written before the trailer existed
+   carry no magic and still load through the legacy path. *)
+let trailer_magic = "RTCKSUM1"
+let trailer_len = 8 + 8 + 16
+
 let policy_byte = function
   | Lightest_pair -> 0 | Heaviest_pair -> 1 | First_last -> 2
 
@@ -293,9 +302,35 @@ let checkpoint ?(tag = "") st =
   i64 (Array.length st.hs);
   Array.iter (fun h -> Buffer.add_bytes buf (Df.cells (Hypothesis.depfun h)))
     st.hs;
+  let payload = Buffer.contents buf in
+  Buffer.add_string buf trailer_magic;
+  Buffer.add_int64_le buf (Int64.of_int (String.length payload));
+  Buffer.add_string buf (Digest.string payload);
   Buffer.contents buf
 
-let resume ?pool ?obs data =
+(* Strip and verify the integrity trailer, when present. [Ok] carries
+   the bare payload; a checkpoint without the magic is assumed legacy
+   and passed through untouched. *)
+let verify_trailer data =
+  let len = String.length data in
+  if len >= trailer_len
+     && String.sub data (len - trailer_len) 8 = trailer_magic
+  then begin
+    let plen =
+      Int64.to_int (String.get_int64_le data (len - trailer_len + 8))
+    in
+    if plen <> len - trailer_len then
+      Error "checkpoint trailer length mismatch — file is truncated or corrupt"
+    else
+      let payload = String.sub data 0 plen in
+      if not (String.equal (Digest.string payload)
+                (String.sub data (len - 16) 16))
+      then Error "checkpoint checksum mismatch — file is corrupt"
+      else Ok payload
+  end
+  else Ok data
+
+let resume_payload ?pool ?obs data =
   let exception Bad of string in
   let len = String.length data in
   let pos = ref 0 in
@@ -336,6 +371,10 @@ let resume ?pool ?obs data =
     if bound < 1 then raise (Bad "bound must be >= 1");
     let ntasks = i64 () in
     if ntasks < 1 then raise (Bad "need at least one task");
+    if ntasks > 65536 then
+      (* A flipped bit in a legacy (trailer-less) checkpoint must not
+         drive the matrix allocations below into Out_of_memory. *)
+      raise (Bad (Printf.sprintf "implausible task count %d" ntasks));
     let periods = i64 () in
     let merges = i64 () in
     let created = i64 () in
@@ -410,3 +449,25 @@ let resume ?pool ?obs data =
     in
     Ok (st, tag)
   with Bad m -> Error m
+
+let resume ?pool ?obs data =
+  (* A well-formed header with a foreign version number is reported as
+     such before the trailer is consulted: other versions wrote other
+     trailers (or none), so the checksum verdict would only mislead. *)
+  if
+    String.length data > 8
+    && String.sub data 0 8 = ckpt_magic
+    && Char.code data.[8] <> ckpt_version
+  then
+    Error
+      (Printf.sprintf "unsupported checkpoint version %d" (Char.code data.[8]))
+  else
+  match verify_trailer data with
+  | Error _ as e -> e
+  | Ok payload ->
+    (match resume_payload ?pool ?obs payload with
+     | r -> r
+     | exception e ->
+       (* A corrupt legacy blob (no trailer to catch it) must degrade
+          into a clean [Error], never an exception. *)
+       Error ("unreadable checkpoint: " ^ Printexc.to_string e))

@@ -1,0 +1,22 @@
+type request =
+  | Status
+  | Metrics
+  | Snapshot of string
+  | Drain
+
+let parse line =
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [ "status" ] -> Ok Status
+  | [ "metrics" ] -> Ok Metrics
+  | [ "snapshot"; id ] -> Ok (Snapshot id)
+  | [ "drain" ] -> Ok Drain
+  | _ -> Error (Printf.sprintf "unknown control request: %S" (String.trim line))
+
+let to_string = function
+  | Status -> "status"
+  | Metrics -> "metrics"
+  | Snapshot id -> "snapshot " ^ id
+  | Drain -> "drain"

@@ -1,0 +1,22 @@
+(** The control-socket protocol: one request line in, one UTF-8 text or
+    JSON response out, connection closed. Line-oriented on purpose so
+    [rtgen report --socket] — or a human with [nc] — can speak it.
+
+    Requests:
+    {v
+    status            one line per stream plus a totals line
+    metrics           the metrics JSON document (metrics.schema.json)
+    snapshot ID       the stream's current LUB model matrix
+    drain             finish all streams, write models, exit
+    v} *)
+
+type request =
+  | Status
+  | Metrics
+  | Snapshot of string
+  | Drain
+
+val parse : string -> (request, string) result
+
+val to_string : request -> string
+(** The wire form of a request (no newline). *)

@@ -1,0 +1,223 @@
+module Eng = Rt_engine.Engine
+module Sio = Rt_trace.Stream_io
+
+type config = {
+  bound : int;
+  window : int option;
+  eps : int option;
+  queue_capacity : int;
+  checkpoint_path : string option;
+  checkpoint_every : int;
+}
+
+(* Raised by the line source when the bounded queue is empty and input
+   is still open. [Sio.next] pulls exactly one line per parse step and
+   commits every mutation before pulling the next, so the unwind leaves
+   the parser in a resumable state: the next [pump] continues the same
+   period mid-assembly. *)
+exception Starve
+
+type t = {
+  id : string;
+  cfg : config;
+  pool : Rt_util.Domain_pool.t option;
+  lines : string Bqueue.t;
+  eof : bool ref;
+  parser : Sio.t;
+  mutable engine : Eng.t option;
+  mutable skip : int;  (* replay-skip budget from a resumed checkpoint *)
+  mutable excised : (int * int) list;     (* reversed, as learn_stream *)
+  mutable sem_dropped : int list;
+  mutable checkpoints : int;
+  mutable finished : bool;
+  mutable crashed : string option;
+}
+
+let tag_of id = "rtgend:" ^ id
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+let create ~id ?pool cfg =
+  let lines = Bqueue.create ~capacity:cfg.queue_capacity in
+  let eof = ref false in
+  let source () =
+    match Bqueue.pop lines with
+    | Some l -> Some l
+    | None -> if !eof then None else raise Starve
+  in
+  let parser = Sio.create ~mode:`Recover ?eps:cfg.eps source in
+  let engine, skip, note =
+    match cfg.checkpoint_path with
+    | Some p when Sys.file_exists p ->
+      (match read_file p with
+       | exception Sys_error m ->
+         (None, 0, Some (Printf.sprintf "checkpoint %s unreadable (%s); starting fresh" p m))
+       | data ->
+         (match Eng.resume ?pool data with
+          | Ok (eng, tag) when tag = tag_of id ->
+            (Some eng, Eng.periods_fed eng, None)
+          | Ok (_, tag) ->
+            ( None, 0,
+              Some
+                (Printf.sprintf
+                   "checkpoint %s belongs to %S, not this stream; starting fresh"
+                   p tag) )
+          | Error m ->
+            (None, 0, Some (Printf.sprintf "checkpoint %s: %s; starting fresh" p m))))
+    | Some _ | None -> (None, 0, None)
+  in
+  ( {
+      id;
+      cfg;
+      pool;
+      lines;
+      eof;
+      parser;
+      engine;
+      skip;
+      excised = [];
+      sem_dropped = [];
+      checkpoints = 0;
+      finished = false;
+      crashed = None;
+    },
+    note )
+
+let id t = t.id
+
+let offer_line t l = if !(t.eof) then `Ok else Bqueue.push t.lines l
+
+let close_input t = t.eof := true
+
+let input_closed t = !(t.eof)
+
+let queued t = Bqueue.length t.lines
+
+let queue_capacity t = Bqueue.capacity t.lines
+
+let rejected t = Bqueue.rejected t.lines
+
+let periods_fed t = match t.engine with Some e -> Eng.periods_fed e | None -> 0
+
+let messages_fed t = match t.engine with Some e -> Eng.messages_fed e | None -> 0
+
+let hypotheses t =
+  match t.engine with Some e -> List.length (Eng.current e) | None -> 0
+
+let checkpoints_written t = t.checkpoints
+
+let engine_of t =
+  match t.engine with
+  | Some e -> e
+  | None ->
+    let ts = Option.get (Sio.task_set t.parser) in
+    let e =
+      Eng.create ?window:t.cfg.window ?pool:t.pool
+        ~ntasks:(Rt_task.Task_set.size ts)
+        (Eng.Heuristic { bound = t.cfg.bound })
+    in
+    t.engine <- Some e;
+    e
+
+let write_checkpoint t =
+  match (t.cfg.checkpoint_path, t.engine) with
+  | Some path, Some eng ->
+    (match Eng.checkpoint ~tag:(tag_of t.id) eng with
+     | Ok data ->
+       Rt_util.Atomic_file.write path data;
+       t.checkpoints <- t.checkpoints + 1
+     | Error _ -> ())
+  | _ -> ()
+
+type status = Blocked | More | Done | Crashed of string
+
+(* Handle one parsed period: salvage exactly as [learn --stream --mode
+   recover], then either replay-skip it (it was fed before the last
+   checkpoint — salvage verdicts are deterministic, so the skip count
+   lines up) or feed it and maybe checkpoint. *)
+let consume_period t p =
+  let feed p' =
+    if t.skip > 0 then t.skip <- t.skip - 1
+    else begin
+      let eng = engine_of t in
+      Eng.feed eng p';
+      if
+        t.cfg.checkpoint_path <> None
+        && Eng.periods_fed eng mod t.cfg.checkpoint_every = 0
+      then write_checkpoint t
+    end
+  in
+  match Rt_trace.Trace_io.salvage_period ?window:t.cfg.window p with
+  | `Clean -> feed p
+  | `Excised (p', n) ->
+    t.excised <- (p'.Rt_trace.Period.index, n) :: t.excised;
+    feed p'
+  | `Dropped -> t.sem_dropped <- p.Rt_trace.Period.index :: t.sem_dropped
+
+let pump t ~budget =
+  match t.crashed with
+  | Some m -> (0, Crashed m)
+  | None ->
+    if t.finished then (0, Done)
+    else begin
+      let handled = ref 0 in
+      let status = ref More in
+      (try
+         let continue = ref true in
+         while !continue do
+           if !handled >= budget then continue := false
+           else
+             match Sio.next t.parser with
+             | exception Starve ->
+               status := Blocked;
+               continue := false
+             | Error e ->
+               let m = Printf.sprintf "line %d: %s" e.line e.message in
+               t.crashed <- Some m;
+               status := Crashed m;
+               continue := false
+             | Ok None ->
+               t.finished <- true;
+               status := Done;
+               continue := false
+             | Ok (Some p) ->
+               consume_period t p;
+               incr handled
+         done
+       with e ->
+         let m = "engine exception: " ^ Printexc.to_string e in
+         t.crashed <- Some m;
+         status := Crashed m);
+      (!handled, !status)
+    end
+
+let quarantine t =
+  let q0 = Sio.quarantine t.parser in
+  Rt_trace.Trace_io.salvage_account q0 ~excised:(List.rev t.excised)
+    ~dropped_idx:(List.rev t.sem_dropped)
+
+let names t = Option.map Rt_task.Task_set.names (Sio.task_set t.parser)
+
+let snapshot t =
+  match t.engine with
+  | None -> Error "no periods fed yet"
+  | Some eng -> Ok (Eng.snapshot eng, names t)
+
+let render_model t =
+  match t.engine with
+  | None -> Error "no usable periods after quarantine"
+  | Some eng ->
+    let q = quarantine t in
+    Eng.set_provenance eng
+      ~dropped:(List.length q.Rt_trace.Quarantine.dropped)
+      ~repaired:(List.length q.Rt_trace.Quarantine.repaired);
+    let snap = Eng.finalize eng in
+    (match snap.Eng.hypotheses with
+     | [] -> Error "inconsistent trace"
+     | hs ->
+       let names = names t in
+       let lub = Rt_lattice.Depfun.lub hs in
+       Ok (Rt_lattice.Depfun.to_string ?names lub ^ "\n"))

@@ -156,4 +156,7 @@ let to_string raw =
     raw.raw_periods;
   Buffer.contents buf
 
+let torn_write ~at text =
+  String.sub text 0 (max 0 (min at (String.length text)))
+
 let save path raw = Rt_util.Atomic_file.write path (to_string raw)

@@ -54,5 +54,12 @@ val to_string : raw -> string
     may be rejected by a [`Strict] load — that is what [`Recover] mode
     is for. *)
 
+val torn_write : at:int -> string -> string
+(** The rendered trace truncated at byte offset [at] (clamped to the
+    text length) — mid-line or mid-frame, exactly the artifact a writer
+    killed between [write] and [fsync] leaves behind. Recover-mode
+    ingestion must quarantine the torn tail and keep everything before
+    it; [rtgen inject --torn-at] exposes this for the crash tests. *)
+
 val save : string -> raw -> unit
 (** Atomic write (tmp + rename), like {!Trace_io.save}. *)

@@ -38,6 +38,135 @@ let follow_lines ?(poll_interval = 0.05) ~stop ic =
   in
   fun () -> if !finished then None else read ()
 
+module Tail = struct
+  type event =
+    | Line of string
+    | Opened
+    | Waiting
+    | Rotated
+    | Truncated
+    | Vanished
+
+  type t = {
+    path : string;
+    buf : Buffer.t;                       (* the line under assembly *)
+    mutable ic : in_channel option;
+    mutable identity : (int * int) option;  (* (st_dev, st_ino) of [ic] *)
+    mutable flush_then : event option;
+    (* Rotation detected with a partial line pending: the old file is
+       final, so its tail is yielded as a line first, then this queued
+       event fires and the reopen happens. *)
+  }
+
+  let create path =
+    { path; buf = Buffer.create 256; ic = None; identity = None;
+      flush_then = None }
+
+  let take t =
+    let l = Buffer.contents t.buf in
+    Buffer.clear t.buf;
+    l
+
+  let pending t = if Buffer.length t.buf > 0 then Some (take t) else None
+
+  let close t =
+    (match t.ic with Some ic -> close_in_noerr ic | None -> ());
+    t.ic <- None;
+    t.identity <- None
+
+  (* Forget the open channel but keep the partial line: the same bytes
+     will not be re-read (rotation), or will (truncation, where the
+     partial belonged to overwritten content and is discarded). *)
+  let drop ?(discard_partial = false) t =
+    close t;
+    if discard_partial then Buffer.clear t.buf
+
+  (* The old file is final (rotated away or deleted): close it and, when
+     a partial last line is pending, yield that line now and queue the
+     status event for the next step. *)
+  let finish_file t event =
+    drop t;
+    if Buffer.length t.buf > 0 then begin
+      t.flush_then <- Some event;
+      Line (take t)
+    end
+    else event
+
+  let step t =
+    match t.flush_then with
+    | Some e ->
+      t.flush_then <- None;
+      e
+    | None ->
+      (match t.ic with
+       | None ->
+         (match open_in_bin t.path with
+          | ic ->
+            let st = Unix.fstat (Unix.descr_of_in_channel ic) in
+            t.ic <- Some ic;
+            t.identity <- Some (st.Unix.st_dev, st.Unix.st_ino);
+            Opened
+          | exception Sys_error _ -> Vanished)
+       | Some ic ->
+         let rec read () =
+           match input_char ic with
+           | '\n' -> Line (take t)
+           | c -> Buffer.add_char t.buf c; read ()
+           | exception End_of_file ->
+             (* End of what is on disk right now: decide between plain
+                waiting, rotation (the path names a different file) and
+                truncation (the same file shrank under us). *)
+             (match Unix.stat t.path with
+              | exception Unix.Unix_error _ -> finish_file t Vanished
+              | st ->
+                if Some (st.Unix.st_dev, st.Unix.st_ino) <> t.identity
+                then finish_file t Rotated
+                else if st.Unix.st_size < pos_in ic then begin
+                  drop ~discard_partial:true t;
+                  Truncated
+                end
+                else Waiting)
+         in
+         read ())
+end
+
+let follow_path ?(poll_interval = 0.05) ?(max_backoff = 1.0) ~stop path =
+  let tail = Tail.create path in
+  let backoff = ref poll_interval in
+  let finished = ref false in
+  let stop_now () =
+    finished := true;
+    let last = Tail.pending tail in
+    Tail.close tail;
+    last
+  in
+  let rec pull () =
+    match Tail.step tail with
+    | Tail.Line l ->
+      backoff := poll_interval;
+      Some l
+    | Tail.Opened | Tail.Rotated | Tail.Truncated ->
+      backoff := poll_interval;
+      pull ()
+    | Tail.Waiting ->
+      if stop () then stop_now ()
+      else begin
+        Unix.sleepf poll_interval;
+        pull ()
+      end
+    | Tail.Vanished ->
+      if stop () then stop_now ()
+      else begin
+        (* The file is gone (mid-rotation, or not created yet): retry
+           with capped exponential backoff rather than spinning on a
+           stale descriptor. *)
+        Unix.sleepf !backoff;
+        backoff := Float.min max_backoff (!backoff *. 2.0);
+        pull ()
+      end
+  in
+  fun () -> if !finished then None else pull ()
+
 type parse_error = { line : int; message : string }
 
 type mode = [ `Strict | `Recover ]

@@ -30,7 +30,53 @@ val follow_lines :
 (** [tail -f] over a growing file: at end of file, sleep [poll_interval]
     seconds (default 0.05) and retry until [stop ()] is true, then yield
     any final partial line and end. Lines are assembled byte-by-byte so
-    a half-written line is never handed out early. *)
+    a half-written line is never handed out early. Bound to one open
+    channel, so it cannot survive log rotation — use {!follow_path} for
+    a path-tracking follower. *)
+
+(** The non-blocking core of path following: one {!Tail.step} yields at
+    most one line and never sleeps, so a single-threaded daemon can
+    multiplex hundreds of tails. Detects log rotation (the path's
+    device/inode changed), truncation (the file shrank below the read
+    position) and disappearance, reopening as needed. [rtgen watch
+    --follow] and the [rtgend] spool follower share this logic. *)
+module Tail : sig
+  type event =
+    | Line of string  (** a complete line (newline seen) *)
+    | Opened          (** the path was (re)opened; reading starts at 0 *)
+    | Waiting         (** at end of data; the same file may still grow *)
+    | Rotated
+    (** the path now names a different inode: the old file's final
+        partial line (if any) was yielded as a [Line] just before this,
+        and the next step reopens the new file *)
+    | Truncated
+    (** the file shrank below the read position: the partial line is
+        discarded and the next step reopens from the start *)
+    | Vanished        (** the path does not exist (yet, or mid-rotation) *)
+
+  type t
+
+  val create : string -> t
+  (** No I/O happens until the first {!step}. *)
+
+  val step : t -> event
+
+  val pending : t -> string option
+  (** Take the partial line under assembly, if any — the final flush
+      when a follower decides the writer is gone for good. *)
+
+  val close : t -> unit
+end
+
+val follow_path :
+  ?poll_interval:float -> ?max_backoff:float -> stop:(unit -> bool) ->
+  string -> line_source
+(** {!follow_lines} by path, surviving rotation and truncation: lines
+    keep flowing across a logrotate-style rename or a copytruncate
+    shrink, and a missing file is retried with exponential backoff
+    capped at [max_backoff] (default 1s) instead of failing. When
+    [stop ()] becomes true the follower yields any final partial line
+    and ends. *)
 
 type parse_error = { line : int; message : string }
 

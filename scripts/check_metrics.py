@@ -165,6 +165,63 @@ def check_shard_section(doc, path):
             fail(path, "bench.shards present without bench.sharded_us")
 
 
+def check_daemon_section(doc, path):
+    """Stream-accounting invariants for rtgend (rtgen serve) dumps.
+
+    Every admitted stream must end the run in exactly one ledger:
+    still active, finalized, terminally failed, or shed — so the
+    counters have to balance against the streams_active gauge. A
+    drained daemon also cannot have handled zero periods, and a run
+    configured with checkpoints must actually have written some.
+    """
+    counters = doc.get("counters", {})
+    if "daemon.streams_accepted" not in counters:
+        return  # not a daemon run
+    accepted = counters["daemon.streams_accepted"]
+    for key in (
+        "daemon.streams_finalized",
+        "daemon.streams_failed",
+        "daemon.streams_shed",
+        "daemon.busy_rejections",
+        "daemon.restarts",
+        "daemon.periods",
+        "daemon.checkpoints",
+    ):
+        if key not in counters:
+            fail(path, f"daemon run without {key}")
+            return
+    active = doc.get("gauges", {}).get("daemon.streams_active")
+    if active is None:
+        fail(path, "daemon run without a daemon.streams_active gauge")
+        return
+    settled = (
+        counters["daemon.streams_finalized"]
+        + counters["daemon.streams_failed"]
+        + counters["daemon.streams_shed"]
+    )
+    if accepted != active.get("last") + settled:
+        fail(
+            path,
+            f"daemon.streams_accepted {accepted} != active "
+            f"{active.get('last')} + finalized/failed/shed {settled}",
+        )
+    if accepted > 0 and counters["daemon.periods"] == 0:
+        fail(path, "daemon accepted streams but handled zero periods")
+    for stream_gauge, total in (("periods", counters["daemon.periods"]),):
+        per_stream = sum(
+            g.get("last", 0)
+            for name, g in doc.get("gauges", {}).items()
+            if name.startswith("daemon.stream.")
+            and name.endswith("." + stream_gauge)
+        )
+        if per_stream > total:
+            fail(
+                path,
+                f"per-stream {stream_gauge} sum {per_stream} exceeds "
+                f"daemon.periods {total}",
+            )
+
+
 def check_section_order(doc, path):
     order = list(doc.keys())
     expected = [
@@ -190,6 +247,7 @@ def main():
         check_section_order(doc, metrics_path.name)
         check_engine_section(doc, metrics_path.name)
         check_shard_section(doc, metrics_path.name)
+        check_daemon_section(doc, metrics_path.name)
     if errors:
         print("\n".join(errors), file=sys.stderr)
         sys.exit(1)

@@ -272,13 +272,29 @@ let test_checkpoint_audit () =
   List.iter (Rt_learn.Heuristic.feed st) (Rt_trace.Trace.periods trace);
   let data = Rt_learn.Heuristic.checkpoint st in
   (match Mc.check_checkpoint ~source:"<ck>" data with
-   | Error m -> Alcotest.fail m
+   | Error (m, _) -> Alcotest.fail m
    | Ok fs ->
      Alcotest.(check (list string)) "healthy checkpoint has no errors" []
        (List.map (fun (f : F.t) -> f.rule) (errors_of fs)));
-  match Mc.check_checkpoint ~source:"<ck>" "garbage bytes" with
-  | Ok _ -> Alcotest.fail "garbage checkpoint accepted"
-  | Error _ -> ()
+  (match Mc.check_checkpoint ~source:"<ck>" "garbage bytes" with
+   | Ok _ -> Alcotest.fail "garbage checkpoint accepted"
+   | Error (_, f) ->
+     Alcotest.(check string) "unreadable checkpoint carries RTC203" "RTC203"
+       f.F.rule);
+  (* Integrity trailer: a truncated or bit-flipped checkpoint is caught
+     by the checksum, as a clean error, never an exception. *)
+  let truncated = String.sub data 0 (String.length data - 7) in
+  (match Mc.check_checkpoint ~source:"<ck>" truncated with
+   | Ok _ -> Alcotest.fail "truncated checkpoint accepted"
+   | Error (_, f) ->
+     Alcotest.(check string) "truncation is RTC203" "RTC203" f.F.rule);
+  let flipped = Bytes.of_string data in
+  Bytes.set flipped (String.length data / 2)
+    (Char.chr (Char.code (Bytes.get flipped (String.length data / 2)) lxor 1));
+  match Mc.check_checkpoint ~source:"<ck>" (Bytes.to_string flipped) with
+  | Ok _ -> Alcotest.fail "bit-flipped checkpoint accepted"
+  | Error (_, f) ->
+    Alcotest.(check string) "bit flip is RTC203" "RTC203" f.F.rule
 
 (* --- the broken-model fixtures carry their documented rule ids --- *)
 

@@ -640,6 +640,172 @@ let test_stats_recover () =
   Alcotest.(check bool) "quarantine not on stderr" false
     (contains ~needle:"quarantine:" (read_file (tmp "stderr")))
 
+(* --- the serving daemon --- *)
+
+let period_count file =
+  let lines = String.split_on_char '\n' (read_file file) in
+  List.length
+    (List.filter
+       (fun l -> String.length l >= 6 && String.sub l 0 6 = "period")
+       lines)
+
+(* A spool of [fleet] vehicle traces plus the reference models that
+   [rtgen serve] must reproduce byte-for-byte. Returns the drain
+   threshold: total periods minus one per stream, because a followed
+   file (no EOF until drain) holds its final period back until the
+   parser sees the end of input. *)
+let make_fleet_spool name fleet =
+  let spool = tmp (name ^ "_spool") and refs = tmp (name ^ "_refs") in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s %s" spool refs));
+  ignore
+    (run (Printf.sprintf "simulate --fleet %d --spool %s --periods 8 --seed 23"
+            fleet spool));
+  ignore (Sys.command (Printf.sprintf "mkdir -p %s" refs));
+  let total = ref 0 in
+  for i = 0 to fleet - 1 do
+    let id = Printf.sprintf "vehicle%02d" i in
+    let trace = Filename.concat spool (id ^ ".trace") in
+    Alcotest.(check bool) (id ^ " trace exists") true (Sys.file_exists trace);
+    total := !total + period_count trace;
+    ignore
+      (run (Printf.sprintf "learn --stream %s --mode recover --bound 4 -o %s"
+              trace (Filename.concat refs (id ^ ".model"))))
+  done;
+  (spool, refs, !total - fleet)
+
+let check_fleet_models name refs out fleet =
+  for i = 0 to fleet - 1 do
+    let id = Printf.sprintf "vehicle%02d" i in
+    Alcotest.(check string)
+      (Printf.sprintf "%s: %s model = learn --stream model" name id)
+      (read_file (Filename.concat refs (id ^ ".model")))
+      (read_file (Filename.concat out (id ^ ".model")))
+  done
+
+let test_serve_drain_equals_learn () =
+  let fleet = 4 in
+  let spool, refs, threshold = make_fleet_spool "serve_drain" fleet in
+  let out = tmp "serve_drain_out" in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" out));
+  ignore
+    (run (Printf.sprintf "serve --spool %s --out %s --bound 4 \
+                          --drain-after-total %d" spool out threshold));
+  Alcotest.(check bool) "drain summary on stderr" true
+    (contains ~needle:"drained:" (read_file (tmp "stderr")));
+  check_fleet_models "drain" refs out fleet
+
+let test_serve_kill_resume_byte_equal () =
+  let fleet = 4 in
+  let spool, refs, threshold = make_fleet_spool "serve_kill" fleet in
+  let out = tmp "serve_kill_out" and ckpt = tmp "serve_kill_ckpt" in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s %s" out ckpt));
+  (* two abrupt exits mid-learn (the deterministic SIGKILL), each run
+     resuming the previous run's checkpoints, then a full drain *)
+  List.iter
+    (fun stop ->
+      ignore
+        (run (Printf.sprintf
+                "serve --spool %s --out %s --checkpoint-dir %s \
+                 --checkpoint-every 3 --bound 4 --stop-after-total %d"
+                spool out ckpt stop)))
+    [ threshold / 3; 2 * threshold / 3 ];
+  Alcotest.(check bool) "no model after the kill" false
+    (Sys.file_exists (Filename.concat out "vehicle00.model"));
+  Alcotest.(check bool) "checkpoint survives the kill" true
+    (Sys.file_exists (Filename.concat ckpt "vehicle00.ckpt"));
+  ignore
+    (run (Printf.sprintf
+            "serve --spool %s --out %s --checkpoint-dir %s \
+             --checkpoint-every 3 --bound 4 --drain-after-total %d"
+            spool out ckpt threshold));
+  check_fleet_models "kill+resume" refs out fleet
+
+let test_serve_live_report_isolation () =
+  (* A live daemon over a spool with one poisoned stream: the control
+     socket must answer rtgen report while it runs, the bad stream must
+     fail in the status report, and the good streams' models must still
+     be byte-equal after a control-socket drain. *)
+  let fleet = 2 in
+  let spool, refs, _ = make_fleet_spool "serve_live" fleet in
+  write_file (Filename.concat spool "poison.trace") "garbage\nnot a trace\n";
+  let out = tmp "serve_live_out" and ctl = tmp "serve_live.sock" in
+  let log = tmp "serve_live.log" in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s %s" out ctl));
+  let code =
+    Sys.command
+      (Printf.sprintf
+         "%s serve --spool %s --out %s --control %s --bound 4 \
+          --max-restarts 1 --backoff 0.001 > %s 2>&1 &"
+         rtgen spool out ctl log)
+  in
+  Alcotest.(check int) "daemon launched" 0 code;
+  (* poll the control socket until the daemon answers *)
+  let rec poll n =
+    if n > 200 then Alcotest.failf "control socket never came up: %s" (read_file log)
+    else
+      let code, out = run_code (Printf.sprintf "report --socket %s --query status" ctl) in
+      if code = 0 && contains ~needle:"rtgend status" out then out
+      else begin
+        ignore (Sys.command "sleep 0.05");
+        poll (n + 1)
+      end
+  in
+  let status = poll 0 in
+  Alcotest.(check bool) "live status lists the good stream" true
+    (contains ~needle:"stream vehicle00" status);
+  Alcotest.(check bool) "live status lists the poisoned stream" true
+    (contains ~needle:"stream poison" status);
+  let metrics = run (Printf.sprintf "report --socket %s --query metrics" ctl) in
+  Alcotest.(check bool) "live metrics render" true
+    (contains ~needle:"daemon.streams_accepted" metrics);
+  ignore (run (Printf.sprintf "report --socket %s --query drain" ctl));
+  let rec wait_done n =
+    if n > 200 then Alcotest.failf "daemon never drained: %s" (read_file log)
+    else if Sys.file_exists (Filename.concat out "vehicle01.model") then ()
+    else begin
+      ignore (Sys.command "sleep 0.05");
+      wait_done (n + 1)
+    end
+  in
+  wait_done 0;
+  ignore (Sys.command "sleep 0.2");
+  check_fleet_models "live" refs out fleet;
+  Alcotest.(check bool) "poisoned stream yields no model" false
+    (Sys.file_exists (Filename.concat out "poison.model"))
+
+let test_serve_flag_validation () =
+  ignore (run ~expect_fail:true "serve");
+  ignore (run ~expect_fail:true "serve --spool /nonexistent/spool_dir");
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "report --socket %s" (tmp "no_such.sock")))
+
+let test_inject_torn_write () =
+  (* --torn-at emulates a writer dying mid-write: the output is exactly
+     the first BYTE bytes of the same seeded corruption, and recover
+     mode still learns from the remains. *)
+  let full = run (Printf.sprintf "inject %s --rate 0.05 --seed 3" trace_file) in
+  let torn_file = tmp "torn.trace" in
+  let at = String.length full / 2 in
+  ignore
+    (run (Printf.sprintf "inject %s --rate 0.05 --seed 3 --torn-at %d -o %s"
+            trace_file at torn_file));
+  let torn = read_file torn_file in
+  Alcotest.(check int) "torn length" at (String.length torn);
+  Alcotest.(check string) "torn = prefix of the full write"
+    (String.sub full 0 at) torn;
+  Alcotest.(check bool) "tear reported" true
+    (contains ~needle:"torn at byte" (read_file (tmp "stderr")));
+  let out =
+    run (Printf.sprintf "learn --stream %s --mode recover --eps 60 --bound 4"
+           torn_file)
+  in
+  Alcotest.(check bool) "recover learns from the torn file" true
+    (contains ~needle:"least upper bound" out);
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "inject %s --torn-at -1" trace_file))
+
 let test_vcd_import_roundtrip () =
   let dump = tmp "gm.vcd" in
   ignore
@@ -730,6 +896,18 @@ let () =
             test_watch_max_periods_stdin;
           Alcotest.test_case "watch --follow growing file" `Quick
             test_watch_follow_growing_file;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "serve drain = learn --stream" `Quick
+            test_serve_drain_equals_learn;
+          Alcotest.test_case "serve kill twice + resume byte-equal" `Quick
+            test_serve_kill_resume_byte_equal;
+          Alcotest.test_case "live report + corrupt isolation" `Quick
+            test_serve_live_report_isolation;
+          Alcotest.test_case "serve flag validation" `Quick
+            test_serve_flag_validation;
+          Alcotest.test_case "inject --torn-at" `Quick test_inject_torn_write;
         ] );
       ( "observability",
         [

@@ -1,0 +1,606 @@
+(* The daemon's robustness contract, tested without sleeping: the
+   supervisor is a pure state machine driven by an injected clock; the
+   bounded queue is strict-pipe; Tail survives rotation and truncation;
+   a Stream killed between checkpoints and replayed from byte 0 renders
+   a model byte-equal to an uninterrupted run; and an in-process daemon
+   (signals off) drains, stops-and-resumes, refuses over-limit connects
+   with BUSY, and keeps the accepted = finalized + failed + shed books
+   exact even when a corrupt stream burns its whole restart budget. *)
+
+module Sup = Rt_daemon.Supervisor
+module Bq = Rt_daemon.Bqueue
+module Stream = Rt_daemon.Stream
+module Daemon = Rt_daemon.Daemon
+module Control = Rt_daemon.Control
+module Tail = Rt_trace.Stream_io.Tail
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+  in
+  go 0
+
+let tmpdir () =
+  let d = Filename.temp_file "rtgend_test" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* A deterministic multi-period trace as text. *)
+let trace_text ?(periods = 9) seed =
+  Rt_trace.Trace_io.to_string
+    (Test_support.simulate ~periods ~seed (Test_support.pipeline_design 3))
+
+let lines_of text =
+  match List.rev (String.split_on_char '\n' text) with
+  | "" :: rev -> List.rev rev
+  | rev -> List.rev rev
+
+let period_lines text =
+  List.length
+    (List.filter
+       (fun l -> String.length l >= 6 && String.sub l 0 6 = "period")
+       (lines_of text))
+
+(* --- bounded queue --------------------------------------------------- *)
+
+let test_bqueue_fifo () =
+  let q = Bq.create ~capacity:3 in
+  Alcotest.(check bool) "empty" true (Bq.is_empty q);
+  List.iter (fun i -> Alcotest.(check bool) "push" true (Bq.push q i = `Ok)) [ 1; 2; 3 ];
+  Alcotest.(check bool) "overflow" true (Bq.push q 4 = `Overflow);
+  Alcotest.(check int) "unchanged" 3 (Bq.length q);
+  Alcotest.(check int) "rejected" 1 (Bq.rejected q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Bq.pop q);
+  Alcotest.(check bool) "room again" true (Bq.push q 4 = `Ok);
+  Alcotest.(check (list int))
+    "drain order" [ 2; 3; 4 ]
+    (List.filter_map (fun () -> Bq.pop q) [ (); (); () ]);
+  Alcotest.(check (option int)) "empty pop" None (Bq.pop q);
+  Alcotest.(check int) "capacity" 3 (Bq.capacity q)
+
+let test_bqueue_capacity () =
+  match Bq.create ~capacity:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted"
+
+(* --- supervisor (fake clock, no sleeps) ------------------------------ *)
+
+let policy =
+  {
+    Sup.max_restarts = 3;
+    backoff_base = 0.1;
+    backoff_factor = 2.0;
+    backoff_cap = 5.0;
+    stall_timeout = 1.0;
+    idle_timeout = 2.0;
+  }
+
+let test_backoff_schedule () =
+  let expected = [ 0.1; 0.2; 0.4; 0.8; 1.6; 3.2; 5.0; 5.0 ] in
+  List.iteri
+    (fun i want ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "restart %d" (i + 1))
+        want
+        (Sup.backoff_delay policy ~restart:(i + 1)))
+    expected
+
+let test_restart_budget () =
+  let sup = Sup.create ~policy ~now:0.0 () in
+  (* three crashes back off with the doubling schedule... *)
+  List.iteri
+    (fun i until ->
+      let now = float_of_int i *. 10.0 in
+      match Sup.note_crash sup ~now ~reason:"boom" with
+      | `Backoff u ->
+        Alcotest.(check (float 1e-9)) "backoff until" (now +. until) u;
+        (* mid-backoff the verdict is Continue, after the deadline Restart *)
+        Alcotest.(check bool) "too early" true
+          (Sup.poll sup ~now:(u -. 0.01) ~pending:true = Sup.Continue);
+        Alcotest.(check bool) "due" true
+          (Sup.poll sup ~now:(u +. 0.01) ~pending:true = Sup.Restart);
+        Sup.note_restart sup ~now:(u +. 0.01)
+      | `Failed -> Alcotest.fail "failed before budget exhausted")
+    [ 0.1; 0.2; 0.4 ];
+  Alcotest.(check int) "restarts" 3 (Sup.restarts sup);
+  (* ...the fourth exhausts the budget *)
+  (match Sup.note_crash sup ~now:40.0 ~reason:"final straw" with
+   | `Failed -> ()
+   | `Backoff _ -> Alcotest.fail "budget not enforced");
+  (match Sup.phase sup with
+   | Sup.Failed r -> Alcotest.(check string) "reason" "final straw" r
+   | _ -> Alcotest.fail "not failed");
+  Alcotest.(check bool) "failed polls Continue" true
+    (Sup.poll sup ~now:1000.0 ~pending:true = Sup.Continue)
+
+let test_stall_watchdog () =
+  let sup = Sup.create ~policy ~now:0.0 () in
+  (* pending input, no progress: stall fires after stall_timeout *)
+  Alcotest.(check bool) "within" true
+    (Sup.poll sup ~now:0.9 ~pending:true = Sup.Continue);
+  Alcotest.(check bool) "stalled" true
+    (Sup.poll sup ~now:1.1 ~pending:true = Sup.Stalled);
+  (* progress resets the watchdog *)
+  Sup.note_progress sup ~now:1.05;
+  Alcotest.(check bool) "reset" true
+    (Sup.poll sup ~now:1.1 ~pending:true = Sup.Continue)
+
+let test_idle_watchdog () =
+  let sup = Sup.create ~policy ~now:0.0 () in
+  Alcotest.(check bool) "within" true
+    (Sup.poll sup ~now:1.9 ~pending:false = Sup.Continue);
+  Alcotest.(check bool) "idle" true
+    (Sup.poll sup ~now:2.1 ~pending:false = Sup.Idle);
+  (* fresh data resets idleness; a stall clock does not tick while the
+     queue is empty *)
+  Sup.note_data sup ~now:2.05;
+  Alcotest.(check bool) "reset" true
+    (Sup.poll sup ~now:2.1 ~pending:false = Sup.Continue);
+  (* the default policy never idles out *)
+  let lazy_sup = Sup.create ~now:0.0 () in
+  Alcotest.(check bool) "default never idle" true
+    (Sup.poll lazy_sup ~now:1.0e9 ~pending:false = Sup.Continue)
+
+let test_fail_latch () =
+  let sup = Sup.create ~policy ~now:0.0 () in
+  Sup.fail sup ~reason:"socket gone";
+  (match Sup.phase sup with
+   | Sup.Failed r -> Alcotest.(check string) "reason" "socket gone" r
+   | _ -> Alcotest.fail "not failed");
+  Alcotest.(check int) "no restart consumed" 0 (Sup.restarts sup);
+  Alcotest.(check bool) "quarantine latch" false (Sup.quarantined sup);
+  Sup.set_quarantined sup;
+  Alcotest.(check bool) "latched" true (Sup.quarantined sup);
+  let sup2 = Sup.create ~policy ~now:0.0 () in
+  Sup.finalize sup2;
+  Alcotest.(check bool) "finalized polls Continue" true
+    (Sup.poll sup2 ~now:1.0e9 ~pending:true = Sup.Continue)
+
+(* --- Tail: rotation, truncation, disappearance ----------------------- *)
+
+(* Step until [stop] matches, collecting Line payloads; bounded so a
+   regression fails fast instead of spinning. *)
+let collect_until tail stop =
+  let lines = ref [] in
+  let rec go n =
+    if n > 1000 then Alcotest.fail "tail did not settle in 1000 steps"
+    else
+      let ev = Tail.step tail in
+      (match ev with Tail.Line l -> lines := l :: !lines | _ -> ());
+      if stop ev then List.rev !lines else go (n + 1)
+  in
+  go 0
+
+let test_tail_growth () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "t.trace" in
+  let tail = Tail.create path in
+  Alcotest.(check bool) "missing file" true (Tail.step tail = Tail.Vanished);
+  write_file path "a\nb\n";
+  Alcotest.(check (list string)) "initial" [ "a"; "b" ]
+    (collect_until tail (fun e -> e = Tail.Waiting));
+  (* append, including a line split across writes *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "c\nd";
+  close_out oc;
+  Alcotest.(check (list string)) "appended" [ "c" ]
+    (collect_until tail (fun e -> e = Tail.Waiting));
+  Alcotest.(check (option string)) "partial held back" (Some "d") (Tail.pending tail);
+  (* pending takes the buffer; put the tail back together by reopening *)
+  Tail.close tail
+
+let test_tail_rotation () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "t.trace" in
+  write_file path "a\npart";
+  let tail = Tail.create path in
+  Alcotest.(check (list string)) "before rotate" [ "a" ]
+    (collect_until tail (fun e -> e = Tail.Waiting));
+  (* logrotate-style: rename away, new file appears under the old name *)
+  Sys.rename path (Filename.concat dir "t.trace.1");
+  write_file path "fresh\n";
+  let got = collect_until tail (fun e -> e = Tail.Waiting) in
+  (* the old file's final partial line is flushed, then the new file is
+     read from byte 0 *)
+  Alcotest.(check (list string)) "across rotation" [ "part"; "fresh" ] got;
+  Tail.close tail
+
+let test_tail_truncation () =
+  let dir = tmpdir () in
+  let path = Filename.concat dir "t.trace" in
+  write_file path "one\ntwo\nthree\n";
+  let tail = Tail.create path in
+  Alcotest.(check (list string)) "before truncate" [ "one"; "two"; "three" ]
+    (collect_until tail (fun e -> e = Tail.Waiting));
+  (* copytruncate-style shrink: reading restarts from byte 0 *)
+  write_file path "anew\n";
+  let saw_trunc = ref false in
+  let got =
+    collect_until tail (fun e ->
+        if e = Tail.Truncated then saw_trunc := true;
+        e = Tail.Waiting)
+  in
+  Alcotest.(check bool) "truncation detected" true !saw_trunc;
+  Alcotest.(check (list string)) "reread" [ "anew" ] got;
+  Tail.close tail
+
+(* --- stream: checkpoint kill/replay byte-equality -------------------- *)
+
+let stream_cfg ?checkpoint_path ?(checkpoint_every = 2) () =
+  {
+    Stream.bound = 4;
+    window = None;
+    eps = None;
+    queue_capacity = 4096;
+    checkpoint_path;
+    checkpoint_every;
+  }
+
+let feed_all s text =
+  List.iter (fun l -> ignore (Stream.offer_line s l)) (lines_of text);
+  Stream.close_input s
+
+let pump_to_done s =
+  let rec go n =
+    if n > 10_000 then Alcotest.fail "stream did not finish"
+    else
+      match Stream.pump s ~budget:7 with
+      | _, Stream.Done -> ()
+      | _, Stream.Crashed m -> Alcotest.failf "stream crashed: %s" m
+      | _, (Stream.More | Stream.Blocked) -> go (n + 1)
+  in
+  go 0
+
+let uninterrupted_model text =
+  let s, note = Stream.create ~id:"ref" (stream_cfg ()) in
+  Alcotest.(check (option string)) "fresh" None note;
+  feed_all s text;
+  pump_to_done s;
+  match Stream.render_model s with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "reference render: %s" e
+
+let test_stream_kill_replay () =
+  let dir = tmpdir () in
+  let ckpt = Filename.concat dir "v.ckpt" in
+  let text = trace_text ~periods:12 42 in
+  let reference = uninterrupted_model text in
+  (* run half-way with checkpoints every 2 periods, then "die" *)
+  let s1, _ = Stream.create ~id:"v" (stream_cfg ~checkpoint_path:ckpt ()) in
+  List.iter (fun l -> ignore (Stream.offer_line s1 l)) (lines_of text);
+  let handled, _ = Stream.pump s1 ~budget:5 in
+  Alcotest.(check int) "made progress" 5 handled;
+  Alcotest.(check bool) "checkpointed" true (Stream.checkpoints_written s1 > 0);
+  Alcotest.(check bool) "checkpoint on disk" true (Sys.file_exists ckpt);
+  (* the replacement resumes the checkpoint and replays from byte 0 *)
+  let s2, note = Stream.create ~id:"v" (stream_cfg ~checkpoint_path:ckpt ()) in
+  Alcotest.(check (option string)) "clean resume" None note;
+  Alcotest.(check bool) "prefix restored" true (Stream.periods_fed s2 > 0);
+  feed_all s2 text;
+  pump_to_done s2;
+  (match Stream.render_model s2 with
+   | Ok m -> Alcotest.(check string) "byte-equal after kill" reference m
+   | Error e -> Alcotest.failf "resumed render: %s" e);
+  Alcotest.(check int) "all periods" (period_lines text) (Stream.periods_fed s2)
+
+let test_stream_corrupt_checkpoint () =
+  let dir = tmpdir () in
+  let ckpt = Filename.concat dir "v.ckpt" in
+  let text = trace_text ~periods:6 7 in
+  let reference = uninterrupted_model text in
+  write_file ckpt "definitely not a checkpoint";
+  let s, note = Stream.create ~id:"v" (stream_cfg ~checkpoint_path:ckpt ()) in
+  Alcotest.(check bool) "fallback noted" true (note <> None);
+  Alcotest.(check int) "fresh engine" 0 (Stream.periods_fed s);
+  feed_all s text;
+  pump_to_done s;
+  (match Stream.render_model s with
+   | Ok m -> Alcotest.(check string) "model unaffected" reference m
+   | Error e -> Alcotest.failf "render: %s" e)
+
+let test_stream_foreign_checkpoint () =
+  let dir = tmpdir () in
+  let ckpt = Filename.concat dir "x.ckpt" in
+  let text = trace_text ~periods:6 9 in
+  (* a checkpoint tagged for another stream id must not be resumed *)
+  let s1, _ = Stream.create ~id:"other" (stream_cfg ~checkpoint_path:ckpt ()) in
+  List.iter (fun l -> ignore (Stream.offer_line s1 l)) (lines_of text);
+  ignore (Stream.pump s1 ~budget:4);
+  Stream.write_checkpoint s1;
+  Alcotest.(check bool) "checkpoint exists" true (Sys.file_exists ckpt);
+  let s2, note = Stream.create ~id:"mine" (stream_cfg ~checkpoint_path:ckpt ()) in
+  Alcotest.(check bool) "foreign tag noted" true (note <> None);
+  Alcotest.(check int) "fresh engine" 0 (Stream.periods_fed s2)
+
+let test_stream_overflow_and_close () =
+  let s, _ =
+    Stream.create ~id:"tiny"
+      { (stream_cfg ()) with Stream.queue_capacity = 2 }
+  in
+  Alcotest.(check bool) "1" true (Stream.offer_line s "a" = `Ok);
+  Alcotest.(check bool) "2" true (Stream.offer_line s "b" = `Ok);
+  Alcotest.(check bool) "full" true (Stream.offer_line s "c" = `Overflow);
+  Alcotest.(check int) "rejected" 1 (Stream.rejected s);
+  Alcotest.(check int) "queued" 2 (Stream.queued s);
+  Stream.close_input s;
+  Alcotest.(check bool) "post-close drop" true (Stream.offer_line s "d" = `Ok);
+  Alcotest.(check int) "still 2" 2 (Stream.queued s)
+
+(* --- control protocol ------------------------------------------------ *)
+
+let test_control_parse () =
+  let ok req s =
+    match Control.parse s with
+    | Ok r -> Alcotest.(check string) s (Control.to_string req) (Control.to_string r)
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+  in
+  ok Control.Status "status";
+  ok Control.Status "  status  ";
+  ok Control.Metrics "metrics";
+  ok Control.Drain "drain";
+  ok (Control.Snapshot "veh01") "snapshot veh01";
+  (match Control.parse "snapshot" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "snapshot needs an id");
+  match Control.parse "launch-missiles" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown verb accepted"
+
+(* --- in-process daemon ----------------------------------------------- *)
+
+let daemon_cfg ~spool ~out ?checkpoint_dir ?stop_after ?drain_after () =
+  {
+    Daemon.default with
+    Daemon.spool = Some spool;
+    out_dir = out;
+    checkpoint_dir;
+    checkpoint_every = 4;
+    bound = 4;
+    tick = 0.002;
+    stop_after_total = stop_after;
+    drain_after_total = drain_after;
+    handle_signals = false;
+  }
+
+(* Three spool streams; threshold is total minus one held-back final
+   period per stream (the parser needs the next period line or EOF to
+   close a period, and a followed file has no EOF until drain). *)
+let make_spool dir seeds =
+  List.iteri
+    (fun i seed ->
+      write_file
+        (Filename.concat dir (Printf.sprintf "veh%02d.trace" i))
+        (trace_text ~periods:9 seed))
+    seeds;
+  let total =
+    List.fold_left
+      (fun acc seed -> acc + period_lines (trace_text ~periods:9 seed))
+      0 seeds
+  in
+  total - List.length seeds
+
+let check_models dir seeds =
+  List.iteri
+    (fun i seed ->
+      let reference = uninterrupted_model (trace_text ~periods:9 seed) in
+      let got = read_file (Filename.concat dir (Printf.sprintf "veh%02d.model" i)) in
+      Alcotest.(check string) (Printf.sprintf "veh%02d byte-equal" i) reference got)
+    seeds
+
+let test_daemon_drain () =
+  let spool = tmpdir () and out = tmpdir () in
+  let seeds = [ 11; 22; 33 ] in
+  let threshold = make_spool spool seeds in
+  (match Daemon.run (daemon_cfg ~spool ~out ~drain_after:threshold ()) with
+   | Ok Daemon.Drained -> ()
+   | Ok Daemon.Stopped -> Alcotest.fail "stopped without stop_after_total"
+   | Error e -> Alcotest.failf "daemon: %s" e);
+  check_models out seeds
+
+let test_daemon_kill_resume () =
+  let spool = tmpdir () and out = tmpdir () and ckpt = tmpdir () in
+  let seeds = [ 5; 6; 7 ] in
+  let threshold = make_spool spool seeds in
+  (* two abrupt exits mid-learn, then a drain over the same spool *)
+  List.iter
+    (fun stop_after ->
+      match
+        Daemon.run
+          (daemon_cfg ~spool ~out ~checkpoint_dir:ckpt ~stop_after ())
+      with
+      | Ok Daemon.Stopped -> ()
+      | Ok Daemon.Drained -> Alcotest.fail "drained instead of stopping"
+      | Error e -> Alcotest.failf "daemon: %s" e)
+    [ 9; 18 ];
+  Alcotest.(check bool) "no model yet" false
+    (Sys.file_exists (Filename.concat out "veh00.model"));
+  Alcotest.(check bool) "checkpoint written" true
+    (Sys.file_exists (Filename.concat ckpt "veh00.ckpt"));
+  (match
+     Daemon.run
+       (daemon_cfg ~spool ~out ~checkpoint_dir:ckpt ~drain_after:threshold ())
+   with
+   | Ok Daemon.Drained -> ()
+   | Ok Daemon.Stopped -> Alcotest.fail "stopped during final run"
+   | Error e -> Alcotest.failf "daemon: %s" e);
+  check_models out seeds
+
+let test_daemon_corrupt_isolation () =
+  let spool = tmpdir () and out = tmpdir () in
+  let seeds = [ 3; 4 ] in
+  let threshold = make_spool spool seeds in
+  write_file (Filename.concat spool "broken.trace") "garbage\nmore garbage\n";
+  let cfg = daemon_cfg ~spool ~out ~drain_after:threshold () in
+  let cfg =
+    {
+      cfg with
+      Daemon.metrics_path = Some (Filename.concat out "m.json");
+      policy =
+        { Sup.default_policy with Sup.max_restarts = 1; backoff_base = 0.0001 };
+    }
+  in
+  (match Daemon.run cfg with
+   | Ok Daemon.Drained -> ()
+   | Ok Daemon.Stopped -> Alcotest.fail "stopped"
+   | Error e -> Alcotest.failf "daemon: %s" e);
+  (* neighbors unharmed, byte-equal *)
+  check_models out seeds;
+  Alcotest.(check bool) "no model for the corrupt stream" false
+    (Sys.file_exists (Filename.concat out "broken.model"));
+  (* the books balance: 3 accepted = 2 finalized + 1 failed *)
+  let m = read_file (Filename.concat out "m.json") in
+  Alcotest.(check bool) "accepted" true
+    (contains m "\"daemon.streams_accepted\": 3");
+  Alcotest.(check bool) "finalized" true
+    (contains m "\"daemon.streams_finalized\": 2");
+  Alcotest.(check bool) "failed" true (contains m "\"daemon.streams_failed\": 1");
+  Alcotest.(check bool) "restart budget spent" true
+    (contains m "\"daemon.restarts\": 1")
+
+(* BUSY admission and the control socket, exercised by a forked client
+   while the daemon runs in this process. *)
+let connect_retry path =
+  let rec go n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> fd
+    | exception Unix.Unix_error _ ->
+      Unix.close fd;
+      if n > 500 then failwith "connect_retry"
+      else begin
+        Unix.sleepf 0.01;
+        go (n + 1)
+      end
+  in
+  go 0
+
+let read_all fd =
+  let b = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    match Unix.read fd chunk 0 1024 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes b chunk 0 n;
+      go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ();
+  Buffer.contents b
+
+let roundtrip sock line =
+  let fd = connect_retry sock in
+  let msg = Bytes.of_string (line ^ "\n") in
+  ignore (Unix.write fd msg 0 (Bytes.length msg));
+  let resp = read_all fd in
+  Unix.close fd;
+  resp
+
+let test_daemon_busy_and_control () =
+  let dir = tmpdir () in
+  let data_sock = Filename.concat dir "data.sock" in
+  let ctrl_sock = Filename.concat dir "ctl.sock" in
+  let out = Filename.concat dir "client.out" in
+  let cfg =
+    {
+      Daemon.default with
+      Daemon.listen = Some data_sock;
+      control = Some ctrl_sock;
+      out_dir = dir;
+      max_streams = 0;
+      tick = 0.002;
+      metrics_path = Some (Filename.concat dir "m.json");
+      handle_signals = false;
+    }
+  in
+  match Unix.fork () with
+  | 0 ->
+    (* client: refused with BUSY, then a status round-trip, then drain *)
+    (try
+       let fd = connect_retry data_sock in
+       let greeting = read_all fd in
+       Unix.close fd;
+       let status = roundtrip ctrl_sock "status" in
+       let bogus = roundtrip ctrl_sock "frobnicate" in
+       write_file out (greeting ^ "\x00" ^ status ^ "\x00" ^ bogus);
+       ignore (roundtrip ctrl_sock "drain")
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    (match Daemon.run cfg with
+     | Ok Daemon.Drained -> ()
+     | Ok Daemon.Stopped -> Alcotest.fail "stopped"
+     | Error e -> Alcotest.failf "daemon: %s" e);
+    ignore (Unix.waitpid [] pid);
+    (match String.split_on_char '\x00' (read_file out) with
+     | [ greeting; status; bogus ] ->
+       Alcotest.(check string) "refused" "BUSY\n" greeting;
+       Alcotest.(check bool) "status header" true
+         (contains status "rtgend status");
+       Alcotest.(check bool) "bogus rejected" true (contains bogus "error")
+     | _ -> Alcotest.fail "client did not complete");
+    let m = read_file (Filename.concat dir "m.json") in
+    Alcotest.(check bool) "busy counted" true
+      (contains m "\"daemon.busy_rejections\": 1")
+
+let () =
+  Alcotest.run "daemon"
+    [
+      ( "bqueue",
+        [
+          Alcotest.test_case "fifo and overflow" `Quick test_bqueue_fifo;
+          Alcotest.test_case "capacity validation" `Quick test_bqueue_capacity;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "restart budget" `Quick test_restart_budget;
+          Alcotest.test_case "stall watchdog" `Quick test_stall_watchdog;
+          Alcotest.test_case "idle watchdog" `Quick test_idle_watchdog;
+          Alcotest.test_case "fail latch" `Quick test_fail_latch;
+        ] );
+      ( "tail",
+        [
+          Alcotest.test_case "growth" `Quick test_tail_growth;
+          Alcotest.test_case "rotation" `Quick test_tail_rotation;
+          Alcotest.test_case "truncation" `Quick test_tail_truncation;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "kill/replay byte-equality" `Quick
+            test_stream_kill_replay;
+          Alcotest.test_case "corrupt checkpoint fallback" `Quick
+            test_stream_corrupt_checkpoint;
+          Alcotest.test_case "foreign checkpoint refused" `Quick
+            test_stream_foreign_checkpoint;
+          Alcotest.test_case "overflow and close" `Quick
+            test_stream_overflow_and_close;
+        ] );
+      ( "control",
+        [ Alcotest.test_case "request parsing" `Quick test_control_parse ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "spool drain byte-equality" `Quick
+            test_daemon_drain;
+          Alcotest.test_case "kill twice, resume, byte-equality" `Quick
+            test_daemon_kill_resume;
+          Alcotest.test_case "corrupt stream isolation" `Quick
+            test_daemon_corrupt_isolation;
+          Alcotest.test_case "busy admission and control socket" `Quick
+            test_daemon_busy_and_control;
+        ] );
+    ]
