@@ -260,10 +260,62 @@ let bench_sharded trace =
     bound jobs;
   { sh_bound = bound; sh_jobs = jobs; monolithic_s = mono_s; runs }
 
+(* ------------------------------------------------------------------ *)
+(* Observability: flight-recorder overhead on the engine's feed path.
+   The recorder is designed to be near-free — one option branch when
+   detached, four array writes plus the caller's detail string when
+   attached — and this probe pins that: a bound-64 learn through
+   Rt_engine.Engine with and without a recorder scope, back to back on
+   the same host. check_bench.py gates the on/off quotient.            *)
+(* ------------------------------------------------------------------ *)
+
+type recorder_data = {
+  rec_bound : int;
+  rec_off_s : float;   (** engine feed, no recorder attached *)
+  rec_on_s : float;    (** same feed with a flight scope attached *)
+  rec_events : int;    (** events the attached recorder captured *)
+}
+
+let bench_recorder trace =
+  section "Observability: flight-recorder overhead (engine feed, on vs off)";
+  let bound = if fast_mode then 16 else 64 in
+  let periods = Rt_trace.Trace.periods trace in
+  let feed ?flight () =
+    let eng =
+      Rt_engine.Engine.create ?flight
+        ~ntasks:(Rt_trace.Trace.task_count trace)
+        (Rt_engine.Engine.Heuristic { bound })
+    in
+    List.iter (Rt_engine.Engine.feed eng) periods;
+    Rt_engine.Engine.finalize eng
+  in
+  let off, off_s = wall (fun () -> feed ()) in
+  let ring = Rt_obs.Flight.create ~capacity:4096 () in
+  let scope = Rt_obs.Flight.scope ring "bench" in
+  let on_, on_s = wall (fun () -> feed ~flight:scope ()) in
+  (* Recording must be observation only. *)
+  assert (List.for_all2 Df.equal off.Rt_engine.Engine.hypotheses
+            on_.Rt_engine.Engine.hypotheses);
+  let events = Rt_obs.Flight.recorded ring in
+  assert (events = List.length periods);
+  print_string
+    (Table.render
+       ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right ]
+       ~header:[ "bound"; "recorder off (s)"; "recorder on (s)"; "overhead" ]
+       [ [ string_of_int bound; Printf.sprintf "%.3f" off_s;
+           Printf.sprintf "%.3f" on_s;
+           Printf.sprintf "%.3fx" (on_s /. Float.max off_s 1e-9) ] ]);
+  Printf.printf
+    "%d engine.period events captured; hypotheses asserted identical with\n\
+     and without the recorder.\n"
+    events;
+  { rec_bound = bound; rec_off_s = off_s; rec_on_s = on_s;
+    rec_events = events }
+
 (* BENCH_heuristic.json: the Table 1 per-bound wall times, machine
    readable for tracking runs over time. Written by hand — the bench
    payload is flat and predates Rt_obs.Json. *)
-let emit_json path trace rows sharded =
+let emit_json path trace rows sharded recorder =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       Printf.fprintf oc "{\n";
@@ -286,6 +338,11 @@ let emit_json path trace rows sharded =
                  Printf.sprintf "{ \"shards\": %d, \"seconds\": %.6f }"
                    r.k r.sharded_s)
               sharded.runs));
+      Printf.fprintf oc
+        "  \"recorder\": { \"bound\": %d, \"off_seconds\": %.6f, \
+         \"on_seconds\": %.6f, \"events\": %d },\n"
+        recorder.rec_bound recorder.rec_off_s recorder.rec_on_s
+        recorder.rec_events;
       Printf.fprintf oc "  \"bounds\": [\n";
       List.iteri (fun i r ->
           Printf.fprintf oc
@@ -871,8 +928,9 @@ let () =
   let trace = Gm.trace () in
   let table1_rows = bench_table1 trace in
   let sharded = bench_sharded trace in
+  let recorder = bench_recorder trace in
   Option.iter (fun path ->
-      emit_json path trace table1_rows sharded;
+      emit_json path trace table1_rows sharded recorder;
       emit_metrics
         (Filename.remove_extension path ^ ".metrics.json")
         table1_rows sharded)

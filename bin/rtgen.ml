@@ -434,8 +434,10 @@ let run_checkpointed_sharded ~obs ~progress ~window ~bound ~shards ~every
     end
 
 (* Write the registry's sinks. Atomic writes: a run killed mid-dump never
-   leaves a truncated JSON document behind. *)
-let write_sinks ~metrics ~trace_events obs =
+   leaves a truncated JSON document behind. The profiler sinks go to
+   stderr / a side file so the model on stdout stays byte-identical to
+   an unprofiled run. *)
+let write_sinks ?(profile = false) ?folded ~metrics ~trace_events obs =
   match obs with
   | None -> ()
   | Some reg ->
@@ -445,7 +447,13 @@ let write_sinks ~metrics ~trace_events obs =
     in
     Option.iter (fun p -> dump p (Rt_obs.Registry.to_json reg)) metrics;
     Option.iter (fun p -> dump p (Rt_obs.Registry.trace_events_json reg))
-      trace_events
+      trace_events;
+    if profile then prerr_string (Rt_obs.Profile.hotspots reg);
+    Option.iter
+      (fun p ->
+        Rt_util.Atomic_file.write p (Rt_obs.Profile.folded reg);
+        Printf.eprintf "wrote %s\n" p)
+      folded
 
 let inconsistent_msg =
   "inconsistent trace: some message has no admissible \
@@ -495,7 +503,8 @@ let blowup_msg set_size limit =
    the same quarantine account as the batch path, because both sit on
    Stream_io / salvage_period / Engine. *)
 let learn_stream ~exact ~shards ~bound ~window ~jobs ~obs ~mode ~eps ~progress
-    ~dot ~output ~metrics ~trace_events path =
+    ~dot ~output ~metrics ~trace_events ~profile ~folded path =
+  let write_sinks = write_sinks ~profile ?folded in
   let module Eng = Rt_engine.Engine in
   let module SStream = Rt_shard.Shard.Stream in
   match (if path = "-" then Ok stdin
@@ -632,13 +641,14 @@ let learn_stream ~exact ~shards ~bound ~window ~jobs ~obs ~mode ~eps ~progress
                  err ("no usable periods after quarantine")))
 
 let learn path exact auto stream shards bound window jobs dot output mode eps
-    checkpoint every stop_after metrics trace_events progress =
+    checkpoint every stop_after metrics trace_events profile folded progress =
   let module Eng = Rt_engine.Engine in
   let obs =
-    if metrics <> None || trace_events <> None then
-      Some (Rt_obs.Registry.create ())
+    if metrics <> None || trace_events <> None || profile || folded <> None
+    then Some (Rt_obs.Registry.create ())
     else None
   in
+  let write_sinks = write_sinks ~profile ?folded in
   let conflict =
     if stream && checkpoint <> None then
       Some "--stream cannot be combined with --checkpoint"
@@ -660,7 +670,7 @@ let learn path exact auto stream shards bound window jobs dot output mode eps
   | None ->
     if stream then
       learn_stream ~exact ~shards ~bound ~window ~jobs ~obs ~mode ~eps
-        ~progress ~dot ~output ~metrics ~trace_events path
+        ~progress ~dot ~output ~metrics ~trace_events ~profile ~folded path
     else begin
       match read_trace ~mode ~eps ?window ?obs path with
       | Error m -> err (m)
@@ -776,10 +786,28 @@ let learn path exact auto stream shards bound window jobs dot output mode eps
 (* Follow a (possibly growing) trace source and keep the model current:
    print the LUB whenever it changes, and call out drift — a previously
    converged answer set invalidated by new evidence. *)
-let watch path bound window mode eps poll follow max_periods =
+let watch path bound window mode eps poll follow max_periods flight_out =
   let module Eng = Rt_engine.Engine in
   let module Df = Rt_lattice.Depfun in
   let stop = ref false in
+  (* One recorder for the whole session: drift notices and the tail's
+     rotation/truncation absorptions land in it, dumped at exit. *)
+  let flight =
+    Option.map (fun _ -> Rt_obs.Flight.create ()) flight_out
+  in
+  let record sev kind detail =
+    match flight with
+    | Some f -> Rt_obs.Flight.record f sev ~stream:path ~kind detail
+    | None -> ()
+  in
+  let dump_flight () =
+    match (flight, flight_out) with
+    | Some f, Some p ->
+      Rt_util.Atomic_file.write p
+        (Rt_obs.Json.to_string ~pretty:true (Rt_obs.Flight.to_json f));
+      Printf.eprintf "wrote %s\n" p
+    | _ -> ()
+  in
   let run src =
          let parser = Rt_trace.Stream_io.create ~mode ~eps src in
          let eng = ref None in
@@ -829,11 +857,16 @@ let watch path bound window mode eps poll follow max_periods =
                  | Some _, None | None, Some _ -> true
                in
                if changed then begin
-                 if !was_converged then
+                 if !was_converged then begin
+                   record Rt_obs.Flight.Warn "watch.drift"
+                     (Printf.sprintf
+                        "previously converged model invalidated at period %d"
+                        snap.Eng.periods);
                    Format.printf
                      "drift: previously converged model invalidated at \
                       period %d@."
-                     snap.Eng.periods;
+                     snap.Eng.periods
+                 end;
                  Format.printf "period %d: %d hypothesis(es)%s@."
                    snap.Eng.periods
                    (List.length snap.Eng.hypotheses)
@@ -858,27 +891,42 @@ let watch path bound window mode eps poll follow max_periods =
          done;
          !result
   in
-  if follow && path <> "-" then
-    (* Path-tracking follower: survives log rotation (rename + recreate)
-       and copytruncate shrinks, and waits for a not-yet-created file
-       instead of failing — a watch session outlives the logger's
-       housekeeping. *)
-    run
-      (Rt_trace.Stream_io.follow_path ~poll_interval:poll
-         ~stop:(fun () -> !stop) path)
-  else
-    match (if path = "-" then Ok stdin
-           else try Ok (open_in path) with Sys_error m -> Error m)
-    with
-    | Error m -> err (m)
-    | Ok ic ->
-      Fun.protect ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
-        (fun () ->
-           run
-             (if follow then
-                Rt_trace.Stream_io.follow_lines ~poll_interval:poll
-                  ~stop:(fun () -> !stop) ic
-              else Rt_trace.Stream_io.lines_of_channel ic))
+  let code =
+    if follow && path <> "-" then
+      (* Path-tracking follower: survives log rotation (rename + recreate)
+         and copytruncate shrinks, and waits for a not-yet-created file
+         instead of failing — a watch session outlives the logger's
+         housekeeping. *)
+      run
+        (Rt_trace.Stream_io.follow_path ~poll_interval:poll
+           ~on_event:(fun ev ->
+             match ev with
+             | Rt_trace.Stream_io.Tail.Rotated ->
+               record Rt_obs.Flight.Warn "tail.rotated"
+                 "followed file replaced; continuing on the new file"
+             | Rt_trace.Stream_io.Tail.Truncated ->
+               record Rt_obs.Flight.Warn "tail.truncated"
+                 "followed file shrank; continuing from the new end"
+             | Rt_trace.Stream_io.Tail.Opened ->
+               record Rt_obs.Flight.Info "tail.opened" "followed file opened"
+             | _ -> ())
+           ~stop:(fun () -> !stop) path)
+    else
+      match (if path = "-" then Ok stdin
+             else try Ok (open_in path) with Sys_error m -> Error m)
+      with
+      | Error m -> err (m)
+      | Ok ic ->
+        Fun.protect ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
+          (fun () ->
+             run
+               (if follow then
+                  Rt_trace.Stream_io.follow_lines ~poll_interval:poll
+                    ~stop:(fun () -> !stop) ic
+                else Rt_trace.Stream_io.lines_of_channel ic))
+  in
+  dump_flight ();
+  code
 
 (* --- analyze --- *)
 
@@ -981,38 +1029,122 @@ let control_roundtrip sock req =
        drain ();
        Buffer.contents buf)
 
-let report path socket query =
-  match socket with
-  | Some sock ->
-    (match control_roundtrip sock query with
-     | exception Unix.Unix_error (e, _, _) ->
-       err (Printf.sprintf "%s: %s" sock (Unix.error_message e))
-     | resp ->
-       if query = "metrics" then render_metrics ~source:sock resp
-       else begin
-         print_string resp;
-         if String.length resp >= 6 && String.sub resp 0 6 = "error:" then
-           err ("daemon refused the request")
-         else Ec.ok
-       end)
-  | None ->
-    (match path with
-     | None -> err ("need a METRICS file argument or --socket PATH")
-     | Some path ->
-       (match
-          let ic = open_in_bin path in
-          Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-              really_input_string ic (in_channel_length ic))
-        with
-        | exception Sys_error m -> err (m)
-        | content -> render_metrics ~source:path content))
+let render_prometheus ~source content =
+  match Rt_obs.Json.of_string content with
+  | Error m -> err (Printf.sprintf "%s: %s" source m)
+  | Ok json ->
+    (match Rt_obs.Prom.render json with
+     | Error m -> err (Printf.sprintf "%s: %s" source m)
+     | Ok rendered -> print_string rendered; Ec.ok)
+
+let report path socket query prometheus =
+  if prometheus && query <> "metrics" then
+    err ("--prometheus already implies a query; drop --query")
+  else
+    match socket with
+    | Some sock ->
+      let query = if prometheus then "prometheus" else query in
+      (match control_roundtrip sock query with
+       | exception Unix.Unix_error (e, _, _) ->
+         err (Printf.sprintf "%s: %s" sock (Unix.error_message e))
+       | resp ->
+         if query = "metrics" then render_metrics ~source:sock resp
+         else begin
+           print_string resp;
+           if String.length resp >= 6 && String.sub resp 0 6 = "error:" then
+             err ("daemon refused the request")
+           else Ec.ok
+         end)
+    | None ->
+      (match path with
+       | None -> err ("need a METRICS file argument or --socket PATH")
+       | Some path ->
+         (match
+            let ic = open_in_bin path in
+            Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+                really_input_string ic (in_channel_length ic))
+          with
+          | exception Sys_error m -> err (m)
+          | content ->
+            if prometheus then render_prometheus ~source:path content
+            else render_metrics ~source:path content))
+
+(* --- top --- *)
+
+(* Live fleet telemetry: poll the daemon's status over the control
+   socket and redraw a compact per-stream table. Plain ANSI clear — no
+   terminal library — so it works in CI logs (--no-clear) too. *)
+let top socket interval count no_clear =
+  let kv_of tokens =
+    List.filter_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some i ->
+          Some
+            ( String.sub tok 0 i,
+              String.sub tok (i + 1) (String.length tok - i - 1) )
+        | None -> None)
+      tokens
+  in
+  let field kvs key = Option.value ~default:"-" (List.assoc_opt key kvs) in
+  let render resp =
+    let lines = String.split_on_char '\n' resp in
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf "%-16s %-11s %9s %6s %9s %6s %5s %9s\n" "STREAM" "PHASE"
+         "PERIODS" "HYPS" "RESTARTS" "QUEUE" "SHED" "CKPT-AGE");
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' line with
+        | "stream" :: id :: rest ->
+          let kvs = kv_of rest in
+          Buffer.add_string b
+            (Printf.sprintf "%-16s %-11s %9s %6s %9s %6s %5s %9s\n" id
+               (field kvs "phase") (field kvs "periods")
+               (field kvs "hypotheses") (field kvs "restarts")
+               (field kvs "queue") (field kvs "shed") (field kvs "ckpt_age"))
+        | "totals" :: rest ->
+          let kvs = kv_of rest in
+          Buffer.add_string b
+            (Printf.sprintf
+               "\n\
+                totals: %s accepted, %s active, %s finalized, %s failed, %s \
+                shed, %s busy, %s restarts, %s periods\n"
+               (field kvs "accepted") (field kvs "active")
+               (field kvs "finalized") (field kvs "failed") (field kvs "shed")
+               (field kvs "busy") (field kvs "restarts") (field kvs "periods"))
+        | _ -> ())
+      lines;
+    Buffer.contents b
+  in
+  let rec loop remaining =
+    match control_roundtrip socket "status" with
+    | exception Unix.Unix_error (e, _, _) ->
+      err (Printf.sprintf "%s: %s" socket (Unix.error_message e))
+    | resp ->
+      if String.length resp >= 6 && String.sub resp 0 6 = "error:" then begin
+        print_string resp;
+        err ("daemon refused the request")
+      end
+      else begin
+        if not no_clear then print_string "\027[2J\027[H";
+        print_string (render resp);
+        flush stdout;
+        match remaining with
+        | Some n when n <= 1 -> Ec.ok
+        | _ ->
+          Unix.sleepf interval;
+          loop (Option.map (fun n -> n - 1) remaining)
+      end
+  in
+  loop count
 
 (* --- serve --- *)
 
 let serve spool listen control out_dir checkpoint_dir checkpoint_every bound
     window eps jobs max_streams queue_capacity tick max_restarts backoff
-    backoff_cap stall_timeout idle_timeout metrics stop_after_total
-    drain_after_total =
+    backoff_cap stall_timeout idle_timeout metrics flight flight_capacity
+    stop_after_total drain_after_total =
   let policy =
     {
       Rt_daemon.Supervisor.max_restarts;
@@ -1042,6 +1174,8 @@ let serve spool listen control out_dir checkpoint_dir checkpoint_every bound
       tick;
       policy;
       metrics_path = metrics;
+      flight_capacity;
+      flight_path = flight;
       stop_after_total;
       drain_after_total;
     }
@@ -1457,6 +1591,18 @@ let learn_cmd =
            ~doc:"Write the run's spans to FILE in Chrome trace_event \
                  format (load in chrome://tracing or Perfetto).")
   in
+  let profile =
+    Arg.(value & flag & info [ "profile" ]
+           ~doc:"Self-profile the run: print an exclusive/inclusive \
+                 hotspot table over the learner's span tree on stderr. \
+                 The learned model is unchanged.")
+  in
+  let folded =
+    Arg.(value & opt (some string) None & info [ "folded" ] ~docv:"FILE"
+           ~doc:"Write the span tree as folded stacks (one \
+                 $(i,path exclusive_ns) line per call path) to FILE — \
+                 feed to flamegraph.pl, speedscope or inferno.")
+  in
   let progress =
     Arg.(value & opt (some int) None & info [ "progress" ] ~docv:"N"
            ~doc:"Report progress on stderr every N periods (heuristic \
@@ -1475,7 +1621,7 @@ let learn_cmd =
     Term.((const learn $ stream_trace_arg $ exact $ auto $ stream $ shards
                $ bound_arg $ window_arg $ jobs_arg $ dot_arg $ output
                $ mode_arg $ eps_arg $ checkpoint $ every $ stop_after
-               $ metrics $ trace_events $ progress))
+               $ metrics $ trace_events $ profile $ folded $ progress))
 
 let watch_cmd =
   let poll =
@@ -1492,11 +1638,17 @@ let watch_cmd =
            ~doc:"Stop after learning N periods (mainly for scripting a \
                  bounded watch over a live source).")
   in
+  let flight =
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE"
+           ~doc:"Record drift notices and follower rotation/truncation \
+                 events in a flight recorder and dump it (rtgen-flight \
+                 JSON) to FILE at exit.")
+  in
   Cmd.v (Cmd.info "watch"
            ~doc:"Follow a trace source and print the model as it evolves \
                  (LUB on change, drift notices)")
     Term.((const watch $ stream_trace_arg $ bound_arg $ window_arg
-               $ mode_arg $ eps_arg $ poll $ follow $ max_periods))
+               $ mode_arg $ eps_arg $ poll $ follow $ max_periods $ flight))
 
 let analyze_cmd =
   Cmd.v (Cmd.info "analyze"
@@ -1573,12 +1725,19 @@ let report_cmd =
     Arg.(value & opt string "metrics" & info [ "query" ] ~docv:"REQ"
            ~doc:"Control request to send with $(b,--socket): \
                  $(b,metrics) (rendered as the usual table), \
-                 $(b,status), $(b,snapshot ID) or $(b,drain) (printed \
-                 verbatim).")
+                 $(b,status), $(b,snapshot ID), $(b,flight) (the \
+                 flight-recorder dump), $(b,prometheus) or $(b,drain) \
+                 (printed verbatim).")
+  in
+  let prometheus =
+    Arg.(value & flag & info [ "prometheus" ]
+           ~doc:"Render the metrics in Prometheus text exposition format \
+                 instead of the per-phase tables (works on a METRICS \
+                 file and over $(b,--socket)).")
   in
   Cmd.v (Cmd.info "report"
            ~doc:"Render a metrics file, or query a live daemon")
-    Term.((const report $ metrics_file $ socket $ query))
+    Term.((const report $ metrics_file $ socket $ query $ prometheus))
 
 let serve_cmd =
   let spool =
@@ -1652,6 +1811,20 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
            ~doc:"Write the daemon's metrics JSON to FILE when draining.")
   in
+  let flight =
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE"
+           ~doc:"Write the flight-recorder dump (rtgen-flight JSON) to \
+                 FILE at exit, and eagerly on every stream failure or \
+                 quarantine latch. The recorder itself is always on; \
+                 query it live with $(b,rtgen report --socket --query \
+                 flight).")
+  in
+  let flight_capacity =
+    Arg.(value & opt int 1024 & info [ "flight-capacity" ] ~docv:"N"
+           ~doc:"Flight-recorder ring size in events; when it wraps, the \
+                 oldest events are overwritten (the dump reports how \
+                 many).")
+  in
   let stop_after_total =
     Arg.(value & opt (some int) None & info [ "stop-after-total" ] ~docv:"N"
            ~doc:"Exit abruptly — no final checkpoints, no models — once N \
@@ -1670,8 +1843,33 @@ let serve_cmd =
                $ checkpoint_every $ bound_arg $ window_arg $ eps_arg
                $ jobs_arg $ max_streams $ queue_capacity $ tick
                $ max_restarts $ backoff $ backoff_cap $ stall_timeout
-               $ idle_timeout $ metrics $ stop_after_total
-               $ drain_after_total))
+               $ idle_timeout $ metrics $ flight $ flight_capacity
+               $ stop_after_total $ drain_after_total))
+
+let top_cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"The daemon's control socket ($(b,rtgen serve \
+                 --control) path).")
+  in
+  let interval =
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SEC"
+           ~doc:"Seconds between refreshes.")
+  in
+  let count =
+    Arg.(value & opt (some int) None & info [ "count" ] ~docv:"N"
+           ~doc:"Render N frames and exit (default: refresh until \
+                 interrupted).")
+  in
+  let no_clear =
+    Arg.(value & flag & info [ "no-clear" ]
+           ~doc:"Do not clear the screen between frames — append them, \
+                 for logs and CI.")
+  in
+  Cmd.v (Cmd.info "top"
+           ~doc:"Live per-stream fleet table for a running rtgend \
+                 (state, periods, queue depth, checkpoint age)")
+    Term.((const top $ socket $ interval $ count $ no_clear))
 
 let vcd_cmd =
   let import =
@@ -1772,7 +1970,7 @@ let () =
   let info = Cmd.info "rtgen" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ simulate_cmd; learn_cmd; watch_cmd; serve_cmd; analyze_cmd;
+      [ simulate_cmd; learn_cmd; watch_cmd; serve_cmd; top_cmd; analyze_cmd;
         query_cmd; check_cmd; inject_cmd; stats_cmd; report_cmd; vcd_cmd;
         gantt_cmd; anonymize_cmd; table1_cmd; example_cmd ]
   in

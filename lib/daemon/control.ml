@@ -2,6 +2,8 @@ type request =
   | Status
   | Metrics
   | Snapshot of string
+  | Flight
+  | Prometheus
   | Drain
 
 let parse line =
@@ -12,6 +14,8 @@ let parse line =
   | [ "status" ] -> Ok Status
   | [ "metrics" ] -> Ok Metrics
   | [ "snapshot"; id ] -> Ok (Snapshot id)
+  | [ "flight" ] -> Ok Flight
+  | [ "prometheus" ] -> Ok Prometheus
   | [ "drain" ] -> Ok Drain
   | _ -> Error (Printf.sprintf "unknown control request: %S" (String.trim line))
 
@@ -19,4 +23,6 @@ let to_string = function
   | Status -> "status"
   | Metrics -> "metrics"
   | Snapshot id -> "snapshot " ^ id
+  | Flight -> "flight"
+  | Prometheus -> "prometheus"
   | Drain -> "drain"

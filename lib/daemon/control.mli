@@ -7,13 +7,20 @@
     status            one line per stream plus a totals line
     metrics           the metrics JSON document (metrics.schema.json)
     snapshot ID       the stream's current LUB model matrix
+    flight            the flight-recorder dump (rtgen-flight JSON)
+    prometheus        the metrics in Prometheus text exposition
     drain             finish all streams, write models, exit
-    v} *)
+    v}
+
+    An unrecognized verb gets a single [error: ...] line back — never a
+    hang, never a silently empty reply. *)
 
 type request =
   | Status
   | Metrics
   | Snapshot of string
+  | Flight
+  | Prometheus
   | Drain
 
 val parse : string -> (request, string) result

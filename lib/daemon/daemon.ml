@@ -18,6 +18,8 @@ type config = {
   tick : float;
   policy : Supervisor.policy;
   metrics_path : string option;
+  flight_capacity : int;
+  flight_path : string option;
   stop_after_total : int option;
   drain_after_total : int option;
   handle_signals : bool;
@@ -41,6 +43,8 @@ let default =
     tick = 0.05;
     policy = Supervisor.default_policy;
     metrics_path = None;
+    flight_capacity = 1024;
+    flight_path = None;
     stop_after_total = None;
     drain_after_total = None;
     handle_signals = true;
@@ -67,11 +71,15 @@ type entry = {
   mutable shed : bool;
   mutable last_fed : int;  (* last observed periods_fed; survives the
                               stream object being discarded *)
+  mutable ckpt_seen : int;  (* checkpoints_written at the last check *)
+  mutable ckpt_at : float option;  (* daemon-clock time of the newest one *)
 }
 
 type state = {
   cfg : config;
   reg : Reg.t;
+  flight : Rt_obs.Flight.t;
+  mutable now : float;  (* the loop's current clock, for status ages *)
   pool : Rt_util.Domain_pool.t option;
   entries : (string, entry) Hashtbl.t;
   mutable order : string list;  (* ids, newest first *)
@@ -93,6 +101,18 @@ type state = {
 }
 
 let logf fmt = Printf.eprintf ("rtgend: " ^^ fmt ^^ "\n%!")
+
+let fl st sev ~stream ~kind detail =
+  Rt_obs.Flight.record st.flight sev ~stream ~kind detail
+
+(* Post-mortem dump: written at exit, and eagerly on every stream
+   failure or quarantine latch so a later hard death cannot lose it. *)
+let dump_flight st =
+  match st.cfg.flight_path with
+  | None -> ()
+  | Some p ->
+    Rt_util.Atomic_file.write p
+      (Rt_obs.Json.to_string ~pretty:true (Rt_obs.Flight.to_json st.flight))
 
 let is_active e =
   (not e.shed)
@@ -128,6 +148,7 @@ let make_stream st ~checkpointed id =
   let checkpoint_path = if checkpointed then checkpoint_path_of st id else None in
   let s, note =
     Stream.create ~id ?pool:st.pool
+      ~flight:(Rt_obs.Flight.scope st.flight id)
       {
         Stream.bound = st.cfg.bound;
         window = st.cfg.window;
@@ -180,6 +201,7 @@ let shed st e reason =
      c.cfd <- None
    | Spool sp -> Sio.Tail.close sp.tail);
   retire_stream st e;
+  fl st Rt_obs.Flight.Warn ~stream:e.id ~kind:"stream.shed" reason;
   logf "stream %s shed: %s" e.id reason
 
 (* [drop_checkpoint] when the on-disk file's identity changed (rotated,
@@ -198,16 +220,24 @@ let crash st now e ~drop_checkpoint reason =
    | Conn c ->
      Option.iter close_fd c.cfd;
      c.cfd <- None);
+  fl st Rt_obs.Flight.Error ~stream:e.id ~kind:"stream.crash" reason;
   match e.source with
   | Conn _ ->
     (* the connection's bytes are gone: nothing to restart from *)
     Supervisor.fail e.sup ~reason;
     st.c_failed <- st.c_failed + 1;
+    fl st Rt_obs.Flight.Error ~stream:e.id ~kind:"stream.failed"
+      ("socket stream, unrecoverable: " ^ reason);
+    dump_flight st;
     logf "stream %s FAILED (socket stream, unrecoverable): %s" e.id reason
   | Spool _ ->
     (match Supervisor.note_crash e.sup ~now ~reason with
      | `Failed ->
        st.c_failed <- st.c_failed + 1;
+       fl st Rt_obs.Flight.Error ~stream:e.id ~kind:"stream.failed"
+         (Printf.sprintf "after %d restarts: %s" (Supervisor.restarts e.sup)
+            reason);
+       dump_flight st;
        logf "stream %s FAILED after %d restarts: %s" e.id
          (Supervisor.restarts e.sup) reason
      | `Backoff until ->
@@ -224,7 +254,10 @@ let restart st now e =
     let s = make_stream st ~checkpointed:true e.id in
     e.stream <- Some s;
     e.last_fed <- Stream.periods_fed s;
+    e.ckpt_seen <- Stream.checkpoints_written s;
     Supervisor.note_restart e.sup ~now;
+    fl st Rt_obs.Flight.Info ~stream:e.id ~kind:"stream.restart"
+      (Printf.sprintf "attempt %d" (Supervisor.restarts e.sup));
     logf "stream %s restarted (attempt %d)" e.id (Supervisor.restarts e.sup)
 
 let note_quarantine st e s =
@@ -234,8 +267,20 @@ let note_quarantine st e s =
   then begin
     Supervisor.set_quarantined e.sup;
     st.c_quarantined <- st.c_quarantined + 1;
+    fl st Rt_obs.Flight.Warn ~stream:e.id ~kind:"stream.quarantine"
+      (Rt_trace.Quarantine.summary (Stream.quarantine s));
+    dump_flight st;
     logf "stream %s: recover-mode quarantine engaged (%s)" e.id
       (Rt_trace.Quarantine.summary (Stream.quarantine s))
+  end
+
+(* Track checkpoint writes the stream performed since we last looked,
+   so [status] can report how stale each stream's newest one is. *)
+let note_ckpt st e s =
+  let n = Stream.checkpoints_written s in
+  if n > e.ckpt_seen then begin
+    e.ckpt_seen <- n;
+    e.ckpt_at <- Some st.now
   end
 
 let finalize_entry st e =
@@ -245,16 +290,22 @@ let finalize_entry st e =
     e.last_fed <- Stream.periods_fed s;
     note_quarantine st e s;
     Stream.write_checkpoint s;
+    note_ckpt st e s;
     (match Stream.render_model s with
      | Ok text ->
        let path = Filename.concat st.cfg.out_dir (e.id ^ ".model") in
        Rt_util.Atomic_file.write path text;
        Supervisor.finalize e.sup;
        st.c_finalized <- st.c_finalized + 1;
+       fl st Rt_obs.Flight.Info ~stream:e.id ~kind:"stream.finalize"
+         (Printf.sprintf "%d periods -> %s" e.last_fed path);
        logf "stream %s finalized: %d periods -> %s" e.id e.last_fed path
      | Error m ->
        Supervisor.fail e.sup ~reason:m;
        st.c_failed <- st.c_failed + 1;
+       fl st Rt_obs.Flight.Error ~stream:e.id ~kind:"stream.failed"
+         ("at finalize: " ^ m);
+       dump_flight st;
        logf "stream %s failed at finalize: %s" e.id m)
 
 (* Push a line even when the queue is full, by pumping to make room —
@@ -329,11 +380,15 @@ let admit_spool st now id path =
       stream = None;
       shed = false;
       last_fed = 0;
+      ckpt_seen = 0;
+      ckpt_at = None;
     }
   in
+  fl st Rt_obs.Flight.Info ~stream:id ~kind:"stream.admit" ("spool " ^ path);
   let s = make_stream st ~checkpointed:true id in
   e.stream <- Some s;
   e.last_fed <- Stream.periods_fed s;
+  e.ckpt_seen <- Stream.checkpoints_written s;
   Hashtbl.add st.entries id e;
   st.order <- id :: st.order;
   st.c_accepted <- st.c_accepted + 1;
@@ -357,6 +412,9 @@ let scan st now =
                else if not (Hashtbl.mem st.deferred id) then begin
                  Hashtbl.add st.deferred id ();
                  st.c_busy <- st.c_busy + 1;
+                 fl st Rt_obs.Flight.Warn ~stream:id ~kind:"stream.defer"
+                   (Printf.sprintf "BUSY (%d/%d streams active)"
+                      (active_count st) st.cfg.max_streams);
                  logf "stream %s deferred: BUSY (%d/%d streams active)" id
                    (active_count st) st.cfg.max_streams
                end
@@ -454,12 +512,16 @@ let accept_data st now lfd =
       st.c_busy <- st.c_busy + 1;
       write_all fd "BUSY\n";
       close_fd fd;
+      fl st Rt_obs.Flight.Warn ~stream:"" ~kind:"stream.defer"
+        (Printf.sprintf "connection refused: BUSY (%d/%d streams active)"
+           (active_count st) st.cfg.max_streams);
       logf "connection refused: BUSY (%d/%d streams active)" (active_count st)
         st.cfg.max_streams
     end
     else begin
       st.conn_seq <- st.conn_seq + 1;
       let id = Printf.sprintf "conn%d" st.conn_seq in
+      fl st Rt_obs.Flight.Info ~stream:id ~kind:"stream.admit" "socket connection";
       let e =
         {
           id;
@@ -468,6 +530,8 @@ let accept_data st now lfd =
           stream = Some (make_stream st ~checkpointed:false id);
           shed = false;
           last_fed = 0;
+          ckpt_seen = 0;
+          ckpt_at = None;
         }
       in
       Hashtbl.add st.entries id e;
@@ -512,15 +576,20 @@ let status_text st =
           | Supervisor.Failed _ -> "failed"
           | Supervisor.Finalized -> "finalized"
       in
+      let ckpt_age =
+        match e.ckpt_at with
+        | None -> "-"
+        | Some t -> Printf.sprintf "%.1fs" (Float.max 0.0 (st.now -. t))
+      in
       Buffer.add_string b
         (Printf.sprintf
            "stream %s phase=%s periods=%d hypotheses=%d restarts=%d queue=%d \
-            quarantined=%b shed=%b\n"
+            quarantined=%b shed=%b ckpt_age=%s\n"
            e.id phase e.last_fed
            (match e.stream with Some s -> Stream.hypotheses s | None -> 0)
            (Supervisor.restarts e.sup)
            (match e.stream with Some s -> Stream.queued s | None -> 0)
-           (Supervisor.quarantined e.sup) e.shed));
+           (Supervisor.quarantined e.sup) e.shed ckpt_age));
   Buffer.add_string b
     (Printf.sprintf
        "totals accepted=%d active=%d finalized=%d failed=%d shed=%d busy=%d \
@@ -556,6 +625,11 @@ let respond_control st line =
     publish st;
     Rt_obs.Json.to_string (Reg.to_json st.reg) ^ "\n"
   | Ok (Control.Snapshot id) -> snapshot_text st id
+  | Ok Control.Flight ->
+    Rt_obs.Json.to_string (Rt_obs.Flight.to_json st.flight) ^ "\n"
+  | Ok Control.Prometheus ->
+    publish st;
+    Rt_obs.Prom.of_registry st.reg
   | Ok Control.Drain ->
     st.draining <- true;
     "OK draining\n"
@@ -622,6 +696,7 @@ let pump_entry st now e =
       e.last_fed <- Stream.periods_fed s;
       st.busy_tick <- true
     end;
+    note_ckpt st e s;
     note_quarantine st e s;
     (match status with
      | Stream.Crashed m -> crash st now e ~drop_checkpoint:false m
@@ -653,6 +728,8 @@ let supervise_entry st now e =
    [Failed], and the accepted = active + finalized + failed + shed
    accounting stays exact. *)
 let drain_all st now =
+  fl st Rt_obs.Flight.Info ~stream:"" ~kind:"drain.begin"
+    (Printf.sprintf "%d active stream(s)" (active_count st));
   logf "draining %d active stream(s)" (active_count st);
   let progressed = ref true in
   while !progressed do
@@ -716,6 +793,8 @@ let run ?clock cfg =
          {
            cfg;
            reg = Reg.create ();
+           flight = Rt_obs.Flight.create ~capacity:cfg.flight_capacity ();
+           now = clock ();
            pool =
              (if cfg.jobs > 1 then
                 Some (Rt_util.Domain_pool.create ~jobs:cfg.jobs)
@@ -752,10 +831,13 @@ let run ?clock cfg =
          (match cfg.listen with Some p -> " listen " ^ p | None -> "")
          (match cfg.control with Some p -> " control " ^ p | None -> "")
          cfg.bound cfg.max_streams;
+       fl st Rt_obs.Flight.Info ~stream:"" ~kind:"daemon.start"
+         (Printf.sprintf "bound=%d max_streams=%d" cfg.bound cfg.max_streams);
        let outcome = ref Drained in
        let last_scan = ref neg_infinity in
        while st.running do
          let now = clock () in
+         st.now <- now;
          if !drain_req then st.draining <- true;
          if now -. !last_scan >= cfg.tick then begin
            scan st now;
@@ -784,6 +866,7 @@ let run ?clock cfg =
            | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
          in
          let now = clock () in
+         st.now <- now;
          List.iter
            (fun fd ->
              if Some fd = data_l then accept_data st now fd
@@ -835,6 +918,14 @@ let run ?clock cfg =
            st.c_accepted st.c_finalized st.c_failed st.c_shed st.c_busy
            st.c_restarts (total_periods st)
        end;
+       fl st Rt_obs.Flight.Info ~stream:"" ~kind:"daemon.exit"
+         (match !outcome with
+          | Drained -> "drained"
+          | Stopped -> "stopped (stop-after-total)");
+       dump_flight st;
+       (match cfg.flight_path with
+        | Some p -> logf "wrote flight dump to %s" p
+        | None -> ());
        iter_entries st (fun e ->
            match e.source with
            | Conn c ->

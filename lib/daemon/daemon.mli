@@ -37,6 +37,10 @@ type config = {
   tick : float;                   (** select timeout / spool scan cadence *)
   policy : Supervisor.policy;
   metrics_path : string option;   (** metrics JSON dumped at exit *)
+  flight_capacity : int;          (** flight-recorder ring size (events) *)
+  flight_path : string option;
+      (** flight dump (rtgen-flight JSON) written at exit and eagerly on
+          every stream failure / quarantine latch *)
   stop_after_total : int option;
       (** abrupt exit (no final checkpoints, no models) once this many
           periods were handled — deterministic SIGKILL emulation *)

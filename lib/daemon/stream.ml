@@ -21,6 +21,7 @@ type t = {
   id : string;
   cfg : config;
   pool : Rt_util.Domain_pool.t option;
+  flight : Rt_obs.Flight.scope option;
   lines : string Bqueue.t;
   eof : bool ref;
   parser : Sio.t;
@@ -40,7 +41,7 @@ let read_file path =
   Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
       really_input_string ic (in_channel_length ic))
 
-let create ~id ?pool cfg =
+let create ~id ?pool ?flight cfg =
   let lines = Bqueue.create ~capacity:cfg.queue_capacity in
   let eof = ref false in
   let source () =
@@ -56,7 +57,7 @@ let create ~id ?pool cfg =
        | exception Sys_error m ->
          (None, 0, Some (Printf.sprintf "checkpoint %s unreadable (%s); starting fresh" p m))
        | data ->
-         (match Eng.resume ?pool data with
+         (match Eng.resume ?pool ?flight data with
           | Ok (eng, tag) when tag = tag_of id ->
             (Some eng, Eng.periods_fed eng, None)
           | Ok (_, tag) ->
@@ -69,10 +70,21 @@ let create ~id ?pool cfg =
             (None, 0, Some (Printf.sprintf "checkpoint %s: %s; starting fresh" p m))))
     | Some _ | None -> (None, 0, None)
   in
+  (match flight with
+   | None -> ()
+   | Some s ->
+     (match (engine, note) with
+      | Some _, _ ->
+        Rt_obs.Flight.record_s s Rt_obs.Flight.Info ~kind:"stream.resume"
+          (Printf.sprintf "resumed from checkpoint at %d periods" skip)
+      | None, Some m ->
+        Rt_obs.Flight.record_s s Rt_obs.Flight.Warn ~kind:"checkpoint.stale" m
+      | None, None -> ()));
   ( {
       id;
       cfg;
       pool;
+      flight;
       lines;
       eof;
       parser;
@@ -115,7 +127,7 @@ let engine_of t =
   | None ->
     let ts = Option.get (Sio.task_set t.parser) in
     let e =
-      Eng.create ?window:t.cfg.window ?pool:t.pool
+      Eng.create ?window:t.cfg.window ?pool:t.pool ?flight:t.flight
         ~ntasks:(Rt_task.Task_set.size ts)
         (Eng.Heuristic { bound = t.cfg.bound })
     in
@@ -128,7 +140,13 @@ let write_checkpoint t =
     (match Eng.checkpoint ~tag:(tag_of t.id) eng with
      | Ok data ->
        Rt_util.Atomic_file.write path data;
-       t.checkpoints <- t.checkpoints + 1
+       t.checkpoints <- t.checkpoints + 1;
+       (match t.flight with
+        | None -> ()
+        | Some s ->
+          Rt_obs.Flight.record_s s Rt_obs.Flight.Info ~kind:"checkpoint.write"
+            (Printf.sprintf "periods=%d checkpoints=%d" (Eng.periods_fed eng)
+               t.checkpoints))
      | Error _ -> ())
   | _ -> ()
 

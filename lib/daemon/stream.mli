@@ -30,12 +30,15 @@ type config = {
 type t
 
 val create :
-  id:string -> ?pool:Rt_util.Domain_pool.t -> config -> t * string option
+  id:string -> ?pool:Rt_util.Domain_pool.t -> ?flight:Rt_obs.Flight.scope ->
+  config -> t * string option
 (** A fresh stream. When [config.checkpoint_path] names an existing,
     intact checkpoint whose tag matches [id], the engine resumes from it
     and replay-skip is armed; a corrupt, unreadable or foreign
     checkpoint falls back to a fresh start (never an exception), and the
-    returned note says why. *)
+    returned note says why. [flight] records ["stream.resume"] /
+    ["checkpoint.stale"] here and ["checkpoint.write"] on every
+    checkpoint, and is passed down to the engine. *)
 
 val id : t -> string
 

@@ -11,6 +11,7 @@ type core = Hstate of H.state | Estate of E.state
 type t = {
   core : core;
   obs : Rt_obs.Registry.t option;
+  flight : Rt_obs.Flight.scope option;
   feed_hist : Rt_obs.Histogram.t option;
   periods_gauge : Rt_obs.Registry.gauge option;
   msgs_gauge : Rt_obs.Registry.gauge option;
@@ -25,10 +26,11 @@ type snapshot = {
   messages : int;
 }
 
-let wrap ?obs core =
+let wrap ?obs ?flight core =
   {
     core;
     obs;
+    flight;
     feed_hist =
       Option.map (fun r -> Rt_obs.Registry.histogram r "engine.feed_ns") obs;
     periods_gauge =
@@ -41,15 +43,15 @@ let wrap ?obs core =
         obs;
   }
 
-let create ?window ?pool ?obs ~ntasks algorithm =
+let create ?window ?pool ?obs ?flight ~ntasks algorithm =
   let core =
     match algorithm with
     | Exact { limit } -> Estate (E.init ?limit ?window ?obs ~ntasks ())
     | Heuristic { bound } -> Hstate (H.init ?window ?pool ?obs ~bound ~ntasks ())
   in
-  wrap ?obs core
+  wrap ?obs ?flight core
 
-let of_heuristic ?obs st = wrap ?obs (Hstate st)
+let of_heuristic ?obs ?flight st = wrap ?obs ?flight (Hstate st)
 
 let periods_fed t =
   match t.core with
@@ -64,6 +66,12 @@ let messages_fed t =
 let feed t p =
   let t0 = if t.feed_hist = None then 0 else Rt_obs.Registry.now_ns () in
   (match t.core with Hstate st -> H.feed st p | Estate st -> E.feed st p);
+  (match t.flight with
+   | None -> ()
+   | Some s ->
+     Rt_obs.Flight.record_s s Rt_obs.Flight.Debug ~kind:"engine.period"
+       (Printf.sprintf "periods=%d messages=%d" (periods_fed t)
+          (messages_fed t)));
   match t.feed_hist with
   | None -> ()
   | Some h ->
@@ -128,7 +136,7 @@ let checkpoint ?tag t =
   | Hstate st -> Ok (H.checkpoint ?tag st)
   | Estate _ -> Error "the exact algorithm has no checkpoint format"
 
-let resume ?pool ?obs data =
+let resume ?pool ?obs ?flight data =
   match H.resume ?pool ?obs data with
-  | Ok (st, tag) -> Ok (of_heuristic ?obs st, tag)
+  | Ok (st, tag) -> Ok (of_heuristic ?obs ?flight st, tag)
   | Error _ as e -> e

@@ -35,12 +35,15 @@ type snapshot = {
 
 val create :
   ?window:int -> ?pool:Rt_util.Domain_pool.t -> ?obs:Rt_obs.Registry.t ->
-  ntasks:int -> algorithm -> t
+  ?flight:Rt_obs.Flight.scope -> ntasks:int -> algorithm -> t
 (** A fresh engine holding only [{d⊥}]. [pool] parallelizes the
     heuristic fan-out (ignored by [Exact]); results are identical for
-    every pool size. *)
+    every pool size. [flight] attaches a flight-recorder scope: each
+    {!feed} appends one [Debug]-severity ["engine.period"] event. *)
 
-val of_heuristic : ?obs:Rt_obs.Registry.t -> Rt_learn.Heuristic.state -> t
+val of_heuristic :
+  ?obs:Rt_obs.Registry.t -> ?flight:Rt_obs.Flight.scope ->
+  Rt_learn.Heuristic.state -> t
 (** Wrap an existing heuristic state — e.g. one resumed from a
     checkpoint. [obs] attaches the engine-level instrumentation (the
     state keeps its own registry attachment for core metrics). *)
@@ -95,6 +98,7 @@ val checkpoint : ?tag:string -> t -> (string, string) result
     [Error] for an exact-core engine, which has no checkpoint format. *)
 
 val resume :
-  ?pool:Rt_util.Domain_pool.t -> ?obs:Rt_obs.Registry.t -> string ->
+  ?pool:Rt_util.Domain_pool.t -> ?obs:Rt_obs.Registry.t ->
+  ?flight:Rt_obs.Flight.scope -> string ->
   (t * string, string) result
 (** Deserialize a heuristic checkpoint into a live engine plus its tag. *)

@@ -1,0 +1,129 @@
+(* Flight recorder: a fixed-capacity ring of structured events for
+   post-mortem forensics. Where the Registry answers "how much, how
+   fast", the recorder answers "what happened, in what order, on which
+   stream" — the last [capacity] lifecycle events survive any crash
+   the process itself survives long enough to dump them.
+
+   The ring is four preallocated arrays indexed by [seq mod capacity];
+   recording writes four cells and bumps the sequence number, so the
+   recorder never allocates beyond the strings the caller already
+   built. Wraparound silently overwrites the oldest event and the dump
+   reports how many were lost that way. *)
+
+type severity = Debug | Info | Warn | Error
+
+let severity_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let severity_rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type t = {
+  clock : unit -> int;
+  capacity : int;
+  sevs : int array;
+  times : int array;      (* monotonic ns, from [clock] *)
+  streams : string array; (* "" = daemon-wide *)
+  kinds : string array;
+  details : string array;
+  mutable seq : int;      (* total events ever recorded *)
+}
+
+(* A recorder bound to one stream id, so per-stream call sites (the
+   engine's period boundary, a stream's checkpoint writer) don't carry
+   the id separately. *)
+type scope = { ring : t; stream : string }
+
+let create ?clock ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Flight.create: capacity must be >= 1";
+  let clock = match clock with Some c -> c | None -> Registry.now_ns in
+  {
+    clock;
+    capacity;
+    sevs = Array.make capacity 0;
+    times = Array.make capacity 0;
+    streams = Array.make capacity "";
+    kinds = Array.make capacity "";
+    details = Array.make capacity "";
+    seq = 0;
+  }
+
+let capacity t = t.capacity
+
+let recorded t = t.seq
+
+let length t = if t.seq < t.capacity then t.seq else t.capacity
+
+let dropped t = t.seq - length t
+
+let record t sev ~stream ~kind detail =
+  let i = t.seq mod t.capacity in
+  t.sevs.(i) <- severity_rank sev;
+  t.times.(i) <- t.clock ();
+  t.streams.(i) <- stream;
+  t.kinds.(i) <- kind;
+  t.details.(i) <- detail;
+  t.seq <- t.seq + 1
+
+let scope t stream = { ring = t; stream }
+
+let record_s s sev ~kind detail =
+  record s.ring sev ~stream:s.stream ~kind detail
+
+type event = {
+  seq : int;
+  ts_ns : int;
+  severity : severity;
+  stream : string;
+  kind : string;
+  detail : string;
+}
+
+let severity_of_rank = function
+  | 0 -> Debug
+  | 1 -> Info
+  | 2 -> Warn
+  | _ -> Error
+
+(* Oldest first: the ring's logical order is sequence order, which a
+   full ring stores rotated — the oldest surviving event sits at
+   [seq mod capacity]. *)
+let events t =
+  let n = length t in
+  List.init n (fun j ->
+      let seq = t.seq - n + j in
+      let i = seq mod t.capacity in
+      {
+        seq;
+        ts_ns = t.times.(i);
+        severity = severity_of_rank t.sevs.(i);
+        stream = t.streams.(i);
+        kind = t.kinds.(i);
+        detail = t.details.(i);
+      })
+
+let schema_name = "rtgen-flight"
+
+let schema_version = 1
+
+let to_json t =
+  Json.Obj
+    [ ("schema", Json.String schema_name);
+      ("version", Json.Int schema_version);
+      ("capacity", Json.Int t.capacity);
+      ("recorded", Json.Int t.seq);
+      ("dropped", Json.Int (dropped t));
+      ("events",
+       Json.List
+         (List.map
+            (fun e ->
+              Json.Obj
+                [ ("seq", Json.Int e.seq);
+                  ("ts_ns", Json.Int e.ts_ns);
+                  ("severity", Json.String (severity_to_string e.severity));
+                  ("stream", Json.String e.stream);
+                  ("kind", Json.String e.kind);
+                  ("detail", Json.String e.detail) ])
+            (events t))) ]

@@ -1,0 +1,76 @@
+(** Flight recorder: a fixed-capacity, allocation-light ring buffer of
+    structured lifecycle events (severity, monotonic timestamp, stream
+    id, event kind, free-form detail).
+
+    The {!Registry} aggregates; the recorder remembers {e order}. The
+    daemon writes an event at every supervision transition (admit,
+    shed, crash, restart, checkpoint write/resume, quarantine latch,
+    finalize), the engine at every period boundary, and a post-mortem
+    dump then shows the exact per-stream sequence leading up to a
+    failure. Recording writes into preallocated arrays — no allocation
+    beyond the caller's own strings — and a disabled recorder is a
+    [t option = None], costing the usual single branch. When the ring
+    wraps, the oldest events are overwritten and the dump says how
+    many were lost. *)
+
+type severity = Debug | Info | Warn | Error
+
+val severity_to_string : severity -> string
+
+type t
+
+val create : ?clock:(unit -> int) -> ?capacity:int -> unit -> t
+(** [clock] returns nanoseconds and must be non-decreasing (default
+    {!Registry.now_ns}); inject a fake clock for deterministic tests.
+    [capacity] defaults to 1024 events.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val recorded : t -> int
+(** Total events ever recorded, including overwritten ones. *)
+
+val length : t -> int
+(** Events currently held: [min recorded capacity]. *)
+
+val dropped : t -> int
+(** Events lost to wraparound: [recorded - length]. *)
+
+val record : t -> severity -> stream:string -> kind:string -> string -> unit
+(** [record t sev ~stream ~kind detail] appends one event. [stream] is
+    [""] for daemon-wide events. [kind] is dot-namespaced like metric
+    names (["stream.crash"], ["checkpoint.write"], ["engine.period"]). *)
+
+(** {2 Scoped recording} *)
+
+type scope
+(** A recorder bound to one stream id, for call sites that always
+    record against the same stream (the engine, a stream's checkpoint
+    writer). *)
+
+val scope : t -> string -> scope
+
+val record_s : scope -> severity -> kind:string -> string -> unit
+
+(** {2 Reading the ring} *)
+
+type event = {
+  seq : int;       (** global sequence number, 0-based *)
+  ts_ns : int;
+  severity : severity;
+  stream : string;
+  kind : string;
+  detail : string;
+}
+
+val events : t -> event list
+(** Surviving events, oldest first — sequence order even after the
+    ring has wrapped. *)
+
+val schema_name : string
+
+val schema_version : int
+
+val to_json : t -> Json.t
+(** The dump document: schema/version, capacity, recorded/dropped
+    totals, and the surviving events oldest-first. *)

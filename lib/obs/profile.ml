@@ -1,0 +1,140 @@
+(* Learner self-profiler: fold the registry's completed span timeline
+   into per-name exclusive/inclusive aggregates and flamegraph-ready
+   folded stacks.
+
+   The registry records spans flat (name, depth, start, duration); the
+   tree is implicit in time containment. Replaying the spans in start
+   order against an explicit stack recovers it: a new span at depth d
+   closes every frame at depth >= d, and whatever then tops the stack
+   is its parent. Exclusive time is a frame's duration minus the
+   durations of its direct children — the time attributable to that
+   code itself, which is what a hotspot table must rank by (the root
+   "learn.period" span would otherwise dwarf the kernels it calls). *)
+
+type row = {
+  name : string;
+  count : int;
+  inclusive_ns : int;  (** total span duration *)
+  exclusive_ns : int;  (** duration minus direct children *)
+}
+
+type frame = {
+  f_name : string;
+  f_depth : int;
+  f_dur : int;
+  f_path : string;  (* ";"-joined ancestry, folded-stacks style *)
+  mutable f_children_ns : int;
+}
+
+type agg = {
+  mutable a_count : int;
+  mutable a_incl : int;
+  mutable a_excl : int;
+}
+
+(* One pass over the chronological spans, feeding [on_close] every
+   finished frame (its exclusive time now known). *)
+let replay spans ~on_close =
+  let stack = ref [] in
+  let close f = on_close f (f.f_dur - f.f_children_ns) in
+  let rec unwind depth =
+    match !stack with
+    | f :: rest when f.f_depth >= depth ->
+      close f;
+      stack := rest;
+      unwind depth
+    | _ -> ()
+  in
+  List.iter
+    (fun (s : Registry.raw_span) ->
+      unwind s.depth;
+      let path =
+        match !stack with
+        | [] -> s.name
+        | parent :: _ ->
+          parent.f_children_ns <- parent.f_children_ns + s.dur_ns;
+          parent.f_path ^ ";" ^ s.name
+      in
+      stack :=
+        { f_name = s.name; f_depth = s.depth; f_dur = s.dur_ns;
+          f_path = path; f_children_ns = 0 }
+        :: !stack)
+    spans;
+  unwind min_int
+
+let rows reg =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  replay (Registry.raw_spans reg) ~on_close:(fun f excl ->
+      let a =
+        match Hashtbl.find_opt tbl f.f_name with
+        | Some a -> a
+        | None ->
+          let a = { a_count = 0; a_incl = 0; a_excl = 0 } in
+          Hashtbl.add tbl f.f_name a;
+          order := f.f_name :: !order;
+          a
+      in
+      a.a_count <- a.a_count + 1;
+      a.a_incl <- a.a_incl + f.f_dur;
+      a.a_excl <- a.a_excl + excl);
+  List.sort
+    (fun a b ->
+      match Int.compare b.exclusive_ns a.exclusive_ns with
+      | 0 -> String.compare a.name b.name
+      | c -> c)
+    (List.rev_map
+       (fun name ->
+         let a = Hashtbl.find tbl name in
+         { name; count = a.a_count; inclusive_ns = a.a_incl;
+           exclusive_ns = a.a_excl })
+       !order)
+
+(* Folded stacks: one line per distinct call path, value = exclusive
+   nanoseconds, the format flamegraph.pl / speedscope / inferno eat
+   directly. Paths sort lexicographically so output is stable. *)
+let folded reg =
+  let tbl = Hashtbl.create 16 in
+  replay (Registry.raw_spans reg) ~on_close:(fun f excl ->
+      Hashtbl.replace tbl f.f_path
+        (excl + Option.value ~default:0 (Hashtbl.find_opt tbl f.f_path)));
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (path, ns) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" path ns))
+    (List.sort
+       (fun (a, _) (b, _) -> String.compare a b)
+       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []));
+  Buffer.contents buf
+
+let hotspots reg =
+  match rows reg with
+  | [] -> "(no spans recorded — nothing to profile)\n"
+  | rows ->
+    let total = List.fold_left (fun acc r -> acc + r.exclusive_ns) 0 rows in
+    let name_w =
+      List.fold_left (fun w r -> Stdlib.max w (String.length r.name)) 4 rows
+    in
+    let pad w s = s ^ String.make (Stdlib.max 0 (w - String.length s)) ' ' in
+    let lpad w s = String.make (Stdlib.max 0 (w - String.length s)) ' ' ^ s in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "%s  %s  %s  %s  %s\n" (pad name_w "span")
+         (lpad 8 "count") (lpad 10 "inclusive") (lpad 10 "exclusive")
+         (lpad 6 "excl%"));
+    List.iter
+      (fun r ->
+        let pct =
+          if total = 0 then 0.0
+          else 100.0 *. float_of_int r.exclusive_ns /. float_of_int total
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s  %s  %s  %s  %s\n" (pad name_w r.name)
+             (lpad 8 (string_of_int r.count))
+             (lpad 10 (Report.pp_ns r.inclusive_ns))
+             (lpad 10 (Report.pp_ns r.exclusive_ns))
+             (lpad 6 (Printf.sprintf "%.1f" pct))))
+      rows;
+    Buffer.add_string buf
+      (Printf.sprintf "total span time %s (exclusive sum)\n"
+         (Report.pp_ns total));
+    Buffer.contents buf

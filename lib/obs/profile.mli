@@ -1,0 +1,30 @@
+(** Learner self-profiler: exclusive/inclusive hotspot aggregation and
+    folded-stacks output over the registry's completed span timeline.
+
+    The span tree is recovered from the flat (name, depth, start,
+    duration) records by replaying them in start order against an
+    explicit stack. {e Inclusive} time is a span's full duration;
+    {e exclusive} time subtracts its direct children — the time spent
+    in that code itself, which is what hotspot ranking must use.
+    Profiling is a read-only fold over data the registry already
+    collects, so enabling it cannot change learned models. *)
+
+type row = {
+  name : string;
+  count : int;
+  inclusive_ns : int;
+  exclusive_ns : int;
+}
+
+val rows : Registry.t -> row list
+(** Per-name aggregates, sorted by exclusive time descending (name
+    breaks ties). *)
+
+val hotspots : Registry.t -> string
+(** The rendered hotspot table: span, count, inclusive, exclusive,
+    exclusive-%. *)
+
+val folded : Registry.t -> string
+(** Folded stacks, one ["root;child;leaf <exclusive_ns>"] line per
+    distinct call path, sorted — feed to flamegraph.pl, speedscope or
+    inferno. *)

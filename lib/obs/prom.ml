@@ -1,0 +1,227 @@
+(* Prometheus text-exposition sink: render a metrics document
+   (Registry.to_json, or a metrics file read back from disk) in the
+   text format scrapers ingest. A pure renderer over the existing
+   registry names — the metrics document stays the source of truth and
+   keeps its schema; this maps it:
+
+     counter   a.b        -> rtgen_a_b_total            (counter)
+     gauge     a.b        -> rtgen_a_b, rtgen_a_b_max   (gauges)
+     histogram a.b        -> rtgen_a_b_bucket{le=...}, _sum, _count
+     span      a.b        -> rtgen_a_b_spans_total, rtgen_a_b_span_ns_total
+     elapsed_ns           -> rtgen_elapsed_ns           (gauge)
+
+   Per-stream daemon gauges are the one structured family:
+   [daemon.stream.<id>.<metric>] becomes
+   [rtgen_daemon_stream_<metric>{stream="<id>"}], so a 16-vehicle
+   fleet is one labelled series family per metric, not 16 names.
+   scripts/check_metrics.py recomputes this mapping and cross-checks
+   an exposition against its metrics document. *)
+
+let prefix = "rtgen_"
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+(* [daemon.stream.<id>.<metric>] -> base family + stream label. *)
+let split_stream_name name =
+  let p = "daemon.stream." in
+  let pl = String.length p in
+  if String.length name > pl && String.sub name 0 pl = p then
+    match String.rindex_opt name '.' with
+    | Some i when i > pl ->
+      let id = String.sub name pl (i - pl) in
+      let metric = String.sub name (i + 1) (String.length name - i - 1) in
+      Some (Printf.sprintf "daemon.stream.%s" metric, id)
+    | Some _ | None -> None
+  else None
+
+let escape_label v =
+  let b = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+(* One family: a TYPE line followed by its samples, which the format
+   requires to be contiguous. *)
+type sample = { labels : (string * string) list; suffix : string; value : int }
+
+type family = { fname : string; ftype : string; samples : sample list }
+
+let render_family buf f =
+  Buffer.add_string buf
+    (Printf.sprintf "# TYPE %s %s\n" (prefix ^ sanitize f.fname) f.ftype);
+  List.iter
+    (fun s ->
+      let labels =
+        match s.labels with
+        | [] -> ""
+        | l ->
+          "{"
+          ^ String.concat ","
+              (List.map
+                 (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+                 l)
+          ^ "}"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s %d\n"
+           (prefix ^ sanitize f.fname ^ s.suffix)
+           labels s.value))
+    f.samples
+
+let int_member key j = Option.bind (Json.member key j) Json.to_int
+
+let obj_member key j =
+  Option.value ~default:[] (Option.bind (Json.member key j) Json.to_obj)
+
+(* Group name-keyed members into label-carrying families, preserving
+   first-seen order: vehicle00.periods and vehicle07.periods must land
+   in one contiguous rtgen_daemon_stream_periods family. *)
+let group_families members =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, j) ->
+      let fam, labels =
+        match split_stream_name name with
+        | Some (base, id) -> (base, [ ("stream", id) ])
+        | None -> (name, [])
+      in
+      (match Hashtbl.find_opt tbl fam with
+       | None ->
+         order := fam :: !order;
+         Hashtbl.add tbl fam [ (labels, j) ]
+       | Some l -> Hashtbl.replace tbl fam ((labels, j) :: l)))
+    members;
+  List.rev_map (fun fam -> (fam, List.rev (Hashtbl.find tbl fam))) !order
+
+let counter_families j =
+  List.map
+    (fun (fam, entries) ->
+      {
+        fname = fam ^ "_total";
+        ftype = "counter";
+        samples =
+          List.map
+            (fun (labels, v) ->
+              { labels; suffix = ""; value = Option.value ~default:0 (Json.to_int v) })
+            entries;
+      })
+    (group_families (obj_member "counters" j))
+
+let gauge_families j =
+  List.concat_map
+    (fun (fam, entries) ->
+      let sample key labels g =
+        { labels; suffix = ""; value = Option.value ~default:0 (int_member key g) }
+      in
+      [ { fname = fam;
+          ftype = "gauge";
+          samples = List.map (fun (labels, g) -> sample "last" labels g) entries };
+        { fname = fam ^ "_max";
+          ftype = "gauge";
+          samples = List.map (fun (labels, g) -> sample "max" labels g) entries } ])
+    (group_families (obj_member "gauges" j))
+
+let histogram_families j =
+  List.map
+    (fun (fam, entries) ->
+      let samples =
+        List.concat_map
+          (fun (labels, h) ->
+            let buckets =
+              List.filter_map
+                (fun b ->
+                  match (int_member "le" b, int_member "count" b) with
+                  | Some le, Some n -> Some (le, n)
+                  | _ -> None)
+                (Option.value ~default:[]
+                   (Option.bind (Json.member "buckets" h) Json.to_list))
+            in
+            (* The document stores per-bucket counts with the open top
+               bucket's bound printed as -1; the exposition wants
+               cumulative counts ending at le="+Inf". *)
+            let cum = ref 0 in
+            let bucket_samples =
+              List.concat_map
+                (fun (le, n) ->
+                  cum := !cum + n;
+                  if le < 0 then []
+                  else
+                    [ { labels = labels @ [ ("le", string_of_int le) ];
+                        suffix = "_bucket"; value = !cum } ])
+                buckets
+            in
+            let count = Option.value ~default:0 (int_member "count" h) in
+            bucket_samples
+            @ [ { labels = labels @ [ ("le", "+Inf") ];
+                  suffix = "_bucket"; value = count };
+                { labels; suffix = "_sum";
+                  value = Option.value ~default:0 (int_member "sum" h) };
+                { labels; suffix = "_count"; value = count } ])
+          entries
+      in
+      { fname = fam; ftype = "histogram"; samples })
+    (group_families (obj_member "histograms" j))
+
+let span_families j =
+  List.concat_map
+    (fun (fam, entries) ->
+      let fam_of key suffix =
+        {
+          fname = fam ^ suffix;
+          ftype = "counter";
+          samples =
+            List.map
+              (fun (labels, s) ->
+                { labels; suffix = "";
+                  value = Option.value ~default:0 (int_member key s) })
+              entries;
+        }
+      in
+      [ fam_of "count" "_spans_total"; fam_of "total_ns" "_span_ns_total" ])
+    (group_families (obj_member "spans" j))
+
+let ( let* ) = Result.bind
+
+let render j =
+  let* () =
+    match Option.bind (Json.member "schema" j) Json.to_string_opt with
+    | Some s when s = Registry.schema_name -> Ok ()
+    | Some s -> Error (Printf.sprintf "not a metrics document (schema %S)" s)
+    | None -> Error "metrics document: missing or bad \"schema\" field"
+  in
+  let* () =
+    match int_member "version" j with
+    | Some v when v = Registry.schema_version -> Ok ()
+    | Some v -> Error (Printf.sprintf "unsupported metrics version %d" v)
+    | None -> Error "metrics document: missing or bad \"version\" field"
+  in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (render_family buf)
+    (counter_families j @ gauge_families j @ histogram_families j
+    @ span_families j
+    @
+    match int_member "elapsed_ns" j with
+    | Some ns ->
+      [ { fname = "elapsed_ns"; ftype = "gauge";
+          samples = [ { labels = []; suffix = ""; value = ns } ] } ]
+    | None -> []);
+  Ok (Buffer.contents buf)
+
+let of_registry reg =
+  match render (Registry.to_json reg) with
+  | Ok s -> s
+  | Error m -> "# prometheus rendering failed: " ^ m ^ "\n"

@@ -1,0 +1,22 @@
+(** Prometheus text-exposition sink over the metrics document.
+
+    A pure renderer: the metrics JSON ([metrics.schema.json]) stays the
+    source of truth, and every exposed series derives from a registry
+    name by a fixed mapping — counters gain [_total], gauges expose
+    last value plus a [_max] twin, histograms become cumulative
+    [_bucket]/[_sum]/[_count] series, span aggregates become
+    [_spans_total] / [_span_ns_total] counters, and the per-stream
+    [daemon.stream.<id>.<metric>] gauges collapse into one family per
+    metric with a [stream="<id>"] label. All names carry the [rtgen_]
+    prefix with non-alphanumerics mapped to ['_'].
+    [scripts/check_metrics.py] recomputes this mapping to cross-check
+    an exposition against its document. *)
+
+val render : Json.t -> (string, string) result
+(** Render a metrics document ({!Registry.to_json} or a metrics file
+    read back) as Prometheus text exposition. [Error] when the value is
+    not an rtgen-metrics document of the supported version. *)
+
+val of_registry : Registry.t -> string
+(** [render] over a live registry's document; rendering errors degrade
+    to a comment line (they cannot happen for a well-formed registry). *)

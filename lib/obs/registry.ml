@@ -130,6 +130,23 @@ let with_span t name f =
 
 let open_spans t = List.length t.stack
 
+(* Chronological export for the profiler: start order, parents before
+   the children they enclose (depth breaks start-time ties, which a
+   coarse or fake clock produces routinely). *)
+type raw_span = { name : string; depth : int; start_ns : int; dur_ns : int }
+
+let raw_spans t =
+  List.stable_sort
+    (fun a b ->
+      match Int.compare a.start_ns b.start_ns with
+      | 0 -> Int.compare a.depth b.depth
+      | c -> c)
+    (List.rev_map
+       (fun s ->
+         { name = s.s_name; depth = s.s_depth; start_ns = s.s_start_ns;
+           dur_ns = s.s_dur_ns })
+       t.spans)
+
 (* --- sinks --- *)
 
 let schema_name = "rtgen-metrics"

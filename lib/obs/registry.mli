@@ -74,6 +74,17 @@ val with_span : t -> string -> (unit -> 'a) -> 'a
 val open_spans : t -> int
 (** Number of currently-open spans (0 when balanced). *)
 
+type raw_span = {
+  name : string;
+  depth : int;     (** stack depth at entry; 0 = root *)
+  start_ns : int;  (** relative to the registry origin *)
+  dur_ns : int;
+}
+
+val raw_spans : t -> raw_span list
+(** Completed spans in chronological start order, parents before the
+    children they enclose — the profiler's input ({!Profile}). *)
+
 (** {2 Sinks} *)
 
 val schema_name : string

@@ -11,3 +11,6 @@ val of_registry : Registry.t -> string
 
 val phase_of : string -> string
 (** The phase (grouping key) of an instrument name. *)
+
+val pp_ns : int -> string
+(** Human duration: ["734ns"], ["8.2us"], ["12.53ms"], ["3.21s"]. *)

@@ -130,8 +130,10 @@ module Tail = struct
          read ())
 end
 
-let follow_path ?(poll_interval = 0.05) ?(max_backoff = 1.0) ~stop path =
+let follow_path ?(poll_interval = 0.05) ?(max_backoff = 1.0) ?on_event ~stop
+    path =
   let tail = Tail.create path in
+  let notify ev = match on_event with Some f -> f ev | None -> () in
   let backoff = ref poll_interval in
   let finished = ref false in
   let stop_now () =
@@ -145,7 +147,8 @@ let follow_path ?(poll_interval = 0.05) ?(max_backoff = 1.0) ~stop path =
     | Tail.Line l ->
       backoff := poll_interval;
       Some l
-    | Tail.Opened | Tail.Rotated | Tail.Truncated ->
+    | (Tail.Opened | Tail.Rotated | Tail.Truncated) as ev ->
+      notify ev;
       backoff := poll_interval;
       pull ()
     | Tail.Waiting ->

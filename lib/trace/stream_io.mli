@@ -69,14 +69,17 @@ module Tail : sig
 end
 
 val follow_path :
-  ?poll_interval:float -> ?max_backoff:float -> stop:(unit -> bool) ->
+  ?poll_interval:float -> ?max_backoff:float ->
+  ?on_event:(Tail.event -> unit) -> stop:(unit -> bool) ->
   string -> line_source
 (** {!follow_lines} by path, surviving rotation and truncation: lines
     keep flowing across a logrotate-style rename or a copytruncate
     shrink, and a missing file is retried with exponential backoff
     capped at [max_backoff] (default 1s) instead of failing. When
     [stop ()] becomes true the follower yields any final partial line
-    and ends. *)
+    and ends. [on_event] observes the non-line transitions the follower
+    absorbs ([Opened], [Rotated], [Truncated]) — e.g. to route them
+    into a flight recorder. *)
 
 type parse_error = { line : int; message : string }
 

@@ -25,6 +25,11 @@ section (or fast-mode payloads sharding at a different bound) pass the
 sharded gate vacuously, so the gate can land before the baseline is
 regenerated.
 
+The recorder section (flight-recorder overhead) is gated on the fresh
+payload alone: it carries the same engine feed timed with and without
+a recorder attached, so its on/off quotient is machine-neutral by
+construction and must stay under the same threshold.
+
 Standard library only (CI containers have no extra packages).
 
 Usage: scripts/check_bench.py FRESH.json [BASELINE.json]
@@ -136,6 +141,42 @@ def check_sharded(fresh, base):
             )
 
 
+def check_recorder(fresh):
+    """Gate the flight-recorder overhead on the fresh payload alone.
+
+    The recorder section carries a bound-64 engine feed measured twice
+    on the same host, with and without a recorder scope attached, so
+    the on/off quotient is already machine-neutral — no baseline
+    needed. Payloads that predate the section pass vacuously.
+    """
+    sec = fresh.get("recorder")
+    if not sec:
+        print("recorder section absent; skipped")
+        return
+    off = sec.get("off_seconds", 0)
+    on = sec.get("on_seconds", 0)
+    if off <= 0:
+        print("recorder off-run untimed; skipped")
+        return
+    overhead = on / off
+    if off + on < NOISE_FLOOR_S:
+        print(
+            f"recorder: on/off {overhead:.3f}x "
+            f"[below {NOISE_FLOOR_S:.1f}s noise floor, informational]"
+        )
+        return
+    verdict = "FAIL" if overhead > THRESHOLD else "ok"
+    print(
+        f"recorder: bound {sec.get('bound')} feed, on/off {overhead:.3f}x "
+        f"({sec.get('events', 0)} events) [{verdict}]"
+    )
+    if overhead > THRESHOLD:
+        errors.append(
+            f"recorder: attaching the flight recorder cost {overhead:.2f}x "
+            f"(budget {THRESHOLD:.2f}x) — it must stay near-free"
+        )
+
+
 def main():
     if len(sys.argv) not in (2, 3):
         sys.exit(__doc__)
@@ -148,6 +189,7 @@ def main():
     base = json.loads(base_path.read_text())
     check_bounds(fresh, base)
     check_sharded(fresh, base)
+    check_recorder(fresh)
     if errors:
         print("\n".join(errors), file=sys.stderr)
         sys.exit(1)

@@ -9,11 +9,23 @@ the deterministic sections (counters, gauges, histograms) must precede
 the timing-dependent ones (spans, elapsed_ns) in the emitted file, which
 is what lets tests compare counter sections textually.
 
+A second mode cross-checks a Prometheus text exposition against the
+metrics document it was rendered from. lib/obs/prom.ml maps registry
+names to sample names (counter a.b -> rtgen_a_b_total, gauge -> bare +
+_max, histogram -> cumulative _bucket{le} ending at +Inf plus _sum and
+_count, span -> _spans_total and _span_ns_total, elapsed_ns -> gauge,
+daemon.stream.<id>.<metric> -> one labelled family per metric); this
+script recomputes that mapping independently and requires the rendered
+families to match it exactly — same names, same TYPE lines, same label
+sets, same values, samples contiguous under their family's TYPE line.
+
 Usage: scripts/check_metrics.py METRICS.json [SCHEMA.json]
+       scripts/check_metrics.py --prometheus EXPOSITION.txt METRICS.json
 Exit 0 when valid; prints each violation and exits 1 otherwise.
 """
 
 import json
+import re
 import sys
 from collections import OrderedDict
 from pathlib import Path
@@ -232,7 +244,186 @@ def check_section_order(doc, path):
         fail(path, f"section order {order} != {expected}")
 
 
+# --- Prometheus exposition cross-check ------------------------------------
+#
+# An independent reimplementation of the prom.ml name mapping. Both
+# sides read the same metrics document; the exposition must agree with
+# what this derivation says it should contain, sample for sample.
+
+PROM_PREFIX = "rtgen_"
+
+PROM_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (-?\d+)$"
+)
+PROM_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def prom_sanitize(name):
+    return re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def prom_split_stream_name(name):
+    """daemon.stream.<id>.<metric> -> (family base, stream id), else None."""
+    p = "daemon.stream."
+    if name.startswith(p) and len(name) > len(p):
+        rest = name[len(p):]
+        i = rest.rfind(".")
+        if i > 0:
+            return "daemon.stream." + rest[i + 1:], rest[:i]
+    return None
+
+
+def prom_group_families(members):
+    """Group name-keyed members into label-carrying families, preserving
+    first-seen order (matching the renderer's contiguity rule)."""
+    fams = OrderedDict()
+    for name, value in members.items():
+        split = prom_split_stream_name(name)
+        if split:
+            base, stream = split
+            fams.setdefault(base, []).append(((("stream", stream),), value))
+        else:
+            fams.setdefault(name, []).append(((), value))
+    return fams
+
+
+def prom_expected_families(doc):
+    """Derive the full expected exposition from a metrics document:
+    {prom family name: (type, set of (sample name, labels, value))}."""
+    fams = OrderedDict()
+
+    def family(fam, ftype, samples):
+        name = PROM_PREFIX + prom_sanitize(fam)
+        fams[name] = (
+            ftype,
+            {(name + suffix, labels, value) for suffix, labels, value in samples},
+        )
+
+    for fam, entries in prom_group_families(doc.get("counters", {})).items():
+        family(fam + "_total", "counter", [("", l, v) for l, v in entries])
+    for fam, entries in prom_group_families(doc.get("gauges", {})).items():
+        family(fam, "gauge", [("", l, g["last"]) for l, g in entries])
+        family(fam + "_max", "gauge", [("", l, g["max"]) for l, g in entries])
+    for fam, entries in prom_group_families(doc.get("histograms", {})).items():
+        samples = []
+        for labels, h in entries:
+            # The document stores per-bucket counts with the open top
+            # bucket's bound printed as -1; the exposition carries
+            # cumulative counts and folds the open bucket into +Inf.
+            cum = 0
+            for b in h.get("buckets", []):
+                cum += b["count"]
+                if b["le"] >= 0:
+                    samples.append(
+                        ("_bucket", labels + (("le", str(b["le"])),), cum)
+                    )
+            samples.append(("_bucket", labels + (("le", "+Inf"),), h["count"]))
+            samples.append(("_sum", labels, h["sum"]))
+            samples.append(("_count", labels, h["count"]))
+        family(fam, "histogram", samples)
+    for fam, entries in prom_group_families(doc.get("spans", {})).items():
+        family(
+            fam + "_spans_total", "counter",
+            [("", l, s["count"]) for l, s in entries],
+        )
+        family(
+            fam + "_span_ns_total", "counter",
+            [("", l, s["total_ns"]) for l, s in entries],
+        )
+    if "elapsed_ns" in doc:
+        family("elapsed_ns", "gauge", [("", (), doc["elapsed_ns"])])
+    return fams
+
+
+def prom_unescape(value):
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def prom_parse(text, path):
+    """Parse a text exposition into {family: (type, samples)}, enforcing
+    the format's contiguity rule: every sample sits under the TYPE line
+    of the family it was compared into."""
+    fams = OrderedDict()
+    current = None
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"{path}:{lineno}"
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                fail(where, f"malformed TYPE line {line!r}")
+                continue
+            _, _, name, ftype = parts
+            if name in fams:
+                fail(where, f"duplicate family {name}: samples not contiguous")
+            current = name
+            fams[name] = (ftype, set())
+            continue
+        if line.startswith("#"):
+            fail(where, f"unexpected comment {line!r}")
+            continue
+        m = PROM_SAMPLE_RE.match(line)
+        if not m:
+            fail(where, f"unparseable sample line {line!r}")
+            continue
+        name, labels_src, value = m.group(1), m.group(2), int(m.group(3))
+        labels = tuple(
+            (k, prom_unescape(v))
+            for k, v in PROM_LABEL_RE.findall(labels_src or "")
+        )
+        if current is None:
+            fail(where, f"sample {name} precedes any TYPE line")
+            continue
+        if not name.startswith(current):
+            fail(where, f"sample {name} not contiguous under family {current}")
+            continue
+        fams[current][1].add((name, labels, value))
+    return fams
+
+
+def check_prometheus(exposition, doc, path):
+    expected = prom_expected_families(doc)
+    rendered = prom_parse(exposition, path)
+    for name, (ftype, samples) in expected.items():
+        if name not in rendered:
+            fail(path, f"missing family {name} ({ftype})")
+            continue
+        got_type, got_samples = rendered[name]
+        if got_type != ftype:
+            fail(path, f"family {name}: TYPE {got_type}, expected {ftype}")
+        for sample in sorted(samples - got_samples):
+            fail(path, f"family {name}: missing sample {sample}")
+        for sample in sorted(got_samples - samples):
+            fail(path, f"family {name}: unexpected sample {sample}")
+    for name in rendered:
+        if name not in expected:
+            fail(path, f"family {name} not derivable from the document")
+    return expected
+
+
+def main_prometheus(args):
+    if len(args) != 2:
+        sys.exit(__doc__)
+    prom_path, metrics_path = Path(args[0]), Path(args[1])
+    doc = json.loads(metrics_path.read_text(), object_pairs_hook=OrderedDict)
+    expected = check_prometheus(
+        prom_path.read_text(), doc, prom_path.name
+    )
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        sys.exit(1)
+    samples = sum(len(s) for _, s in expected.values())
+    print(
+        f"{prom_path.name}: matches {metrics_path.name} — "
+        f"{len(expected)} families, {samples} samples"
+    )
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--prometheus":
+        main_prometheus(sys.argv[2:])
+        return
     if len(sys.argv) not in (2, 3):
         sys.exit(__doc__)
     metrics_path = Path(sys.argv[1])

@@ -626,6 +626,71 @@ let test_metrics_deterministic_across_resume () =
   Alcotest.(check string) "counters identical after kill+resume"
     (counters_section m_full) (counters_section m_resumed)
 
+let test_learn_profile_byte_equal () =
+  let base = tmp "gm_prof_base.model" and prof = tmp "gm_prof.model" in
+  let folded = tmp "gm_prof.folded" in
+  ignore (run (Printf.sprintf "learn %s --bound 4 -o %s" trace_file base));
+  let plain = run (Printf.sprintf "learn %s --bound 4" trace_file) in
+  let profiled =
+    run (Printf.sprintf "learn %s --bound 4 --profile --folded %s -o %s"
+           trace_file folded prof)
+  in
+  (* profiling is observation only: model file and stdout are unchanged *)
+  Alcotest.(check string) "profiled model byte-equal" (read_file base)
+    (read_file prof);
+  Alcotest.(check string) "profiled stdout unchanged" plain profiled;
+  let table = read_file (tmp "stderr") in
+  Alcotest.(check bool) "hotspot table on stderr" true
+    (contains ~needle:"excl%" table && contains ~needle:"learn.period" table);
+  let stacks = read_file folded in
+  Alcotest.(check bool) "folded stacks mention the root span" true
+    (contains ~needle:"learn.period" stacks);
+  (* every folded line is "path <exclusive_ns>" *)
+  List.iter
+    (fun l ->
+      if l <> "" then
+        match String.rindex_opt l ' ' with
+        | None -> Alcotest.failf "bad folded line: %S" l
+        | Some i ->
+          (match
+             int_of_string_opt
+               (String.sub l (i + 1) (String.length l - i - 1))
+           with
+           | Some ns when ns >= 0 -> ()
+           | _ -> Alcotest.failf "bad folded value: %S" l))
+    (String.split_on_char '\n' stacks)
+
+let test_report_prometheus () =
+  let metrics = tmp "gm_prom_metrics.json" in
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 --metrics %s" trace_file metrics));
+  let out = run (Printf.sprintf "report %s --prometheus" metrics) in
+  Alcotest.(check bool) "counter family" true
+    (contains ~needle:"# TYPE rtgen_learn_merges_total counter" out);
+  Alcotest.(check bool) "cumulative histogram ends at +Inf" true
+    (contains ~needle:"le=\"+Inf\"" out);
+  Alcotest.(check bool) "span counters" true
+    (contains ~needle:"rtgen_learn_period_spans_total" out);
+  (* a trace file is not a metrics document *)
+  ignore
+    (run ~expect_fail:true
+       (Printf.sprintf "report %s --prometheus" trace_file));
+  (* --prometheus already picks the query *)
+  let code, _ =
+    run_code (Printf.sprintf "report %s --prometheus --query status" metrics)
+  in
+  Alcotest.(check int) "conflicting --query exits 2" 2 code
+
+let test_watch_flight_recorder () =
+  let fl = tmp "watch_flight.json" in
+  if Sys.file_exists fl then Sys.remove fl;
+  ignore (run (Printf.sprintf "watch %s --bound 1 --flight %s" trace_file fl));
+  let text = read_file fl in
+  Alcotest.(check bool) "flight dump written" true
+    (contains ~needle:"rtgen-flight" text);
+  Alcotest.(check bool) "drift routed through the recorder" true
+    (contains ~needle:"watch.drift" text)
+
 let test_stats_recover () =
   (* On damaged input, --recover must surface the quarantine account on
      stdout (plain stats would just refuse the file). *)
@@ -758,6 +823,33 @@ let test_serve_live_report_isolation () =
   let metrics = run (Printf.sprintf "report --socket %s --query metrics" ctl) in
   Alcotest.(check bool) "live metrics render" true
     (contains ~needle:"daemon.streams_accepted" metrics);
+  (* the flight recorder, prometheus exposition and top table are all
+     served from the same live socket *)
+  let flight = run (Printf.sprintf "report --socket %s --query flight" ctl) in
+  Alcotest.(check bool) "live flight dump" true
+    (contains ~needle:"rtgen-flight" flight
+     && contains ~needle:"stream.admit" flight);
+  let prom = run (Printf.sprintf "report --socket %s --prometheus" ctl) in
+  Alcotest.(check bool) "live prometheus counters" true
+    (contains ~needle:"# TYPE rtgen_daemon_streams_accepted_total counter"
+       prom);
+  Alcotest.(check bool) "per-stream labelled family" true
+    (contains ~needle:"{stream=\"vehicle00\"}" prom);
+  let topout = run (Printf.sprintf "top --socket %s --count 1 --no-clear" ctl) in
+  Alcotest.(check bool) "top renders the fleet table" true
+    (contains ~needle:"STREAM" topout && contains ~needle:"vehicle00" topout);
+  Alcotest.(check bool) "top shows the checkpoint-age column" true
+    (contains ~needle:"CKPT-AGE" topout);
+  (* an unknown verb comes back as a single error line and exit 2 *)
+  let code, bogus =
+    run_code (Printf.sprintf "report --socket %s --query frobnicate" ctl)
+  in
+  Alcotest.(check int) "unknown query exits 2" 2 code;
+  Alcotest.(check bool) "error line echoed" true
+    (contains ~needle:"error:" bogus && contains ~needle:"frobnicate" bogus);
+  (match String.split_on_char '\n' (String.trim bogus) with
+   | [ _one_line ] -> ()
+   | _ -> Alcotest.failf "error reply is not a single line: %S" bogus);
   ignore (run (Printf.sprintf "report --socket %s --query drain" ctl));
   let rec wait_done n =
     if n > 200 then Alcotest.failf "daemon never drained: %s" (read_file log)
@@ -918,5 +1010,11 @@ let () =
           Alcotest.test_case "counters deterministic across resume" `Quick
             test_metrics_deterministic_across_resume;
           Alcotest.test_case "stats --recover" `Quick test_stats_recover;
+          Alcotest.test_case "learn --profile leaves the model alone" `Quick
+            test_learn_profile_byte_equal;
+          Alcotest.test_case "report --prometheus" `Quick
+            test_report_prometheus;
+          Alcotest.test_case "watch --flight" `Quick
+            test_watch_flight_recorder;
         ] );
     ]

@@ -238,6 +238,40 @@ let test_tail_truncation () =
   Alcotest.(check (list string)) "reread" [ "anew" ] got;
   Tail.close tail
 
+let test_follow_path_events () =
+  (* follow_path absorbs Opened/Rotated/Truncated while yielding lines;
+     on_event must surface each so callers can route them into the
+     flight recorder. *)
+  let dir = tmpdir () in
+  let path = Filename.concat dir "f.trace" in
+  write_file path "a\n";
+  let seen = ref [] in
+  let stop_flag = ref false in
+  let source =
+    Rt_trace.Stream_io.follow_path ~poll_interval:0.001
+      ~on_event:(fun e -> seen := e :: !seen)
+      ~stop:(fun () -> !stop_flag)
+      path
+  in
+  Alcotest.(check (option string)) "first line" (Some "a") (source ());
+  (* logrotate: rename away, recreate under the old name *)
+  Sys.rename path (Filename.concat dir "f.trace.1");
+  write_file path "fresh\n";
+  Alcotest.(check (option string)) "line across rotation" (Some "fresh")
+    (source ());
+  (* copytruncate: shrink below the read position *)
+  write_file path "zz\n";
+  Alcotest.(check (option string)) "line after truncation" (Some "zz")
+    (source ());
+  stop_flag := true;
+  Alcotest.(check (option string)) "ends on stop" None (source ());
+  Alcotest.(check bool) "rotation surfaced" true
+    (List.mem Tail.Rotated !seen);
+  Alcotest.(check bool) "truncation surfaced" true
+    (List.mem Tail.Truncated !seen);
+  Alcotest.(check int) "every (re)open surfaced" 3
+    (List.length (List.filter (fun e -> e = Tail.Opened) !seen))
+
 (* --- stream: checkpoint kill/replay byte-equality -------------------- *)
 
 let stream_cfg ?checkpoint_path ?(checkpoint_every = 2) () =
@@ -352,6 +386,8 @@ let test_control_parse () =
   ok Control.Status "  status  ";
   ok Control.Metrics "metrics";
   ok Control.Drain "drain";
+  ok Control.Flight "flight";
+  ok Control.Prometheus "prometheus";
   ok (Control.Snapshot "veh01") "snapshot veh01";
   (match Control.parse "snapshot" with
    | Error _ -> ()
@@ -536,7 +572,10 @@ let test_daemon_busy_and_control () =
        Unix.close fd;
        let status = roundtrip ctrl_sock "status" in
        let bogus = roundtrip ctrl_sock "frobnicate" in
-       write_file out (greeting ^ "\x00" ^ status ^ "\x00" ^ bogus);
+       let flight = roundtrip ctrl_sock "flight" in
+       let prom = roundtrip ctrl_sock "prometheus" in
+       write_file out
+         (String.concat "\x00" [ greeting; status; bogus; flight; prom ]);
        ignore (roundtrip ctrl_sock "drain")
      with _ -> ());
     Unix._exit 0
@@ -547,15 +586,142 @@ let test_daemon_busy_and_control () =
      | Error e -> Alcotest.failf "daemon: %s" e);
     ignore (Unix.waitpid [] pid);
     (match String.split_on_char '\x00' (read_file out) with
-     | [ greeting; status; bogus ] ->
+     | [ greeting; status; bogus; flight; prom ] ->
        Alcotest.(check string) "refused" "BUSY\n" greeting;
        Alcotest.(check bool) "status header" true
          (contains status "rtgend status");
-       Alcotest.(check bool) "bogus rejected" true (contains bogus "error")
+       (* an unknown verb gets exactly one "error: ..." line back *)
+       let n = String.length bogus in
+       Alcotest.(check bool) "error reply is one line" true
+         (n > 0 && bogus.[n - 1] = '\n'
+          && not (String.contains (String.sub bogus 0 (n - 1)) '\n'));
+       Alcotest.(check bool) "error prefix" true
+         (String.length bogus >= 6 && String.sub bogus 0 6 = "error:");
+       Alcotest.(check bool) "names the verb" true (contains bogus "frobnicate");
+       Alcotest.(check bool) "flight dump over the socket" true
+         (contains flight "rtgen-flight" && contains flight "daemon.start");
+       Alcotest.(check bool) "prometheus over the socket" true
+         (contains prom "# TYPE rtgen_")
      | _ -> Alcotest.fail "client did not complete");
     let m = read_file (Filename.concat dir "m.json") in
     Alcotest.(check bool) "busy counted" true
       (contains m "\"daemon.busy_rejections\": 1")
+
+(* --- flight recorder: the dump narrates the supervisor ---------------- *)
+
+module Json = Rt_obs.Json
+
+let load_flight path =
+  match Json.of_string (read_file path) with
+  | Error m -> Alcotest.failf "flight dump unparsable: %s" m
+  | Ok doc ->
+    Alcotest.(check (option string)) "flight schema" (Some "rtgen-flight")
+      (Option.bind (Json.member "schema" doc) Json.to_string_opt);
+    (match Option.bind (Json.member "events" doc) Json.to_list with
+     | Some events -> events
+     | None -> Alcotest.fail "flight dump has no events array")
+
+let ev_field name ev =
+  Option.value ~default:""
+    (Option.bind (Json.member name ev) Json.to_string_opt)
+
+let index_of x l =
+  let rec go i = function
+    | [] -> None
+    | y :: tl -> if y = x then Some i else go (i + 1) tl
+  in
+  go 0 l
+
+let test_daemon_flight_sequence () =
+  let spool = tmpdir () and out = tmpdir () and ckpt = tmpdir () in
+  let seeds = [ 11; 22 ] in
+  let threshold = make_spool spool seeds in
+  let flight = Filename.concat out "flight.json" in
+  let cfg =
+    {
+      (daemon_cfg ~spool ~out ~checkpoint_dir:ckpt ~drain_after:threshold ())
+      with
+      Daemon.flight_path = Some flight;
+    }
+  in
+  (match Daemon.run cfg with
+   | Ok Daemon.Drained -> ()
+   | Ok Daemon.Stopped -> Alcotest.fail "stopped"
+   | Error e -> Alcotest.failf "daemon: %s" e);
+  let events = load_flight flight in
+  let kinds = List.map (ev_field "kind") events in
+  Alcotest.(check string) "recording opens with daemon.start" "daemon.start"
+    (List.hd kinds);
+  Alcotest.(check string) "recording closes with daemon.exit" "daemon.exit"
+    (List.nth kinds (List.length kinds - 1));
+  Alcotest.(check bool) "drain transition recorded" true
+    (List.mem "drain.begin" kinds);
+  (* Per stream, the event order retells the supervisor's life cycle:
+     admitted first, period boundaries and checkpoint writes in the
+     middle, finalize last. *)
+  List.iteri
+    (fun i _ ->
+      let id = Printf.sprintf "veh%02d" i in
+      let mine =
+        List.filter (fun ev -> ev_field "stream" ev = id) events
+      in
+      let my_kinds = List.map (ev_field "kind") mine in
+      (match my_kinds with
+       | "stream.admit" :: _ -> ()
+       | k :: _ -> Alcotest.failf "%s opens with %s, not admit" id k
+       | [] -> Alcotest.failf "%s has no events" id);
+      (match List.rev my_kinds with
+       | "stream.finalize" :: _ -> ()
+       | k :: _ -> Alcotest.failf "%s closes with %s, not finalize" id k
+       | [] -> assert false);
+      Alcotest.(check bool) (id ^ " wrote checkpoints") true
+        (List.mem "checkpoint.write" my_kinds);
+      Alcotest.(check bool) (id ^ " crossed period boundaries") true
+        (List.mem "engine.period" my_kinds))
+    seeds
+
+let test_daemon_flight_resume_sequence () =
+  let spool = tmpdir () and out = tmpdir () and ckpt = tmpdir () in
+  let seeds = [ 5; 6 ] in
+  let threshold = make_spool spool seeds in
+  (* die abruptly mid-learn, checkpoints on disk... *)
+  (match
+     Daemon.run
+       (daemon_cfg ~spool ~out ~checkpoint_dir:ckpt ~stop_after:9 ())
+   with
+   | Ok Daemon.Stopped -> ()
+   | Ok Daemon.Drained -> Alcotest.fail "drained instead of stopping"
+   | Error e -> Alcotest.failf "daemon: %s" e);
+  (* ...then the successor's flight dump must narrate the resume. *)
+  let flight = Filename.concat out "flight.json" in
+  let cfg =
+    {
+      (daemon_cfg ~spool ~out ~checkpoint_dir:ckpt ~drain_after:threshold ())
+      with
+      Daemon.flight_path = Some flight;
+    }
+  in
+  (match Daemon.run cfg with
+   | Ok Daemon.Drained -> ()
+   | Ok Daemon.Stopped -> Alcotest.fail "stopped during final run"
+   | Error e -> Alcotest.failf "daemon: %s" e);
+  let events = load_flight flight in
+  List.iteri
+    (fun i _ ->
+      let id = Printf.sprintf "veh%02d" i in
+      let my_kinds =
+        List.map (ev_field "kind")
+          (List.filter (fun ev -> ev_field "stream" ev = id) events)
+      in
+      match (index_of "stream.resume" my_kinds,
+             index_of "engine.period" my_kinds) with
+      | None, _ -> Alcotest.failf "%s never resumed its checkpoint" id
+      | Some _, None -> Alcotest.failf "%s fed no periods" id
+      | Some r, Some p ->
+        Alcotest.(check bool) (id ^ " resumed before feeding") true (r < p))
+    seeds;
+  (* and the resumed run still renders byte-equal models *)
+  check_models out seeds
 
 let () =
   Alcotest.run "daemon"
@@ -578,6 +744,8 @@ let () =
           Alcotest.test_case "growth" `Quick test_tail_growth;
           Alcotest.test_case "rotation" `Quick test_tail_rotation;
           Alcotest.test_case "truncation" `Quick test_tail_truncation;
+          Alcotest.test_case "follow_path surfaces transitions" `Quick
+            test_follow_path_events;
         ] );
       ( "stream",
         [
@@ -602,5 +770,12 @@ let () =
             test_daemon_corrupt_isolation;
           Alcotest.test_case "busy admission and control socket" `Quick
             test_daemon_busy_and_control;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "dump narrates supervisor transitions" `Quick
+            test_daemon_flight_sequence;
+          Alcotest.test_case "resume sequence after abrupt stop" `Quick
+            test_daemon_flight_resume_sequence;
         ] );
     ]

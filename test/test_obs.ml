@@ -68,6 +68,46 @@ let test_histogram_stats () =
   Alcotest.(check int) "merged count" 6 (Histogram.count h);
   Alcotest.(check int) "merged max" 1000 (Histogram.max_value h)
 
+let test_histogram_edges () =
+  (* Empty: every quantile is 0, no buckets. *)
+  let h = Histogram.create () in
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "empty quantile %.2f" q)
+        0 (Histogram.quantile h q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  Alcotest.(check (list (pair int int))) "empty buckets" []
+    (Histogram.nonempty_buckets h);
+  (* Single sample: min/max clamping pins every quantile to that value,
+     not to its bucket's (wider) upper bound. *)
+  Histogram.record h 37;
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "single-sample quantile %.2f" q)
+        37 (Histogram.quantile h q))
+    [ 0.0; 0.5; 1.0 ];
+  Alcotest.(check (list (pair int int))) "single bucket" [ (63, 1) ]
+    (Histogram.nonempty_buckets h);
+  (* Saturating top bucket: max_int lands in the open-ended last
+     non-empty bucket, whose reported bound is the max_int sentinel,
+     and quantiles stay clamped to the observed extremes. *)
+  let h2 = Histogram.create () in
+  Histogram.record h2 1;
+  Histogram.record h2 max_int;
+  (match List.rev (Histogram.nonempty_buckets h2) with
+   | (le, n) :: _ ->
+     Alcotest.(check int) "top bucket bound is the sentinel" max_int le;
+     Alcotest.(check int) "top bucket count" 1 n
+   | [] -> Alcotest.fail "no buckets after recording");
+  Alcotest.(check int) "q=1.0 clamps to observed max" max_int
+    (Histogram.quantile h2 1.0);
+  Alcotest.(check int) "q=0.0 stays at observed min" 1
+    (Histogram.quantile h2 0.0);
+  Alcotest.(check int) "sum survives the big sample" (max_int + 1)
+    (Histogram.sum h2)
+
 (* --- Registry --- *)
 
 (* A controllable clock: each [tick] advances one microsecond. *)
@@ -257,6 +297,159 @@ let test_checkpoint_v1_refused () =
            in
            go 0))
 
+(* --- flight recorder --- *)
+
+module Flight = Rt_obs.Flight
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let check_contains what haystack needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s mentions %s" what needle)
+    true (contains haystack needle)
+
+let test_flight_wraparound () =
+  let clock, tick = fake_clock () in
+  let t = Flight.create ~clock ~capacity:4 () in
+  for i = 0 to 5 do
+    Flight.record t Flight.Info ~stream:"s"
+      ~kind:(Printf.sprintf "k%d" i)
+      (Printf.sprintf "d%d" i);
+    tick ()
+  done;
+  Alcotest.(check int) "capacity" 4 (Flight.capacity t);
+  Alcotest.(check int) "recorded counts overwritten events" 6
+    (Flight.recorded t);
+  Alcotest.(check int) "length capped at capacity" 4 (Flight.length t);
+  Alcotest.(check int) "dropped = recorded - length" 2 (Flight.dropped t);
+  let evs = Flight.events t in
+  Alcotest.(check (list int)) "oldest-first sequence order after wrap"
+    [ 2; 3; 4; 5 ]
+    (List.map (fun (e : Flight.event) -> e.seq) evs);
+  Alcotest.(check (list string)) "payloads rotate with the sequence"
+    [ "k2"; "k3"; "k4"; "k5" ]
+    (List.map (fun (e : Flight.event) -> e.kind) evs);
+  Alcotest.(check bool) "timestamps non-decreasing" true
+    (let rec mono = function
+       | (a : Flight.event) :: (b :: _ as tl) -> a.ts_ns <= b.ts_ns && mono tl
+       | _ -> true
+     in
+     mono evs)
+
+let test_flight_scope_and_json () =
+  let clock, _tick = fake_clock () in
+  let t = Flight.create ~clock ~capacity:8 () in
+  let s = Flight.scope t "veh0" in
+  Flight.record_s s Flight.Warn ~kind:"stream.shed" "q=4096";
+  Flight.record t Flight.Error ~stream:"" ~kind:"daemon.exit" "drained";
+  (match Flight.events t with
+   | [ a; b ] ->
+     Alcotest.(check string) "scoped stream id" "veh0" a.Flight.stream;
+     Alcotest.(check string) "daemon-wide stream id" "" b.Flight.stream
+   | _ -> Alcotest.fail "expected exactly two events");
+  let doc = Flight.to_json t in
+  Alcotest.(check (option string)) "schema" (Some Flight.schema_name)
+    (Option.bind (Json.member "schema" doc) Json.to_string_opt);
+  Alcotest.(check (option int)) "version" (Some Flight.schema_version)
+    (Option.bind (Json.member "version" doc) Json.to_int);
+  Alcotest.(check (option int)) "dropped in the dump" (Some 0)
+    (Option.bind (Json.member "dropped" doc) Json.to_int);
+  Alcotest.(check bool) "dump reparses to itself" true
+    (Json.of_string (Json.to_string ~pretty:true doc) = Ok doc);
+  (match Option.bind (Json.member "events" doc) Json.to_list with
+   | Some [ a; b ] ->
+     Alcotest.(check (option string)) "severity rendered" (Some "warn")
+       (Option.bind (Json.member "severity" a) Json.to_string_opt);
+     Alcotest.(check (option string)) "error rendered" (Some "error")
+       (Option.bind (Json.member "severity" b) Json.to_string_opt)
+   | _ -> Alcotest.fail "events list shape");
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Flight.create: capacity must be >= 1")
+    (fun () -> ignore (Flight.create ~capacity:0 ()))
+
+(* --- profiler --- *)
+
+module Profile = Rt_obs.Profile
+
+(* One period with two scans inside: period inclusive 3us (1us its own),
+   scan 2 * 1us, all exclusive. *)
+let profiled () =
+  let clock, tick = fake_clock () in
+  let reg = Registry.create ~clock () in
+  Registry.with_span reg "learn.period" (fun () ->
+      tick ();
+      Registry.with_span reg "learn.scan" tick;
+      Registry.with_span reg "learn.scan" tick);
+  reg
+
+let test_profile_rows () =
+  match Profile.rows (profiled ()) with
+  | [ scan; period ] ->
+    Alcotest.(check string) "hotter span first" "learn.scan" scan.Profile.name;
+    Alcotest.(check int) "scan count" 2 scan.Profile.count;
+    Alcotest.(check int) "scan inclusive" 2_000 scan.Profile.inclusive_ns;
+    Alcotest.(check int) "scan exclusive" 2_000 scan.Profile.exclusive_ns;
+    Alcotest.(check string) "parent second" "learn.period" period.Profile.name;
+    Alcotest.(check int) "period inclusive is the whole span" 3_000
+      period.Profile.inclusive_ns;
+    Alcotest.(check int) "period exclusive subtracts children" 1_000
+      period.Profile.exclusive_ns
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
+
+let test_profile_folded_and_hotspots () =
+  let reg = profiled () in
+  Alcotest.(check string) "folded stacks: path -> exclusive ns"
+    "learn.period 1000\nlearn.period;learn.scan 2000\n"
+    (Profile.folded reg);
+  let table = Profile.hotspots reg in
+  List.iter (check_contains "hotspot table" table)
+    [ "learn.scan"; "learn.period"; "excl%"; "total span time" ];
+  Alcotest.(check string) "empty registry degrades gracefully"
+    "(no spans recorded — nothing to profile)\n"
+    (Profile.hotspots (Registry.create ()))
+
+(* --- prometheus exposition --- *)
+
+module Prom = Rt_obs.Prom
+
+let test_prom_render () =
+  let reg = populated () in
+  Registry.set_gauge_named reg "daemon.stream.veh0.queue" 5;
+  Registry.set_gauge_named reg "daemon.stream.veh1.queue" 7;
+  let text = Prom.of_registry reg in
+  (* Counters gain _total; names are sanitized under the rtgen_ prefix. *)
+  check_contains "exposition" text
+    "# TYPE rtgen_learn_merges_total counter\nrtgen_learn_merges_total 7\n";
+  (* Per-stream gauges collapse to one labelled, contiguous family. *)
+  check_contains "exposition" text
+    "rtgen_daemon_stream_queue{stream=\"veh0\"} 5\n\
+     rtgen_daemon_stream_queue{stream=\"veh1\"} 7\n";
+  (* Histograms turn per-bucket counts cumulative, ending at +Inf. *)
+  check_contains "exposition" text
+    "rtgen_learn_candidate_pairs_bucket{le=\"15\"} 1\n";
+  check_contains "exposition" text
+    "rtgen_learn_candidate_pairs_bucket{le=\"+Inf\"} 1\n";
+  check_contains "exposition" text "rtgen_learn_candidate_pairs_sum 12\n";
+  check_contains "exposition" text "rtgen_learn_candidate_pairs_count 1\n";
+  (* Span aggregates become a pair of counters. *)
+  check_contains "exposition" text "rtgen_learn_period_spans_total 1\n";
+  check_contains "exposition" text "rtgen_learn_period_span_ns_total 1000\n";
+  check_contains "exposition" text "# TYPE rtgen_elapsed_ns gauge\n"
+
+let test_prom_rejects_foreign_documents () =
+  (match Prom.render (Json.Obj [ ("schema", Json.String "bogus") ]) with
+   | Ok _ -> Alcotest.fail "rendered a non-metrics document"
+   | Error m -> check_contains "error" m "bogus");
+  match Prom.render (Json.Obj [ ("schema", Json.String Registry.schema_name) ])
+  with
+  | Ok _ -> Alcotest.fail "rendered a versionless document"
+  | Error m -> check_contains "error" m "version"
+
 let () =
   Alcotest.run "obs"
     [
@@ -270,6 +463,26 @@ let () =
         [
           Alcotest.test_case "bucket boundaries" `Quick test_histogram_buckets;
           Alcotest.test_case "stats and merge" `Quick test_histogram_stats;
+          Alcotest.test_case "edge cases" `Quick test_histogram_edges;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "wraparound keeps order" `Quick
+            test_flight_wraparound;
+          Alcotest.test_case "scopes and dump shape" `Quick
+            test_flight_scope_and_json;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "exclusive vs inclusive" `Quick test_profile_rows;
+          Alcotest.test_case "folded stacks and hotspots" `Quick
+            test_profile_folded_and_hotspots;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "exposition mapping" `Quick test_prom_render;
+          Alcotest.test_case "foreign documents rejected" `Quick
+            test_prom_rejects_foreign_documents;
         ] );
       ( "registry",
         [
