@@ -316,42 +316,43 @@ let bench_recorder trace =
    readable for tracking runs over time. Written by hand — the bench
    payload is flat and predates Rt_obs.Json. *)
 let emit_json path trace rows sharded recorder =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      Printf.fprintf oc "{\n";
-      Printf.fprintf oc "  \"benchmark\": \"heuristic-table1\",\n";
-      Printf.fprintf oc "  \"workload\": %S,\n"
-        (Format.asprintf "%a" Rt_trace.Trace.pp_summary trace);
-      Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
-      Printf.fprintf oc "  \"fast_mode\": %b,\n" fast_mode;
-      Printf.fprintf oc "  \"crossover_bound\": %s,\n"
-        (match crossover_bound rows with
-         | Some b -> string_of_int b
-         | None -> "null");
-      Printf.fprintf oc
-        "  \"sharded\": { \"bound\": %d, \"jobs\": %d, \
-         \"monolithic_seconds\": %.6f, \"runs\": [ %s ] },\n"
-        sharded.sh_bound sharded.sh_jobs sharded.monolithic_s
-        (String.concat ", "
-           (List.map
-              (fun r ->
-                 Printf.sprintf "{ \"shards\": %d, \"seconds\": %.6f }"
-                   r.k r.sharded_s)
-              sharded.runs));
-      Printf.fprintf oc
-        "  \"recorder\": { \"bound\": %d, \"off_seconds\": %.6f, \
-         \"on_seconds\": %.6f, \"events\": %d },\n"
-        recorder.rec_bound recorder.rec_off_s recorder.rec_on_s
-        recorder.rec_events;
-      Printf.fprintf oc "  \"bounds\": [\n";
-      List.iteri (fun i r ->
-          Printf.fprintf oc
-            "    { \"bound\": %d, \"workset_seconds\": %.6f, \
-             \"legacy_seconds\": %.6f, \"merges\": %d, \"hypotheses\": %d }%s\n"
-            r.bound r.workset_s r.legacy_s r.merges r.survivors
-            (if i = List.length rows - 1 then "" else ","))
-        rows;
-      Printf.fprintf oc "  ]\n}\n");
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "{\n";
+  out "  \"benchmark\": \"heuristic-table1\",\n";
+  out "  \"workload\": %S,\n"
+    (Format.asprintf "%a" Rt_trace.Trace.pp_summary trace);
+  out "  \"jobs\": %d,\n" jobs;
+  out "  \"fast_mode\": %b,\n" fast_mode;
+  out "  \"crossover_bound\": %s,\n"
+    (match crossover_bound rows with
+     | Some b -> string_of_int b
+     | None -> "null");
+  out
+    "  \"sharded\": { \"bound\": %d, \"jobs\": %d, \
+     \"monolithic_seconds\": %.6f, \"runs\": [ %s ] },\n"
+    sharded.sh_bound sharded.sh_jobs sharded.monolithic_s
+    (String.concat ", "
+       (List.map
+          (fun r ->
+             Printf.sprintf "{ \"shards\": %d, \"seconds\": %.6f }"
+               r.k r.sharded_s)
+          sharded.runs));
+  out
+    "  \"recorder\": { \"bound\": %d, \"off_seconds\": %.6f, \
+     \"on_seconds\": %.6f, \"events\": %d },\n"
+    recorder.rec_bound recorder.rec_off_s recorder.rec_on_s
+    recorder.rec_events;
+  out "  \"bounds\": [\n";
+  List.iteri (fun i r ->
+      out
+        "    { \"bound\": %d, \"workset_seconds\": %.6f, \
+         \"legacy_seconds\": %.6f, \"merges\": %d, \"hypotheses\": %d }%s\n"
+        r.bound r.workset_s r.legacy_s r.merges r.survivors
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "  ]\n}\n";
+  Rt_util.Atomic_file.write path (Buffer.contents buf);
   Printf.printf "wrote %s\n" path
 
 (* The same sweep through the Rt_obs sinks: both implementations' wall

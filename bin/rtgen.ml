@@ -8,6 +8,9 @@
 open Cmdliner
 
 module Ec = Rt_check.Exit_code
+module Store = Rt_store.Store
+module Codec = Rt_store.Codec
+module Slot = Rt_store.Slot
 
 (* Commands evaluate to their exit code (Cmd.eval'); every input
    failure goes through here so stderr phrasing and the exit code
@@ -126,6 +129,7 @@ let simulate_fleet ~case_study ~tasks ~local_fraction ~seed ~periods
        let ocs =
          Array.map
            (fun (id, _) ->
+             (* rtlint: allow RTL007 trickle mode grows files in place so a tailing daemon sees partial traces *)
              open_out_bin (Filename.concat dir (id ^ ".trace")))
            vehicles
        in
@@ -195,15 +199,42 @@ let read_file path =
   Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
       really_input_string ic (in_channel_length ic))
 
+(* Open DIR, resolve [ref[@N|@latest]], read (and hash-verify) the
+   blob: the one way every consumer dereferences a store address. *)
+let resolve_blob dir spec =
+  let ( let* ) = Result.bind in
+  let* s = Store.open_ dir in
+  let* e = Store.resolve s spec in
+  let* blob = Store.read_blob s e.Store.address in
+  Ok (e, blob)
+
+(* A corrupt checkpoint is survivable (the fallback relearns from
+   scratch) but must never be invisible: operators watching a fleet
+   need to know recovery aids are dying. One counter — rendered as
+   checkpoint_corrupt_total by the Prometheus exposition — and one
+   flight event per discarded checkpoint. *)
+let note_corrupt_checkpoint ~obs ~flight where why =
+  (match obs with
+   | Some r -> Rt_obs.Registry.incr (Rt_obs.Registry.counter r "checkpoint.corrupt")
+   | None -> ());
+  match flight with
+  | Some f ->
+    Rt_obs.Flight.record f Rt_obs.Flight.Warn ~stream:where
+      ~kind:"checkpoint.corrupt"
+      (Printf.sprintf "%s; starting fresh" why)
+  | None -> ()
+
 (* Checkpointed heuristic learning: feed period by period, snapshotting the
-   engine every [every] periods. A checkpoint is tagged with a digest of the
+   engine every [every] periods into [ckpt] — a bare file or a store ref
+   ([DIR//ref]). A checkpoint is tagged with a digest of the
    (post-quarantine) trace so a resume against different data is refused
    rather than silently wrong. [stop_after] processes that many periods and
    exits — a deterministic stand-in for getting killed, used by the tests. *)
-let run_checkpointed ~pool ~obs ~progress ~window ~bound ~every ~stop_after
-    ~ckpt_path (q : Rt_trace.Quarantine.t) trace =
+let run_checkpointed ~pool ~obs ~flight ~progress ~window ~bound ~every
+    ~stop_after ~ckpt (q : Rt_trace.Quarantine.t) trace =
   let module Eng = Rt_engine.Engine in
   let tag = Digest.to_hex (Digest.string (Rt_trace.Trace_io.to_string trace)) in
+  let ckpt_path = Slot.describe ckpt in
   let fresh () =
     let eng =
       Eng.create ?window ?pool ?obs
@@ -214,27 +245,34 @@ let run_checkpointed ~pool ~obs ~progress ~window ~bound ~every ~stop_after
       ~repaired:(List.length q.repaired);
     Ok eng
   in
+  let corrupt m =
+    (* Integrity damage (torn write, flipped bit): the checkpoint
+       is an optimization, not the data — warn and relearn from
+       scratch rather than dying on a recovery aid. A *mismatched*
+       checkpoint still refuses below: that one parsed fine and
+       points at operator error. *)
+    Printf.eprintf
+      "warning: %s: %s; starting fresh (the corrupt checkpoint will \
+       be overwritten)\n" ckpt_path m;
+    note_corrupt_checkpoint ~obs ~flight ckpt_path
+      (Printf.sprintf "%s: %s" ckpt_path m);
+    fresh ()
+  in
   let eng =
-    if Sys.file_exists ckpt_path then
-      match Eng.resume ?pool ?obs (read_file ckpt_path) with
-      | Ok (eng, tag') when tag' = tag ->
-        Printf.eprintf "resumed %s: %d periods already processed\n" ckpt_path
-          (Eng.periods_fed eng);
-        Ok eng
-      | Ok _ ->
-        Error (Printf.sprintf
-                 "%s was checkpointed against a different trace; delete it \
-                  to start over" ckpt_path)
-      | Error m ->
-        (* Integrity damage (torn write, flipped bit): the checkpoint
-           is an optimization, not the data — warn and relearn from
-           scratch rather than dying on a recovery aid. A *mismatched*
-           checkpoint still refuses above: that one parsed fine and
-           points at operator error. *)
-        Printf.eprintf
-          "warning: %s: %s; starting fresh (the corrupt checkpoint will \
-           be overwritten)\n" ckpt_path m;
-        fresh ()
+    if Slot.exists ckpt then
+      match Slot.load ckpt with
+      | Error m -> corrupt m
+      | Ok data ->
+        (match Eng.resume ?pool ?obs (data) with
+         | Ok (eng, tag') when tag' = tag ->
+           Printf.eprintf "resumed %s: %d periods already processed\n"
+             ckpt_path (Eng.periods_fed eng);
+           Ok eng
+         | Ok _ ->
+           Error (Printf.sprintf
+                    "%s was checkpointed against a different trace; delete it \
+                     to start over" ckpt_path)
+         | Error m -> corrupt m)
     else fresh ()
   in
   match eng with
@@ -250,7 +288,9 @@ let run_checkpointed ~pool ~obs ~progress ~window ~bound ~every ~stop_after
     else begin
       let write_ckpt () =
         match Eng.checkpoint ~tag eng with
-        | Ok data -> Rt_util.Atomic_file.write ckpt_path data
+        | Ok data ->
+          Slot.save ~bound ~source:tag
+            ~created_at:(Eng.periods_fed eng) ckpt data
         | Error m -> Printf.eprintf "checkpoint failed: %s\n" m
       in
       let stopped = ref false in
@@ -280,8 +320,8 @@ let run_checkpointed ~pool ~obs ~progress ~window ~bound ~every ~stop_after
       end
       else begin
         (* Success: the checkpoint has served its purpose. *)
-        (try Sys.remove ckpt_path with Sys_error _ -> ());
-        Ok (Some (Eng.snapshot eng))
+        Slot.discard ckpt;
+        Ok (Some (Eng.snapshot eng, eng))
       end
     end
 
@@ -293,11 +333,10 @@ let run_checkpointed ~pool ~obs ~progress ~window ~bound ~every ~stop_after
    rather than silently wrong. All files are removed on success.
    Returns [Ok None] when --stop-after cut the run short, otherwise
    [Ok (Some model)] with the folded model option. *)
-let run_checkpointed_sharded ~obs ~progress ~window ~bound ~shards ~every
-    ~stop_after ~ckpt_path trace =
+let run_checkpointed_sharded ~obs ~flight ~progress ~window ~bound ~shards
+    ~every ~stop_after ~ckpt trace =
   let module Eng = Rt_engine.Engine in
   let module S = Rt_shard.Shard in
-  ignore obs;
   let digest =
     Digest.to_hex (Digest.string (Rt_trace.Trace_io.to_string trace))
   in
@@ -307,29 +346,47 @@ let run_checkpointed_sharded ~obs ~progress ~window ~bound ~shards ~every
   let k = Array.length ranges in
   let ntasks = Rt_trace.Trace.task_count trace in
   let tag i which = Printf.sprintf "%s+shard%d/%d+b%d+%s" digest i k bound which in
-  let path_of i which =
-    Printf.sprintf "%s.shard%d%s" ckpt_path i
-      (if which = "b1" then ".b1" else "")
+  (* Per-shard slots: FILE.shard<i>[.b1] for files, ref/shard<i>[/b1]
+     generations for store-backed checkpoints. *)
+  let slot_of i which =
+    match ckpt with
+    | Slot.File p ->
+      Slot.File
+        (Printf.sprintf "%s.shard%d%s" p i
+           (if which = "b1" then ".b1" else ""))
+    | Slot.Ref (s, r) ->
+      Slot.Ref
+        ( s,
+          Printf.sprintf "%s/shard%d%s" r i
+            (if which = "b1" then "/b1" else "") )
   in
-  (* Resume an engine from its per-shard file, or start fresh. *)
+  let path_of i which = Slot.describe (slot_of i which) in
+  (* Resume an engine from its per-shard slot, or start fresh. *)
   let engine_at i which engine_bound =
+    let slot = slot_of i which in
     let path = path_of i which in
-    if Sys.file_exists path then
-      match Eng.resume (read_file path) with
-      | Ok (eng, t) when t = tag i which ->
-        if Eng.periods_fed eng > 0 then
-          Printf.eprintf "resumed %s: %d periods already processed\n" path
-            (Eng.periods_fed eng);
-        Ok eng
-      | Ok _ ->
-        Error (Printf.sprintf
-                 "%s was checkpointed against a different trace or \
-                  partition; delete it to start over" path)
-      | Error m ->
-        (* Same degradation as the unsharded path: a corrupt checkpoint
-           costs a relearn of this shard, never the run. *)
-        Printf.eprintf "warning: %s: %s; starting shard fresh\n" path m;
-        Ok (Eng.create ?window ~ntasks (Eng.Heuristic { bound = engine_bound }))
+    let corrupt m =
+      (* Same degradation as the unsharded path: a corrupt checkpoint
+         costs a relearn of this shard, never the run. *)
+      Printf.eprintf "warning: %s: %s; starting shard fresh\n" path m;
+      note_corrupt_checkpoint ~obs ~flight path (Printf.sprintf "%s: %s" path m);
+      Ok (Eng.create ?window ~ntasks (Eng.Heuristic { bound = engine_bound }))
+    in
+    if Slot.exists slot then
+      match Slot.load slot with
+      | Error m -> corrupt m
+      | Ok data ->
+        (match Eng.resume data with
+         | Ok (eng, t) when t = tag i which ->
+           if Eng.periods_fed eng > 0 then
+             Printf.eprintf "resumed %s: %d periods already processed\n" path
+               (Eng.periods_fed eng);
+           Ok eng
+         | Ok _ ->
+           Error (Printf.sprintf
+                    "%s was checkpointed against a different trace or \
+                     partition; delete it to start over" path)
+         | Error m -> corrupt m)
     else Ok (Eng.create ?window ~ntasks (Eng.Heuristic { bound = engine_bound }))
   in
   let budget = ref (match stop_after with Some n -> n | None -> max_int) in
@@ -379,7 +436,10 @@ let run_checkpointed_sharded ~obs ~progress ~window ~bound ~shards ~every
     let write_ckpt () =
       let dump which eng =
         match Eng.checkpoint ~tag:(tag i which) eng with
-        | Ok data -> Rt_util.Atomic_file.write (path_of i which) data
+        | Ok data ->
+          Slot.save ~bound:(if which = "b1" then 1 else bound)
+            ~source:(tag i which) ~created_at:(Eng.periods_fed eng)
+            (slot_of i which) data
         | Error m -> Printf.eprintf "checkpoint failed: %s\n" m
       in
       dump "main" main;
@@ -418,19 +478,23 @@ let run_checkpointed_sharded ~obs ~progress ~window ~bound ~shards ~every
   | Ok () ->
     if !stopped then begin
       Printf.eprintf "stopped after %d periods (checkpoints in %s.shard*)\n"
-        !done_total ckpt_path;
+        !done_total (Slot.describe ckpt);
       Ok None
     end
     else begin
       let companions = Array.of_list (List.rev !finished) in
-      let model = S.fold_engines companions in
+      let parts =
+        Array.map
+          (fun e -> (S.summary_of e, Option.get (Eng.violations e)))
+          companions
+      in
+      let model = S.fold_summaries parts in
       (* Success: the checkpoints have served their purpose. *)
       for i = 0 to k - 1 do
-        List.iter
-          (fun p -> try Sys.remove p with Sys_error _ -> ())
-          [ path_of i "main"; path_of i "b1" ]
+        Slot.discard (slot_of i "main");
+        Slot.discard (slot_of i "b1")
       done;
-      Ok (Some model)
+      Ok (Some (model, parts))
     end
 
 (* Write the registry's sinks. Atomic writes: a run killed mid-dump never
@@ -462,10 +526,10 @@ let inconsistent_msg =
 let output_model ~names ~dot ~output lub =
   (match output with
    | Some file ->
-     let oc = open_out file in
-     Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-         output_string oc (Rt_lattice.Depfun.to_string ~names lub);
-         output_char oc '\n');
+     (* Atomic: byte-equality sweeps diff these files, so a killed run
+        must never leave a truncated image behind. *)
+     Rt_util.Atomic_file.write file
+       (Rt_lattice.Depfun.to_string ~names lub ^ "\n");
      Printf.eprintf "wrote model to %s\n" file
    | None -> ());
   if dot then print_string (Rt_analysis.Dep_graph.to_dot ~names lub)
@@ -491,6 +555,61 @@ let render_folded ~names ~dot ~output = function
     if not dot then Format.printf "folded model (exact at bound 1):@.";
     output_model ~names ~dot ~output model
 
+(* Commit a learned model to a content-addressed store: the bound-1
+   companion parts (the pre-weaken fleet-merge interchange consumed by
+   `rtgen merge`) under REF/b1 (REF/b1/<i> when sharded), optionally
+   the full answer set under REF/answers, and the model itself under
+   REF with the companion addresses as parents — so `store gc` keeps
+   the interchange alive exactly as long as the model is referenced. *)
+let store_commit ~store ~ref_ ~names ~bound ~source ~created_at ?answers
+    ~(parts : (Rt_lattice.Depfun.t option * bool array array) array) model =
+  let ( let* ) = Result.bind in
+  let* s = Store.init store in
+  let meta kind ~bound ~parents =
+    { Store.kind; bound = Some bound; source = Some source; parents;
+      created_at }
+  in
+  let companion_refs =
+    match Array.to_list parts with
+    | [ p ] -> [ (ref_ ^ "/b1", p) ]
+    | ps -> List.mapi (fun i p -> (Printf.sprintf "%s/b1/%d" ref_ i, p)) ps
+  in
+  let* parents =
+    List.fold_left
+      (fun acc (r, (summary, violations)) ->
+         let* acc = acc in
+         match summary with
+         | None -> Error (r ^ ": inconsistent part has no companion")
+         | Some summary ->
+           let blob = Codec.companion_to_blob ~names ~summary ~violations () in
+           let* e = Store.commit s ~ref_:r ~meta:(meta Store.Companion ~bound:1 ~parents:[]) blob in
+           Ok (e.Store.address :: acc))
+      (Ok []) companion_refs
+  in
+  let parents = List.rev parents in
+  if parents = [] then
+    Printf.eprintf
+      "note: no bound-1 companion produced; %s is committed without the \
+       fleet-merge interchange\n" ref_;
+  let* () =
+    match answers with
+    | None | Some [] -> Ok ()
+    | Some hs ->
+      let* _ =
+        Store.commit s ~ref_:(ref_ ^ "/answers")
+          ~meta:(meta Store.Answerset ~bound ~parents:[])
+          (Codec.answerset_to_blob ~names hs)
+      in
+      Ok ()
+  in
+  let* e =
+    Store.commit s ~ref_ ~meta:(meta Store.Model ~bound ~parents)
+      (Codec.model_to_blob ~names model)
+  in
+  Printf.eprintf "stored %s//%s@%d %s (%d companion part(s))\n"
+    (Store.root s) ref_ e.Store.gen e.Store.address (List.length parents);
+  Ok ()
+
 let blowup_msg set_size limit =
   Printf.sprintf
     "exact version space exceeded %d (limit %d); use the heuristic \
@@ -503,7 +622,8 @@ let blowup_msg set_size limit =
    the same quarantine account as the batch path, because both sit on
    Stream_io / salvage_period / Engine. *)
 let learn_stream ~exact ~shards ~bound ~window ~jobs ~obs ~mode ~eps ~progress
-    ~dot ~output ~metrics ~trace_events ~profile ~folded path =
+    ~dot ~output ~store ~store_ref ~metrics ~trace_events ~profile ~folded
+    path =
   let write_sinks = write_sinks ~profile ?folded in
   let module Eng = Rt_engine.Engine in
   let module SStream = Rt_shard.Shard.Stream in
@@ -538,21 +658,34 @@ let learn_stream ~exact ~shards ~bound ~window ~jobs ~obs ~mode ~eps ~progress
                    | Some k ->
                      `Sharded
                        (SStream.create ?window ~ntasks ~bound ~shards:k ())
-                   | None -> `Single (Eng.create ?window ?pool ?obs ~ntasks alg)
+                   | None ->
+                     (* With --store, run a bound-1 companion alongside:
+                        its pre-weaken matrix is the fleet-merge
+                        interchange this process publishes. At bound 1
+                        the main engine is its own companion. *)
+                     let comp =
+                       if store <> None && not exact && bound > 1 then
+                         Some (Eng.create ?window ~ntasks
+                                 (Eng.Heuristic { bound = 1 }))
+                       else None
+                     in
+                     `Single (Eng.create ?window ?pool ?obs ~ntasks alg, comp)
                  in
                  core := Some c; c
              in
              let feed_core c p =
                match c with
-               | `Single e -> Eng.feed e p
+               | `Single (e, comp) ->
+                 Eng.feed e p;
+                 Option.iter (fun c -> Eng.feed c p) comp
                | `Sharded s -> SStream.feed s p
              in
              let periods_fed_core = function
-               | `Single e -> Eng.periods_fed e
+               | `Single (e, _) -> Eng.periods_fed e
                | `Sharded s -> SStream.periods_fed s
              in
              let hypotheses_core = function
-               | `Single e -> List.length (Eng.current e)
+               | `Single (e, _) -> List.length (Eng.current e)
                | `Sharded s -> SStream.hypotheses s
              in
              let excised = ref [] and sem_dropped = ref [] in
@@ -618,14 +751,40 @@ let learn_stream ~exact ~shards ~bound ~window ~jobs ~obs ~mode ~eps ~progress
                    Rt_task.Task_set.names
                      (Option.get (Rt_trace.Stream_io.task_set parser))
                  in
+                 let commit ~parts ?answers model =
+                   match store with
+                   | None -> Ec.ok
+                   | Some dir ->
+                     (match
+                        store_commit ~store:dir ~ref_:store_ref ~names ~bound
+                          ~source:path ~created_at:(periods_fed_core c)
+                          ?answers ~parts model
+                      with
+                      | Ok () -> Ec.ok
+                      | Error m -> err ("store: " ^ m))
+                 in
                  (match c with
-                  | `Single e ->
+                  | `Single (e, comp) ->
                     Eng.set_provenance e
                       ~dropped:(List.length q.Rt_trace.Quarantine.dropped)
                       ~repaired:(List.length q.Rt_trace.Quarantine.repaired);
+                    let parts =
+                      match Eng.violations e with
+                      | Some v when not exact ->
+                        [| (Rt_shard.Shard.summary_of
+                              (Option.value comp ~default:e), v) |]
+                      | Some _ | None -> [||]
+                    in
                     let snap = Eng.finalize e in
                     write_sinks ~metrics ~trace_events obs;
-                    render_model ~names ~dot ~output snap.Eng.hypotheses
+                    let code =
+                      render_model ~names ~dot ~output snap.Eng.hypotheses
+                    in
+                    (match snap.Eng.lub with
+                     | Some model when code = Ec.ok ->
+                       Ec.combine code
+                         (commit ~parts ~answers:snap.Eng.hypotheses model)
+                     | Some _ | None -> code)
                   | `Sharded s ->
                     (match obs with
                      | Some r ->
@@ -636,17 +795,34 @@ let learn_stream ~exact ~shards ~bound ~window ~jobs ~obs ~mode ~eps ~progress
                        set "shard.jobs" jobs
                      | None -> ());
                     write_sinks ~metrics ~trace_events obs;
-                    render_folded ~names ~dot ~output (SStream.fold s))
+                    let folded = SStream.fold s in
+                    let code = render_folded ~names ~dot ~output folded in
+                    (match folded with
+                     | Some model when code = Ec.ok ->
+                       Ec.combine code (commit ~parts:(SStream.parts s) model)
+                     | Some _ | None -> code))
                | Some _ | None ->
                  err ("no usable periods after quarantine")))
 
 let learn path exact auto stream shards bound window jobs dot output mode eps
-    checkpoint every stop_after metrics trace_events profile folded progress =
+    checkpoint every stop_after store store_ref flight_out metrics
+    trace_events profile folded progress =
   let module Eng = Rt_engine.Engine in
   let obs =
     if metrics <> None || trace_events <> None || profile || folded <> None
     then Some (Rt_obs.Registry.create ())
     else None
+  in
+  (* One recorder for the run: checkpoint-corruption notices land in it,
+     dumped at exit. *)
+  let flight = Option.map (fun _ -> Rt_obs.Flight.create ()) flight_out in
+  let dump_flight () =
+    match (flight, flight_out) with
+    | Some f, Some p ->
+      Rt_util.Atomic_file.write p
+        (Rt_obs.Json.to_string ~pretty:true (Rt_obs.Flight.to_json f));
+      Printf.eprintf "wrote %s\n" p
+    | _ -> ()
   in
   let write_sinks = write_sinks ~profile ?folded in
   let conflict =
@@ -663,14 +839,30 @@ let learn path exact auto stream shards bound window jobs dot output mode eps
       Some "sharded learning runs the bounded heuristic; drop --exact"
     else if shards <> None && auto then
       Some "--auto searches for a heuristic bound; drop --shards"
+    else if store <> None && exact then
+      Some "the store interchange is the heuristic's bound-1 companion; \
+            drop --exact"
+    else if store <> None && auto then
+      Some "--auto re-learns at several bounds; pick one bound to commit \
+            with --store"
     else None
   in
+  let run () =
   match conflict with
   | Some m -> err (m)
   | None ->
+    let checkpoint =
+      match checkpoint with
+      | None -> Ok None
+      | Some spec -> Result.map Option.some (Slot.of_string spec)
+    in
+    match checkpoint with
+    | Error m -> err m
+    | Ok checkpoint ->
     if stream then
       learn_stream ~exact ~shards ~bound ~window ~jobs ~obs ~mode ~eps
-        ~progress ~dot ~output ~metrics ~trace_events ~profile ~folded path
+        ~progress ~dot ~output ~store ~store_ref ~metrics ~trace_events
+        ~profile ~folded path
     else begin
       match read_trace ~mode ~eps ?window ?obs path with
       | Error m -> err (m)
@@ -678,6 +870,22 @@ let learn path exact auto stream shards bound window jobs dot output mode eps
         err ("no usable periods after quarantine")
       | Ok (trace, q) ->
         let names = Rt_task.Task_set.names trace.task_set in
+        (* Commit to the store after rendering: stdout and -o carry the
+           model either way, and a store failure surfaces as an input
+           error without un-printing anything. *)
+        let commit ~parts ?answers model =
+          match store with
+          | None -> Ec.ok
+          | Some dir ->
+            (match
+               store_commit ~store:dir ~ref_:store_ref ~names ~bound
+                 ~source:path
+                 ~created_at:(Rt_trace.Trace.period_count trace)
+                 ?answers ~parts model
+             with
+             | Ok () -> Ec.ok
+             | Error m -> err ("store: " ^ m))
+        in
         if auto then begin
           let report, chosen =
             with_pool jobs (fun pool ->
@@ -697,19 +905,25 @@ let learn path exact auto stream shards bound window jobs dot output mode eps
         end
         else if shards <> None then begin
           let shards = Option.get shards in
+          let render_and_commit ~parts model =
+            let code = render_folded ~names ~dot ~output model in
+            match model with
+            | Some m when code = Ec.ok -> Ec.combine code (commit ~parts m)
+            | Some _ | None -> code
+          in
           match checkpoint with
-          | Some ckpt_path ->
+          | Some ckpt ->
             (match
-               run_checkpointed_sharded ~obs ~progress ~window ~bound ~shards
-                 ~every ~stop_after ~ckpt_path trace
+               run_checkpointed_sharded ~obs ~flight ~progress ~window ~bound
+                 ~shards ~every ~stop_after ~ckpt trace
              with
              | Error m -> write_sinks ~metrics ~trace_events obs; err m
              | Ok None ->
                write_sinks ~metrics ~trace_events obs;
                Ec.ok  (* --stop-after: checkpoints written *)
-             | Ok (Some model) ->
+             | Ok (Some (model, parts)) ->
                write_sinks ~metrics ~trace_events obs;
-               render_folded ~names ~dot ~output model)
+               render_and_commit ~parts model)
           | None ->
             let out =
               with_pool jobs (fun pool ->
@@ -727,32 +941,57 @@ let learn path exact auto stream shards bound window jobs dot output mode eps
              | Some r -> Rt_obs.Registry.set_counter r "shard.jobs" jobs
              | None -> ());
             write_sinks ~metrics ~trace_events obs;
-            render_folded ~names ~dot ~output out.model
+            render_and_commit
+              ~parts:(Array.map
+                        (fun (r : Rt_shard.Shard.result) ->
+                           (r.summary, r.violations))
+                        out.shards)
+              out.model
         end
         else
-          let hypotheses =
+          (* Single-engine tail: the answer set plus the bound-1
+             companion part this process would publish to a store. *)
+          let parts_of ~main ~companion =
+            match Eng.violations main with
+            | Some v ->
+              [| (Rt_shard.Shard.summary_of
+                    (Option.value companion ~default:main), v) |]
+            | None -> [||]
+          in
+          let result =
             match checkpoint with
             | Some _ when exact ->
               Error
                 "--checkpoint requires the heuristic algorithm (drop --exact)"
-            | Some ckpt_path ->
+            | Some ckpt ->
               (match
                  with_pool jobs (fun pool ->
-                     run_checkpointed ~pool ~obs ~progress ~window ~bound
-                       ~every ~stop_after ~ckpt_path q trace)
+                     run_checkpointed ~pool ~obs ~flight ~progress ~window
+                       ~bound ~every ~stop_after ~ckpt q trace)
                with
                | Error _ as e -> e
                | Ok None -> Ok None
-               | Ok (Some s) -> Ok (Some s.Rt_engine.Engine.hypotheses))
+               | Ok (Some (s, eng)) ->
+                 (* The checkpointed path runs one engine; only at bound
+                    1 is it its own exact companion. *)
+                 let parts =
+                   if bound = 1 then parts_of ~main:eng ~companion:None
+                   else [||]
+                 in
+                 Ok (Some (s.Rt_engine.Engine.hypotheses, parts)))
             | None ->
               with_pool jobs (fun pool ->
                   let alg =
                     if exact then Eng.Exact { limit = None }
                     else Eng.Heuristic { bound }
                   in
-                  let eng =
-                    Eng.create ?window ?pool ?obs
-                      ~ntasks:(Rt_trace.Trace.task_count trace) alg
+                  let ntasks = Rt_trace.Trace.task_count trace in
+                  let eng = Eng.create ?window ?pool ?obs ~ntasks alg in
+                  let companion =
+                    if store <> None && not exact && bound > 1 then
+                      Some (Eng.create ?window ~ntasks
+                              (Eng.Heuristic { bound = 1 }))
+                    else None
                   in
                   Eng.set_provenance eng
                     ~dropped:(List.length q.dropped)
@@ -762,6 +1001,7 @@ let learn path exact auto stream shards bound window jobs dot output mode eps
                   match
                     List.iteri (fun i p ->
                         Eng.feed eng p;
+                        Option.iter (fun c -> Eng.feed c p) companion;
                         match progress with
                         | Some n when (i + 1) mod n = 0 || i + 1 = total ->
                           Printf.eprintf
@@ -770,16 +1010,30 @@ let learn path exact auto stream shards bound window jobs dot output mode eps
                         | Some _ | None -> ())
                       periods
                   with
-                  | () -> Ok (Some (Eng.finalize eng).Eng.hypotheses)
+                  | () ->
+                    let parts =
+                      if exact then [||] else parts_of ~main:eng ~companion
+                    in
+                    Ok (Some ((Eng.finalize eng).Eng.hypotheses, parts))
                   | exception Rt_learn.Exact.Blowup { set_size; limit; _ } ->
                     Error (blowup_msg set_size limit))
           in
           write_sinks ~metrics ~trace_events obs;
-          (match hypotheses with
+          (match result with
            | Error m -> err (m)
            | Ok None -> Ec.ok  (* --stop-after: checkpoint written *)
-           | Ok (Some hs) -> render_model ~names ~dot ~output hs)
+           | Ok (Some (hs, parts)) ->
+             let code = render_model ~names ~dot ~output hs in
+             (match hs with
+              | _ :: _ when code = Ec.ok ->
+                Ec.combine code
+                  (commit ~parts ~answers:hs (Rt_lattice.Depfun.lub hs))
+              | _ -> code))
     end
+  in
+  let code = run () in
+  dump_flight ();
+  code
 
 (* --- watch --- *)
 
@@ -1141,8 +1395,8 @@ let top socket interval count no_clear =
 
 (* --- serve --- *)
 
-let serve spool listen control out_dir checkpoint_dir checkpoint_every bound
-    window eps jobs max_streams queue_capacity tick max_restarts backoff
+let serve spool listen control out_dir checkpoint_dir store checkpoint_every
+    bound window eps jobs max_streams queue_capacity tick max_restarts backoff
     backoff_cap stall_timeout idle_timeout metrics flight flight_capacity
     stop_after_total drain_after_total =
   let policy =
@@ -1164,6 +1418,7 @@ let serve spool listen control out_dir checkpoint_dir checkpoint_every bound
       control;
       out_dir;
       checkpoint_dir;
+      store;
       checkpoint_every;
       bound;
       window;
@@ -1285,17 +1540,27 @@ let run_query path query bound window jobs model_file =
        let model_result =
          match model_file with
          | Some file ->
-           (* Reuse a model saved by `learn -o` instead of re-learning. *)
-           (try
-              let ic = open_in file in
-              let content =
-                Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-                    really_input_string ic (in_channel_length ic))
-              in
-              match Rt_lattice.Depfun.parse content with
-              | Ok (model, names) -> Ok (model, names)
-              | Error m -> Error (file ^ ": " ^ m)
-            with Sys_error m -> Error m)
+           (* Reuse a model saved by `learn -o` — or committed to a
+              store ([DIR//ref@N]) — instead of re-learning. *)
+           (match Store.split_address file with
+            | Some (dir, spec) ->
+              (match
+                 Result.bind (resolve_blob dir spec) (fun (_, blob) ->
+                     Codec.model_of_blob blob)
+               with
+               | Ok (model, names) -> Ok (model, names)
+               | Error m -> Error (file ^ ": " ^ m))
+            | None ->
+              (try
+                 let ic = open_in file in
+                 let content =
+                   Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+                       really_input_string ic (in_channel_length ic))
+                 in
+                 match Rt_lattice.Depfun.parse content with
+                 | Ok (model, names) -> Ok (model, names)
+                 | Error m -> Error (file ^ ": " ^ m)
+               with Sys_error m -> Error m))
          | None ->
            (match
               with_pool jobs (fun pool ->
@@ -1327,6 +1592,36 @@ let run_query path query bound window jobs model_file =
 
 (* --- check: static audit of learned artifacts --- *)
 
+(* A MODEL argument is a file saved by `learn -o`, or a store address
+   [DIR//ref[@N]] naming a model, companion or answer-set blob (an
+   answer set expands into one model per member). *)
+let load_model_spec path =
+  let module Mc = Rt_check.Model_check in
+  match Store.split_address path with
+  | None -> Result.map (fun m -> [ m ]) (Mc.load_model path)
+  | Some (dir, spec) ->
+    let ( let* ) = Result.bind in
+    let* _, blob = resolve_blob dir spec in
+    (match Codec.kind_of_blob blob with
+     | Some Store.Model ->
+       let* d, names = Codec.model_of_blob blob in
+       Ok [ Mc.model_of_depfun ~source:path ~names d ]
+     | Some Store.Companion ->
+       let* decoded = Codec.companion_of_blob blob in
+       let d, _, names = decoded in
+       Ok [ Mc.model_of_depfun ~source:path ~names d ]
+     | Some Store.Answerset ->
+       let* ms = Codec.answerset_of_blob blob in
+       Ok
+         (List.mapi
+            (fun i (d, names) ->
+               Mc.model_of_depfun
+                 ~source:(Printf.sprintf "%s#%d" path i) ~names d)
+            ms)
+     | Some Store.Checkpoint ->
+       Error (path ^ ": checkpoint blob; audit it with --checkpoint")
+     | None -> Error (path ^ ": unrecognized blob format"))
+
 let model_check models ckpt trace_file format output strict =
   let module Mc = Rt_check.Model_check in
   let module F = Rt_check.Finding in
@@ -1336,10 +1631,10 @@ let model_check models ckpt trace_file format output strict =
     let input_errors = ref [] in
     let bad_input m = input_errors := m :: !input_errors in
     let loaded =
-      List.filter_map (fun path ->
-          match Mc.load_model path with
-          | Ok m -> Some m
-          | Error m -> bad_input m; None)
+      List.concat_map (fun path ->
+          match load_model_spec path with
+          | Ok ms -> ms
+          | Error m -> bad_input m; [])
         models
     in
     (* The lattice-law self-check is cheap (7^3 triples) and silent on a
@@ -1358,9 +1653,18 @@ let model_check models ckpt trace_file format output strict =
     (match ckpt with
      | None -> ()
      | Some path ->
-       (match read_file path with
-        | exception Sys_error m -> bad_input m
-        | data ->
+       let data =
+         match Store.split_address path with
+         | None ->
+           (match read_file path with
+            | data -> Ok data
+            | exception Sys_error m -> Error m)
+         | Some (dir, spec) ->
+           Result.map snd (resolve_blob dir spec)
+       in
+       (match data with
+        | Error m -> bad_input m
+        | Ok data ->
           (match Mc.check_checkpoint ~source:path data with
            | Ok fs -> add fs
            | Error (m, f) -> bad_input m; add [ f ])));
@@ -1384,6 +1688,198 @@ let model_check models ckpt trace_file format output strict =
       List.iter (fun m -> ignore (err m)) es;
       Ec.combine Ec.input_error (F.exit_code fs)
   end
+
+(* --- merge: the cross-process half of sharding --- *)
+
+(* Fold the bound-1 companion parts published in K stores into one
+   fleet model. Each store contributes the latest generation of every
+   Companion-kind ref (narrowed to REF/b1* by --ref); the fold is the
+   same exchange law as --shards, so over stores produced from a
+   partition of one trace's periods the result is byte-equal to the
+   monolithic bound-1 model, whatever the partition shape. *)
+let merge stores ref_filter dot output out_store out_ref =
+  let ( let* ) = Result.bind in
+  let collect dir =
+    let* s = Store.open_ dir in
+    let keep r =
+      match ref_filter with
+      | None -> true
+      | Some base ->
+        let p = base ^ "/b1" in
+        r = p
+        || (String.length r > String.length p + 1
+            && String.sub r 0 (String.length p + 1) = p ^ "/")
+    in
+    List.fold_left
+      (fun acc r ->
+         let* acc = acc in
+         let* e = Store.resolve s r in
+         if e.Store.meta.Store.kind <> Store.Companion then Ok acc
+         else
+           let* blob = Store.read_blob s e.Store.address in
+           let* decoded = Codec.companion_of_blob blob in
+           let summary, violations, names = decoded in
+           Ok
+             ((Printf.sprintf "%s//%s@%d" dir r e.Store.gen,
+               e.Store.address, e.Store.meta.Store.created_at,
+               summary, violations, names)
+              :: acc))
+      (Ok [])
+      (List.filter keep (Store.refs s))
+    |> Result.map List.rev
+  in
+  match
+    List.fold_left
+      (fun acc dir ->
+         let* acc = acc in
+         let* ps = collect dir in
+         Ok (acc @ ps))
+      (Ok []) stores
+  with
+  | Error m -> err m
+  | Ok [] -> err "no companion parts found in the given store(s)"
+  | Ok ((_, _, _, _, _, names) :: _ as all) ->
+    if List.exists (fun (_, _, _, _, _, ns) -> ns <> names) all then
+      err "the stores' companion parts disagree on the task set"
+    else begin
+      List.iter
+        (fun (label, _, created, _, _, _) ->
+           Printf.eprintf "merging %s (%d periods)\n" label created)
+        all;
+      let parts =
+        Array.of_list (List.map (fun (_, _, _, s, v, _) -> (Some s, v)) all)
+      in
+      match Rt_shard.Shard.fold_summaries parts with
+      | None -> err inconsistent_msg
+      | Some model ->
+        if not dot then
+          Format.printf "fleet model (%d part(s) from %d store(s)):@."
+            (Array.length parts) (List.length stores);
+        let code = output_model ~names ~dot ~output model in
+        match out_store with
+        | Some dir when code = Ec.ok ->
+          (match
+             let* s = Store.init dir in
+             let meta =
+               { Store.kind = Store.Model; bound = Some 1;
+                 source = Some "merge";
+                 parents = List.map (fun (_, a, _, _, _, _) -> a) all;
+                 created_at =
+                   List.fold_left (fun a (_, _, c, _, _, _) -> a + c) 0 all }
+             in
+             let* e =
+               Store.commit s ~ref_:out_ref ~meta
+                 (Codec.model_to_blob ~names model)
+             in
+             Printf.eprintf "stored %s//%s@%d %s\n" (Store.root s) out_ref
+               e.Store.gen e.Store.address;
+             Ok ()
+           with
+           | Ok () -> code
+           | Error m -> err ("store: " ^ m))
+        | Some _ | None -> code
+    end
+
+(* --- store: plumbing over the content-addressed store --- *)
+
+let entry_line (e : Store.entry) =
+  let m = e.Store.meta in
+  Printf.sprintf "gen %d %s kind=%s created=%d%s%s%s" e.Store.gen
+    e.Store.address
+    (Store.kind_to_string m.Store.kind)
+    m.Store.created_at
+    (match m.Store.bound with
+     | Some b -> Printf.sprintf " bound=%d" b
+     | None -> "")
+    (match m.Store.parents with
+     | [] -> ""
+     | ps -> " parents=" ^ String.concat "," ps)
+    (match m.Store.source with Some s -> " source=" ^ s | None -> "")
+
+let cmd_store_init dir =
+  match Store.init dir with
+  | Ok s -> Printf.eprintf "initialized %s\n" (Store.root s); Ec.ok
+  | Error m -> err m
+
+let cmd_store_refs dir =
+  match Store.open_ dir with
+  | Error m -> err m
+  | Ok s ->
+    let bad = ref None in
+    List.iter
+      (fun r ->
+         match Store.resolve s r with
+         | Ok e ->
+           Format.printf "%s @%d %s %s@." r e.Store.gen e.Store.address
+             (Store.kind_to_string e.Store.meta.Store.kind)
+         | Error m -> if !bad = None then bad := Some m)
+      (Store.refs s);
+    (match !bad with Some m -> err m | None -> Ec.ok)
+
+let cmd_store_log dir ref_ =
+  match Store.open_ dir with
+  | Error m -> err m
+  | Ok s ->
+    (match Store.generations s ref_ with
+     | Error m -> err m
+     | Ok entries ->
+       List.iter (fun e -> print_endline (entry_line e)) entries;
+       Ec.ok)
+
+let cmd_store_cat address dot output =
+  match Store.split_address address with
+  | None -> err "ADDRESS must have the form DIR//ref[@N|@latest]"
+  | Some (dir, spec) ->
+    (match resolve_blob dir spec with
+     | Error m -> err m
+     | Ok (_, blob) ->
+       if dot then
+         (* Model blobs render through the same dependency-graph
+            exporter as `learn --dot`. *)
+         match Codec.model_of_blob blob with
+         | Error m -> err (address ^ ": " ^ m)
+         | Ok (d, names) ->
+           print_string (Rt_analysis.Dep_graph.to_dot ~names d);
+           Ec.ok
+       else begin
+         (match output with
+          | Some file ->
+            Rt_util.Atomic_file.write file blob;
+            Printf.eprintf "wrote %s\n" file
+          | None -> print_string blob);
+         Ec.ok
+       end)
+
+let cmd_store_put dir ref_ file =
+  match
+    let ( let* ) = Result.bind in
+    let* data =
+      try Ok (read_file file) with Sys_error m -> Error m
+    in
+    let* s = Store.init dir in
+    let kind =
+      Option.value (Codec.kind_of_blob data) ~default:Store.Checkpoint
+    in
+    let meta =
+      { Store.kind; bound = None; source = Some file; parents = [];
+        created_at = 0 }
+    in
+    Store.commit s ~ref_ ~meta data
+  with
+  | Error m -> err m
+  | Ok e ->
+    Printf.printf "%s@%d %s\n" ref_ e.Store.gen e.Store.address;
+    Ec.ok
+
+let cmd_store_gc dir =
+  match Store.open_ dir with
+  | Error m -> err m
+  | Ok s ->
+    (match Store.gc s with
+     | Error m -> err m
+     | Ok (kept, deleted) ->
+       Printf.printf "kept %d blob(s), deleted %d\n" kept deleted;
+       Ec.ok)
 
 (* --- table1 --- *)
 
@@ -1565,10 +2061,12 @@ let learn_cmd =
            ~doc:"Also save the learned model (matrix text) to FILE.")
   in
   let checkpoint =
-    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
-           ~doc:"Snapshot the learner state to FILE every $(b,--every) \
-                 periods (atomically); if FILE exists and matches the \
-                 trace, resume from it. Removed on successful completion.")
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"SLOT"
+           ~doc:"Snapshot the learner state to SLOT every $(b,--every) \
+                 periods: a plain FILE (written atomically) or a store \
+                 ref $(b,DIR//ref) (one generation per snapshot). If the \
+                 slot exists and matches the trace, resume from it. \
+                 Removed on successful completion.")
   in
   let every =
     Arg.(value & opt int 1 & info [ "every" ] ~docv:"N"
@@ -1603,6 +2101,26 @@ let learn_cmd =
                  $(i,path exclusive_ns) line per call path) to FILE — \
                  feed to flamegraph.pl, speedscope or inferno.")
   in
+  let store =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Also commit the result to the content-addressed model \
+                 store at DIR (created on demand): the model under \
+                 $(b,--ref), its pre-weaken bound-1 companion under \
+                 REF/b1 (the fleet-merge interchange consumed by \
+                 $(b,rtgen merge)), and the answer set under \
+                 REF/answers.")
+  in
+  let store_ref =
+    Arg.(value & opt string "model" & info [ "ref" ] ~docv:"REF"
+           ~doc:"Ref name the store commit lands under (default \
+                 $(b,model)); each run appends a new generation.")
+  in
+  let flight =
+    Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE"
+           ~doc:"Record recovery events (checkpoint corruption fallbacks) \
+                 in a flight recorder and dump it (rtgen-flight JSON) to \
+                 FILE at exit.")
+  in
   let progress =
     Arg.(value & opt (some int) None & info [ "progress" ] ~docv:"N"
            ~doc:"Report progress on stderr every N periods (heuristic \
@@ -1621,6 +2139,7 @@ let learn_cmd =
     Term.((const learn $ stream_trace_arg $ exact $ auto $ stream $ shards
                $ bound_arg $ window_arg $ jobs_arg $ dot_arg $ output
                $ mode_arg $ eps_arg $ checkpoint $ every $ stop_after
+               $ store $ store_ref $ flight
                $ metrics $ trace_events $ profile $ folded $ progress))
 
 let watch_cmd =
@@ -1766,6 +2285,14 @@ let serve_cmd =
                  SIGKILLed daemon restarted over the same spool finishes \
                  with byte-identical models.")
   in
+  let store =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Content-addressed model store (created on demand). \
+                 Supersedes $(b,--checkpoint-dir): per-stream checkpoints \
+                 land at ckpt/ID refs, and every finalized model is also \
+                 committed as a model/ID generation — the fleet-merge / \
+                 drift-diff interchange.")
+  in
   let checkpoint_every =
     Arg.(value & opt int 64 & info [ "checkpoint-every" ] ~docv:"N"
            ~doc:"Periods between checkpoints.")
@@ -1840,7 +2367,7 @@ let serve_cmd =
            ~doc:"Learn many live trace streams under one supervised daemon \
                  (rtgend)")
     Term.((const serve $ spool $ listen $ control $ out_dir $ checkpoint_dir
-               $ checkpoint_every $ bound_arg $ window_arg $ eps_arg
+               $ store $ checkpoint_every $ bound_arg $ window_arg $ eps_arg
                $ jobs_arg $ max_streams $ queue_capacity $ tick
                $ max_restarts $ backoff $ backoff_cap $ stall_timeout
                $ idle_timeout $ metrics $ flight $ flight_capacity
@@ -1919,8 +2446,10 @@ let query_cmd =
            ~doc:"Property to check, e.g. 'd(A,L) = -> & conjunction(Q)'.")
   in
   let model_file =
-    Arg.(value & opt (some file) None & info [ "model" ] ~docv:"FILE"
-           ~doc:"Use a model saved by `learn -o` instead of re-learning.")
+    Arg.(value & opt (some string) None & info [ "model" ] ~docv:"MODEL"
+           ~doc:"Use a model saved by $(b,learn -o), or a store address \
+                 ($(b,DIR//ref), $(b,DIR//ref@N)), instead of \
+                 re-learning.")
   in
   Cmd.v (Cmd.info "query"
            ~doc:"Check a dependency property against the learned model \
@@ -1933,13 +2462,17 @@ let check_cmd =
      (exit 2), not command-line misuse (124). *)
   let models =
     Arg.(value & pos_all string [] & info [] ~docv:"MODEL"
-           ~doc:"Model files saved by $(b,learn -o); several files are \
-                 additionally audited together as one answer set.")
+           ~doc:"Model files saved by $(b,learn -o), or store addresses \
+                 ($(b,DIR//ref@N)) of model, companion or answer-set \
+                 blobs; several models are additionally audited together \
+                 as one answer set.")
   in
   let ckpt =
-    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"SLOT"
            ~doc:"Audit a learner checkpoint written by $(b,learn \
-                 --checkpoint): bound respected, working set canonical.")
+                 --checkpoint) — a file or a store address \
+                 ($(b,DIR//ref@N)): bound respected, working set \
+                 canonical.")
   in
   let trace_file =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"TRACE"
@@ -1956,6 +2489,105 @@ let check_cmd =
     Term.((const model_check $ models $ ckpt $ trace_file $ format_arg
                $ findings_out_arg $ strict))
 
+let merge_cmd =
+  let stores =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"STORE"
+           ~doc:"Store directories written by $(b,learn --store) (or \
+                 $(b,serve --store)); every Companion-kind ref's latest \
+                 generation contributes one part.")
+  in
+  let ref_filter =
+    Arg.(value & opt (some string) None & info [ "ref" ] ~docv:"REF"
+           ~doc:"Only fold companions under REF/b1 (the parts committed \
+                 by $(b,learn --store --ref) REF).")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Also save the fleet model (matrix text) to FILE — \
+                 byte-equal to a monolithic bound-1 $(b,learn -o) over \
+                 the concatenated periods.")
+  in
+  let out_store =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Also commit the fleet model to the store at DIR, with \
+                 the folded companion addresses as parents.")
+  in
+  let out_ref =
+    Arg.(value & opt string "fleet" & info [ "out-ref" ] ~docv:"REF"
+           ~doc:"Ref name the fleet commit lands under (default \
+                 $(b,fleet)).")
+  in
+  Cmd.v (Cmd.info "merge"
+           ~doc:"Fold the bound-1 companions of several stores into one \
+                 fleet model (the cross-process half of --shards)")
+    Term.((const merge $ stores $ ref_filter $ dot_arg $ output $ out_store
+               $ out_ref))
+
+let store_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+           ~doc:"Store directory.")
+  in
+  let init =
+    Cmd.v (Cmd.info "init" ~doc:"Create an empty store (idempotent)")
+      Term.(const cmd_store_init $ dir_arg)
+  in
+  let refs =
+    Cmd.v (Cmd.info "refs"
+             ~doc:"List every ref with its latest generation and kind")
+      Term.(const cmd_store_refs $ dir_arg)
+  in
+  let log =
+    let ref_arg =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"REF"
+             ~doc:"Ref name.")
+    in
+    Cmd.v (Cmd.info "log"
+             ~doc:"Print a ref's generations, oldest first, with their \
+                   metadata")
+      Term.(const cmd_store_log $ dir_arg $ ref_arg)
+  in
+  let cat =
+    let address =
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDRESS"
+             ~doc:"Store address, $(b,DIR//ref), $(b,DIR//ref@N) or \
+                   $(b,DIR//ref\\@latest).")
+    in
+    let output =
+      Arg.(value & opt (some string) None & info [ "o"; "output" ]
+             ~docv:"FILE" ~doc:"Write the blob to FILE instead of stdout.")
+    in
+    Cmd.v (Cmd.info "cat"
+             ~doc:"Print the blob a store address resolves to \
+                   (hash-verified); --dot renders a model blob as \
+                   Graphviz")
+      Term.(const cmd_store_cat $ address $ dot_arg $ output)
+  in
+  let put =
+    let ref_arg =
+      Arg.(required & pos 1 (some string) None & info [] ~docv:"REF"
+             ~doc:"Ref name to commit under.")
+    in
+    let file_arg =
+      Arg.(required & pos 2 (some file) None & info [] ~docv:"FILE"
+             ~doc:"File whose bytes become the blob (kind sniffed from \
+                   the content).")
+    in
+    Cmd.v (Cmd.info "put"
+             ~doc:"Commit a file's bytes as a new generation of a ref \
+                   (plumbing)")
+      Term.(const cmd_store_put $ dir_arg $ ref_arg $ file_arg)
+  in
+  let gc =
+    Cmd.v (Cmd.info "gc"
+             ~doc:"Delete blobs referenced by no generation of any ref")
+      Term.(const cmd_store_gc $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and maintain a content-addressed model store")
+    [ init; refs; log; cat; put; gc ]
+
 let table1_cmd =
   let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Only the small bounds.") in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's runtime-vs-bound table")
@@ -1970,9 +2602,10 @@ let () =
   let info = Cmd.info "rtgen" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ simulate_cmd; learn_cmd; watch_cmd; serve_cmd; top_cmd; analyze_cmd;
-        query_cmd; check_cmd; inject_cmd; stats_cmd; report_cmd; vcd_cmd;
-        gantt_cmd; anonymize_cmd; table1_cmd; example_cmd ]
+      [ simulate_cmd; learn_cmd; watch_cmd; serve_cmd; top_cmd; merge_cmd;
+        store_cmd; analyze_cmd; query_cmd; check_cmd; inject_cmd; stats_cmd;
+        report_cmd; vcd_cmd; gantt_cmd; anonymize_cmd; table1_cmd;
+        example_cmd ]
   in
   let code =
     try Cmd.eval' ~catch:false group

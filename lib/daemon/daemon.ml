@@ -7,6 +7,7 @@ type config = {
   control : string option;
   out_dir : string;
   checkpoint_dir : string option;
+  store : string option;
   checkpoint_every : int;
   bound : int;
   window : int option;
@@ -32,6 +33,7 @@ let default =
     control = None;
     out_dir = ".";
     checkpoint_dir = None;
+    store = None;
     checkpoint_every = 64;
     bound = 2;
     window = None;
@@ -79,6 +81,7 @@ type state = {
   cfg : config;
   reg : Reg.t;
   flight : Rt_obs.Flight.t;
+  store : Rt_store.Store.t option;  (* opened once at startup *)
   mutable now : float;  (* the loop's current clock, for status ages *)
   pool : Rt_util.Domain_pool.t option;
   entries : (string, entry) Hashtbl.t;
@@ -138,14 +141,22 @@ let total_checkpoints st =
       n + match e.stream with Some s -> Stream.checkpoints_written s | None -> 0)
     st.c_checkpoints_base
 
-let checkpoint_path_of st id =
-  Option.map (fun d -> Filename.concat d (id ^ ".ckpt")) st.cfg.checkpoint_dir
+(* Checkpoint destination: the store wins when both are configured —
+   every write becomes a new [ckpt/<id>] generation — otherwise one
+   [<id>.ckpt] file under the checkpoint dir. *)
+let checkpoint_slot_of st id =
+  match st.store with
+  | Some s -> Some (Rt_store.Slot.Ref (s, "ckpt/" ^ id))
+  | None ->
+    Option.map
+      (fun d -> Rt_store.Slot.File (Filename.concat d (id ^ ".ckpt")))
+      st.cfg.checkpoint_dir
 
 (* Socket streams never checkpoint: their input dies with the
    connection, so a later daemon run could never replay it — and a
    stale [connN.ckpt] would alias an unrelated future connection. *)
 let make_stream st ~checkpointed id =
-  let checkpoint_path = if checkpointed then checkpoint_path_of st id else None in
+  let checkpoint = if checkpointed then checkpoint_slot_of st id else None in
   let s, note =
     Stream.create ~id ?pool:st.pool
       ~flight:(Rt_obs.Flight.scope st.flight id)
@@ -154,7 +165,7 @@ let make_stream st ~checkpointed id =
         window = st.cfg.window;
         eps = st.cfg.eps;
         queue_capacity = st.cfg.queue_capacity;
-        checkpoint_path;
+        checkpoint;
         checkpoint_every = st.cfg.checkpoint_every;
       }
   in
@@ -214,9 +225,7 @@ let crash st now e ~drop_checkpoint reason =
    | Spool sp ->
      Sio.Tail.close sp.tail;
      if drop_checkpoint then
-       Option.iter
-         (fun p -> try Sys.remove p with Sys_error _ -> ())
-         (checkpoint_path_of st e.id)
+       Option.iter Rt_store.Slot.discard (checkpoint_slot_of st e.id)
    | Conn c ->
      Option.iter close_fd c.cfd;
      c.cfd <- None);
@@ -295,6 +304,29 @@ let finalize_entry st e =
      | Ok text ->
        let path = Filename.concat st.cfg.out_dir (e.id ^ ".model") in
        Rt_util.Atomic_file.write path text;
+       (* Also publish the finalized model to the store: one versioned
+          [model/<id>] generation per finalize, so a fleet merge (or a
+          later diff) can read it without touching out_dir. *)
+       (match st.store with
+        | None -> ()
+        | Some store ->
+          let meta =
+            { Rt_store.Store.kind = Rt_store.Store.Model;
+              bound = Some st.cfg.bound;
+              source = Some e.id;
+              parents = [];
+              created_at = e.last_fed }
+          in
+          let blob = Rt_store.Codec.model_wrap text in
+          (match
+             Rt_store.Store.commit store ~ref_:("model/" ^ e.id) ~meta blob
+           with
+           | Ok entry ->
+             fl st Rt_obs.Flight.Info ~stream:e.id ~kind:"store.commit"
+               (Printf.sprintf "model/%s gen %d %s" e.id
+                  entry.Rt_store.Store.gen entry.Rt_store.Store.address)
+           | Error m ->
+             fl st Rt_obs.Flight.Warn ~stream:e.id ~kind:"store.error" m));
        Supervisor.finalize e.sup;
        st.c_finalized <- st.c_finalized + 1;
        fl st Rt_obs.Flight.Info ~stream:e.id ~kind:"stream.finalize"
@@ -776,6 +808,13 @@ let run ?clock cfg =
     mkdir_p cfg.out_dir;
     Option.iter mkdir_p cfg.checkpoint_dir;
     (match
+       match cfg.store with
+       | None -> Ok None
+       | Some dir -> Result.map Option.some (Rt_store.Store.init dir)
+     with
+     | Error m -> Error ("store: " ^ m)
+     | Ok store ->
+    (match
        let data_l = Option.map listen_unix cfg.listen in
        let ctrl_l =
          try Option.map listen_unix cfg.control
@@ -794,6 +833,7 @@ let run ?clock cfg =
            cfg;
            reg = Reg.create ();
            flight = Rt_obs.Flight.create ~capacity:cfg.flight_capacity ();
+           store;
            now = clock ();
            pool =
              (if cfg.jobs > 1 then
@@ -939,4 +979,4 @@ let run ?clock cfg =
        List.iter
          (fun p -> Option.iter (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ()) p)
          [ cfg.listen; cfg.control ];
-       Ok !outcome)
+       Ok !outcome))

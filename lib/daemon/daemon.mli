@@ -26,6 +26,13 @@ type config = {
   control : string option;        (** unix socket speaking {!Control} *)
   out_dir : string;               (** where [ID.model] files land *)
   checkpoint_dir : string option; (** where [ID.ckpt] files land *)
+  store : string option;
+      (** content-addressed {!Rt_store.Store} directory (created on
+          demand). When set it supersedes [checkpoint_dir]: spool
+          streams checkpoint to [ckpt/ID] refs, and every finalized
+          model is also committed as a [model/ID] generation (the
+          fleet-merge / drift-diff interchange) in addition to the
+          [out_dir] file. *)
   checkpoint_every : int;         (** periods between checkpoints *)
   bound : int;                    (** heuristic bound for every stream *)
   window : int option;

@@ -6,7 +6,7 @@ type config = {
   window : int option;
   eps : int option;
   queue_capacity : int;
-  checkpoint_path : string option;
+  checkpoint : Rt_store.Slot.t option;
   checkpoint_every : int;
 }
 
@@ -36,11 +36,6 @@ type t = {
 
 let tag_of id = "rtgend:" ^ id
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
-      really_input_string ic (in_channel_length ic))
-
 let create ~id ?pool ?flight cfg =
   let lines = Bqueue.create ~capacity:cfg.queue_capacity in
   let eof = ref false in
@@ -51,12 +46,13 @@ let create ~id ?pool ?flight cfg =
   in
   let parser = Sio.create ~mode:`Recover ?eps:cfg.eps source in
   let engine, skip, note =
-    match cfg.checkpoint_path with
-    | Some p when Sys.file_exists p ->
-      (match read_file p with
-       | exception Sys_error m ->
+    match cfg.checkpoint with
+    | Some slot when Rt_store.Slot.exists slot ->
+      let p = Rt_store.Slot.describe slot in
+      (match Rt_store.Slot.load slot with
+       | Error m ->
          (None, 0, Some (Printf.sprintf "checkpoint %s unreadable (%s); starting fresh" p m))
-       | data ->
+       | Ok data ->
          (match Eng.resume ?pool ?flight data with
           | Ok (eng, tag) when tag = tag_of id ->
             (Some eng, Eng.periods_fed eng, None)
@@ -135,11 +131,13 @@ let engine_of t =
     e
 
 let write_checkpoint t =
-  match (t.cfg.checkpoint_path, t.engine) with
-  | Some path, Some eng ->
+  match (t.cfg.checkpoint, t.engine) with
+  | Some slot, Some eng ->
     (match Eng.checkpoint ~tag:(tag_of t.id) eng with
      | Ok data ->
-       Rt_util.Atomic_file.write path data;
+       Rt_store.Slot.save ~kind:Rt_store.Store.Checkpoint
+         ~bound:t.cfg.bound ~source:t.id
+         ~created_at:(Eng.periods_fed eng) slot data;
        t.checkpoints <- t.checkpoints + 1;
        (match t.flight with
         | None -> ()
@@ -163,7 +161,7 @@ let consume_period t p =
       let eng = engine_of t in
       Eng.feed eng p';
       if
-        t.cfg.checkpoint_path <> None
+        t.cfg.checkpoint <> None
         && Eng.periods_fed eng mod t.cfg.checkpoint_every = 0
       then write_checkpoint t
     end

@@ -23,7 +23,9 @@ type config = {
   window : int option;      (** salvage window, must match the learner's *)
   eps : int option;         (** clock-skew tolerance for repair *)
   queue_capacity : int;     (** bounded ingest queue (lines) *)
-  checkpoint_path : string option;
+  checkpoint : Rt_store.Slot.t option;
+      (** where checkpoints go: a bare file, or a store ref (every
+          write then becomes a new generation) *)
   checkpoint_every : int;   (** periods between checkpoints *)
 }
 
@@ -32,7 +34,7 @@ type t
 val create :
   id:string -> ?pool:Rt_util.Domain_pool.t -> ?flight:Rt_obs.Flight.scope ->
   config -> t * string option
-(** A fresh stream. When [config.checkpoint_path] names an existing,
+(** A fresh stream. When [config.checkpoint] names an existing,
     intact checkpoint whose tag matches [id], the engine resumes from it
     and replay-skip is armed; a corrupt, unreadable or foreign
     checkpoint falls back to a fresh start (never an exception), and the

@@ -60,7 +60,7 @@ let summary_of engine =
 (* The exchange-law fold over bound-1 summaries: any inconsistent shard
    means the whole trace is inconsistent; otherwise join the summaries
    in one fused pass and weaken once under the union matrix. *)
-let fold_parts parts =
+let fold_summaries parts =
   if Array.exists (fun (s, _) -> s = None) parts then None
   else begin
     let mats = Array.map (fun (s, _) -> Option.get s) parts in
@@ -71,7 +71,7 @@ let fold_parts parts =
   end
 
 let fold_results results =
-  fold_parts (Array.map (fun r -> (r.summary, r.violations)) results)
+  fold_summaries (Array.map (fun r -> (r.summary, r.violations)) results)
 
 let fold_engines engines =
   if Array.length engines = 0 then
@@ -85,7 +85,7 @@ let fold_engines engines =
            invalid_arg "Shard.fold_engines: exact-core engine has no fold")
       engines
   in
-  fold_parts parts
+  fold_summaries parts
 
 let learn ?window ?pool ?obs ~bound ~shards (trace : Rt_trace.Trace.t) =
   if shards < 1 then invalid_arg "Shard.learn: shards must be >= 1";
@@ -195,11 +195,12 @@ module Stream = struct
   let messages_fed t =
     Array.fold_left (fun acc u -> acc + Engine.messages_fed u.main) 0 t.units
 
-  let fold t =
-    fold_parts
-      (Array.map
-         (fun u ->
-            (summary_of (Option.value u.companion ~default:u.main),
-             Option.get (Engine.violations u.main)))
-         t.units)
+  let parts t =
+    Array.map
+      (fun u ->
+         (summary_of (Option.value u.companion ~default:u.main),
+          Option.get (Engine.violations u.main)))
+      t.units
+
+  let fold t = fold_summaries (parts t)
 end

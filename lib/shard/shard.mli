@@ -73,6 +73,25 @@ val plan : shards:int -> periods:int -> (int * int) array
     one, possibly empty, when [periods = 0]) ranges come back.
     @raise Invalid_argument when [shards < 1] or [periods < 0]. *)
 
+val summary_of : Rt_engine.Engine.t -> Rt_lattice.Depfun.t option
+(** The LUB of an engine's current hypotheses — its {e pre-weaken}
+    fold contribution; [None] iff the hypothesis set is empty
+    (inconsistent input). This is the matrix a bound-1 companion
+    publishes to a store as its fleet-merge interchange. *)
+
+val fold_summaries :
+  (Rt_lattice.Depfun.t option * bool array array) array ->
+  Rt_lattice.Depfun.t option
+(** The raw exchange-law fold over [(summary, violations)] pairs:
+    [None] if any part is inconsistent, otherwise
+    [weaken_{∪ᵢ Vᵢ} (⊔ᵢ b1ᵢ)]. This is the cross-process merge
+    primitive — [rtgen merge] feeds it companion blobs read from K
+    separately-produced stores, and partition-shape independence makes
+    the result byte-equal to the monolithic bound-1 model. Exact when
+    each part is a bound-1 summary over a partition of the periods;
+    parts produced at higher bounds fold to a conservative upper
+    bound instead. *)
+
 val fold_results : result array -> Rt_lattice.Depfun.t option
 (** The exchange-law fold described above, over the shards' companion
     summaries: [None] if any shard came back inconsistent, otherwise
@@ -135,6 +154,11 @@ module Stream : sig
   (** Total hypotheses across the units' main engines (a progress
       figure, not a version space — the per-shard sets are not
       comparable across partitions). *)
+
+  val parts : t -> (Rt_lattice.Depfun.t option * bool array array) array
+  (** Each unit's [(companion summary, violation matrix)] pair — what
+      a per-process learner publishes to a store for a later
+      cross-process {!fold_summaries}. *)
 
   val fold : t -> Rt_lattice.Depfun.t option
   (** The folded model; [None] iff some unit saw an inconsistent

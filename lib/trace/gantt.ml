@@ -52,6 +52,4 @@ let to_svg ?(width = 800) (p : Period.t) =
   Buffer.contents buf
 
 let save ?width path p =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc (to_svg ?width p))
+  Rt_util.Atomic_file.write path (to_svg ?width p)

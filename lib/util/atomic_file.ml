@@ -1,4 +1,9 @@
-let write path content =
+(* The one place in the tree allowed to open_out/Sys.rename persistence
+   paths directly (rtlint RTL007 funnels everything else here). The
+   stage/commit split exists so tests can stop a writer inside the
+   crash window and observe that the destination is untouched. *)
+
+let stage path content =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   (try
@@ -8,7 +13,14 @@ let write path content =
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
+  tmp
+
+let commit ~tmp path =
   try Sys.rename tmp path
   with e ->
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e
+
+let abort ~tmp = try Sys.remove tmp with Sys_error _ -> ()
+
+let write path content = commit ~tmp:(stage path content) path

@@ -1,9 +1,28 @@
 (** Atomic whole-file writes: write to [path ^ ".tmp"], then rename over
     [path]. A reader (or a crash) never observes a truncated file — the
-    rename is atomic on POSIX filesystems — which is what trace exports
-    and learner checkpoints need to survive interruption. *)
+    rename is atomic on POSIX filesystems — which is what trace exports,
+    learner checkpoints, and store objects need to survive interruption.
+
+    This module is the single sanctioned owner of [open_out] /
+    [Sys.rename] on persistence paths; rtlint rule RTL007 flags direct
+    use anywhere else under [lib/] and [bin/] (outside [lib/store]). *)
 
 val write : string -> string -> unit
 (** [write path content] atomically replaces [path] with [content].
     The temporary file is removed on failure. Raises [Sys_error] as the
-    underlying syscalls do. *)
+    underlying syscalls do. Equivalent to [commit ~tmp:(stage path
+    content) path]. *)
+
+val stage : string -> string -> string
+(** [stage path content] durably writes [content] to the temporary
+    sibling [path ^ ".tmp"] and returns that temporary path without
+    touching [path]. A crash between [stage] and [commit] leaves the
+    destination exactly as it was. The temporary file is removed if the
+    write itself fails. *)
+
+val commit : tmp:string -> string -> unit
+(** [commit ~tmp path] atomically renames a staged temporary over
+    [path]. Removes [tmp] on failure and re-raises. *)
+
+val abort : tmp:string -> unit
+(** [abort ~tmp] discards a staged temporary, ignoring a missing file. *)

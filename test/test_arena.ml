@@ -239,6 +239,40 @@ let test_range_fallback () =
           (Mmap.is_range_error e);
         Alcotest.(check int) "at the offending line" 3 e.line)
 
+(* A zero-byte file is the mmap edge case (length-0 mappings are
+   implementation-defined): it must be a clean parse error, not a
+   crash, and agree with the boxed loader. *)
+let test_empty_file () =
+  with_file "" (fun path ->
+      match (Tio.load path, Mmap.load path) with
+      | Error e1, Error e2 ->
+        Alcotest.(check (pair int string))
+          "same refusal"
+          (e1.line, e1.message) (e2.line, e2.message)
+      | Ok _, _ -> Alcotest.fail "boxed loader accepted an empty file"
+      | _, Ok _ -> Alcotest.fail "mmap accepted an empty file")
+
+(* Files cut mid-record — a writer died between bytes. Every prefix of
+   a valid trace must load in parity with the boxed reader: either
+   both accept (the cut fell on a record boundary) or both refuse with
+   the same line and message. Exhaustive over all cut points. *)
+let test_truncated_mid_record () =
+  let text =
+    "tasks a b\n\
+     period 0\n\
+     100 start a\n\
+     120 rise 0x10\n\
+     140 fall 0x10\n\
+     150 end a\n\
+     160 start b\n\
+     200 end b\n"
+  in
+  for cut = 0 to String.length text - 1 do
+    check_parity
+      ~name:(Printf.sprintf "truncated at byte %d" cut)
+      (String.sub text 0 cut)
+  done
+
 let () =
   Alcotest.run "arena"
     [
@@ -258,5 +292,8 @@ let () =
           qc_parity_random;
           Alcotest.test_case "packed-range fallback" `Quick
             test_range_fallback;
+          Alcotest.test_case "empty file" `Quick test_empty_file;
+          Alcotest.test_case "truncated mid-record" `Quick
+            test_truncated_mid_record;
         ] );
     ]

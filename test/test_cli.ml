@@ -906,6 +906,189 @@ let test_vcd_import_roundtrip () =
   Alcotest.(check string) "vcd import round trip" (read_file trace_file) back;
   ignore (run ~expect_fail:true (Printf.sprintf "vcd --import %s" trace_file))
 
+(* --- the content-addressed store and fleet merge --- *)
+
+let rm_rf path = ignore (Sys.command (Printf.sprintf "rm -rf %s" path))
+
+(* Split a trace file into [k] files, distributing whole periods
+   round-robin: any partition must fold back to the monolithic bound-1
+   model, so an arbitrary-looking one is the stronger test. *)
+let split_trace k src dsts =
+  let starts_period l =
+    String.length l >= 7 && String.sub l 0 7 = "period "
+  in
+  let lines = String.split_on_char '\n' (read_file src) in
+  let rec header acc = function
+    | l :: _ as rest when starts_period l -> (List.rev acc, rest)
+    | l :: tl -> header (l :: acc) tl
+    | [] -> (List.rev acc, [])
+  in
+  let hdr, rest = header [] lines in
+  let blocks =
+    List.fold_left
+      (fun acc l ->
+         if starts_period l then [ l ] :: acc
+         else
+           match acc with
+           | [] -> acc (* stray trailing blank before any period *)
+           | b :: tl -> (l :: b) :: tl)
+      [] rest
+    |> List.rev_map List.rev
+  in
+  List.iteri
+    (fun i dst ->
+       let mine =
+         List.filteri (fun j _ -> j mod k = i) blocks |> List.concat
+       in
+       write_file dst (String.concat "\n" (hdr @ mine) ^ "\n"))
+    dsts
+
+let test_learn_store_inspect () =
+  let store = tmp "inspect_store" in
+  rm_rf store;
+  ignore (run (Printf.sprintf "learn %s --bound 1 --store %s" trace_file store));
+  Alcotest.(check bool) "commit announced" true
+    (contains ~needle:"stored " (read_file (tmp "stderr")));
+  let refs = run (Printf.sprintf "store refs %s" store) in
+  Alcotest.(check bool) "model ref" true (contains ~needle:"model @1" refs);
+  Alcotest.(check bool) "bound-1 companion ref" true
+    (contains ~needle:"model/b1 @1" refs);
+  Alcotest.(check bool) "answer-set ref" true
+    (contains ~needle:"model/answers @1" refs);
+  let log = run (Printf.sprintf "store log %s model" store) in
+  Alcotest.(check bool) "kind recorded" true (contains ~needle:"kind=model" log);
+  Alcotest.(check bool) "derived from the companion" true
+    (contains ~needle:"parents=" log);
+  (* The committed blob is the canonical model text behind a format
+     header — byte-comparable with what `learn -o` wrote. *)
+  let blob = run (Printf.sprintf "store cat %s//model@1" store) in
+  Alcotest.(check string) "canonical model blob"
+    ("rtgen-model v1\n" ^ read_file model_file)
+    blob;
+  (* Everything committed is referenced, so gc deletes nothing. *)
+  let gc = run (Printf.sprintf "store gc %s" store) in
+  Alcotest.(check bool) "nothing unreferenced" true
+    (contains ~needle:"deleted 0" gc);
+  (* Import a foreign file, then re-learn: generations are dense. *)
+  let put = run (Printf.sprintf "store put %s imported %s" store model_file) in
+  Alcotest.(check bool) "put names the generation" true
+    (contains ~needle:"imported@1 " put);
+  ignore (run (Printf.sprintf "learn %s --bound 1 --store %s" trace_file store));
+  let refs = run (Printf.sprintf "store refs %s" store) in
+  Alcotest.(check bool) "model at generation 2" true
+    (contains ~needle:"model @2" refs)
+
+let test_merge_fleet_byte_equal () =
+  let mono = tmp "fleet_mono.model" in
+  ignore (run (Printf.sprintf "learn %s --bound 1 -o %s" trace_file mono));
+  List.iter
+    (fun k ->
+       let part i ext = tmp (Printf.sprintf "fleet%d_%d%s" k i ext) in
+       let parts = List.init k (fun i -> part i ".trace") in
+       split_trace k trace_file parts;
+       let stores = List.init k (fun i -> part i ".store") in
+       List.iter rm_rf stores;
+       List.iteri
+         (fun i p ->
+            (* Mixed bounds across the fleet: the committed companion
+               is bound-1 regardless, so the merge stays exact. *)
+            ignore
+              (run
+                 (Printf.sprintf "learn %s --bound %d --store %s" p
+                    (if i mod 2 = 0 then 1 else 3)
+                    (List.nth stores i))))
+         parts;
+       let fleet = tmp (Printf.sprintf "fleet%d.model" k) in
+       let fleet_store = tmp (Printf.sprintf "fleet%d_out.store" k) in
+       rm_rf fleet_store;
+       let out =
+         run
+           (Printf.sprintf "merge %s -o %s --store %s" (String.concat " " stores)
+              fleet fleet_store)
+       in
+       Alcotest.(check bool)
+         (Printf.sprintf "K=%d part count" k)
+         true
+         (contains ~needle:(Printf.sprintf "fleet model (%d part(s)" k) out);
+       Alcotest.(check string)
+         (Printf.sprintf "K=%d fleet model byte-equal to monolithic" k)
+         (read_file mono) (read_file fleet);
+       (* The committed fleet ref embeds the same canonical bytes. *)
+       let blob = run (Printf.sprintf "store cat %s//fleet@latest" fleet_store) in
+       Alcotest.(check string)
+         (Printf.sprintf "K=%d committed fleet blob" k)
+         ("rtgen-model v1\n" ^ read_file mono)
+         blob)
+    [ 1; 2; 4 ]
+
+let test_store_checkpoint_resume () =
+  let store = tmp "ckpt.store" in
+  rm_rf store;
+  let slot = store ^ "//ckpt/main" in
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 --checkpoint %s --stop-after 2"
+            trace_file slot));
+  let refs = run (Printf.sprintf "store refs %s" store) in
+  Alcotest.(check bool) "checkpoint ref committed" true
+    (contains ~needle:"ckpt/main @" refs);
+  (* Store-resident checkpoints audit like file ones. *)
+  let code, _ = run_code (Printf.sprintf "check --checkpoint %s" slot) in
+  Alcotest.(check int) "store checkpoint audits clean" 0 code;
+  let resumed =
+    run (Printf.sprintf "learn %s --bound 4 --checkpoint %s" trace_file slot)
+  in
+  Alcotest.(check bool) "resume announced" true
+    (contains ~needle:"resumed" (read_file (tmp "stderr")));
+  let uninterrupted = run (Printf.sprintf "learn %s --bound 4" trace_file) in
+  Alcotest.(check string) "resumed model = uninterrupted model"
+    uninterrupted resumed;
+  (* Success discards the slot: the ref is gone, gc reaps the images. *)
+  let refs = run (Printf.sprintf "store refs %s" store) in
+  Alcotest.(check bool) "checkpoint ref discarded" false
+    (contains ~needle:"ckpt/main" refs);
+  let gc = run (Printf.sprintf "store gc %s" store) in
+  Alcotest.(check bool) "orphaned images reaped" false
+    (contains ~needle:"deleted 0" gc)
+
+let test_store_addressed_check_query () =
+  let store = tmp "addr.store" in
+  rm_rf store;
+  ignore (run (Printf.sprintf "learn %s --bound 1 --store %s" trace_file store));
+  let code, _ = run_code (Printf.sprintf "check %s//model@1" store) in
+  Alcotest.(check int) "store model audits clean" 0 code;
+  let code, out =
+    run_code
+      (Printf.sprintf "query %s \"d(A,L) = -> & conjunction(Q)\" --model %s//model"
+         trace_file store)
+  in
+  Alcotest.(check int) "query over a store address" 0 code;
+  Alcotest.(check bool) "property holds" true (contains ~needle:"[ok]" out);
+  (* A checkpoint blob is not a model: check refuses with guidance. *)
+  ignore
+    (run (Printf.sprintf "learn %s --bound 4 --checkpoint %s//c --stop-after 1"
+            trace_file store));
+  let code, _ = run_code (Printf.sprintf "check %s//c" store) in
+  Alcotest.(check int) "checkpoint blob as MODEL exits 2" 2 code;
+  Alcotest.(check bool) "points at --checkpoint" true
+    (contains ~needle:"--checkpoint" (read_file (tmp "stderr")))
+
+let test_store_merge_validation () =
+  let store = tmp "empty.store" in
+  rm_rf store;
+  ignore (run (Printf.sprintf "store init %s" store));
+  let code, _ = run_code (Printf.sprintf "merge %s" store) in
+  Alcotest.(check int) "no companion parts exits 2" 2 code;
+  let code, _ =
+    run_code (Printf.sprintf "learn %s --exact --store %s" trace_file store)
+  in
+  Alcotest.(check int) "--exact conflicts with --store" 2 code;
+  let code, _ =
+    run_code (Printf.sprintf "learn %s --auto --store %s" trace_file store)
+  in
+  Alcotest.(check int) "--auto conflicts with --store" 2 code;
+  let code, _ = run_code "store refs /nonexistent/store" in
+  Alcotest.(check int) "missing store exits 2" 2 code
+
 let () =
   Alcotest.run "cli"
     [
@@ -1000,6 +1183,19 @@ let () =
           Alcotest.test_case "serve flag validation" `Quick
             test_serve_flag_validation;
           Alcotest.test_case "inject --torn-at" `Quick test_inject_torn_write;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "learn --store + plumbing" `Quick
+            test_learn_store_inspect;
+          Alcotest.test_case "fleet merge byte-equal across K" `Quick
+            test_merge_fleet_byte_equal;
+          Alcotest.test_case "store checkpoint kill-resume" `Quick
+            test_store_checkpoint_resume;
+          Alcotest.test_case "check/query over store addresses" `Quick
+            test_store_addressed_check_query;
+          Alcotest.test_case "merge and flag validation" `Quick
+            test_store_merge_validation;
         ] );
       ( "observability",
         [

@@ -280,7 +280,8 @@ let stream_cfg ?checkpoint_path ?(checkpoint_every = 2) () =
     window = None;
     eps = None;
     queue_capacity = 4096;
-    checkpoint_path;
+    checkpoint =
+      Option.map (fun p -> Rt_store.Slot.File p) checkpoint_path;
     checkpoint_every;
   }
 

@@ -123,6 +123,30 @@ let test_hot_loop_alloc () =
     \    marks := (i, i * 2) :: !marks\n\
     \  done"
 
+let test_persist_writes () =
+  check_rules "open_out flagged" [ "RTL007" ]
+    "let save path s = let oc = open_out path in output_string oc s";
+  check_rules "open_out_bin flagged" [ "RTL007" ]
+    "let save path s = let oc = open_out_bin path in output_string oc s";
+  check_rules "open_out_gen flagged" [ "RTL007" ]
+    "let oc = open_out_gen [ Open_append ] 0o644 \"x\"";
+  check_rules "Sys.rename flagged" [ "RTL007" ]
+    "let publish tmp path = Sys.rename tmp path";
+  check_rules "atomic write is the sanctioned route" []
+    "let save path s = Rt_util.Atomic_file.write path s";
+  (* The funnel itself and the store own the raw syscalls. *)
+  Alcotest.(check (list string)) "atomic_file.ml exempt" []
+    (rules
+       (Lint.lint_source ~file:"lib/util/atomic_file.ml"
+          "let w p s = let oc = open_out p in output_string oc s"));
+  Alcotest.(check (list string)) "lib/store exempt" []
+    (rules
+       (Lint.lint_source ~file:"lib/store/store.ml"
+          "let publish tmp path = Sys.rename tmp path"));
+  check_rules "justified suppression silences" []
+    "(* rtlint: allow RTL007 appends forever, atomicity has no meaning *)\n\
+     let oc = open_out_gen [ Open_append ] 0o644 \"log\""
+
 let test_suppression () =
   check_rules "justified suppression silences" []
     "(* rtlint: allow RTL003 bench harness timing, not model input *)\n\
@@ -162,6 +186,8 @@ let () =
             test_depval_wildcard;
           Alcotest.test_case "RTL006 hot-loop alloc" `Quick
             test_hot_loop_alloc;
+          Alcotest.test_case "RTL007 raw persistence writes" `Quick
+            test_persist_writes;
           Alcotest.test_case "RTL999 parse error" `Quick test_parse_error;
         ] );
       ( "mechanics",

@@ -1,6 +1,64 @@
 module Pcg = Rt_util.Pcg32
 module Heap = Rt_util.Binary_heap
 module Table = Rt_util.Table
+module Af = Rt_util.Atomic_file
+
+let tmpdir () =
+  let d = Filename.temp_file "rtutil_test" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* --- atomic_file ------------------------------------------------------ *)
+
+let test_atomic_write () =
+  let path = Filename.concat (tmpdir ()) "out.txt" in
+  Af.write path "first";
+  Alcotest.(check string) "created" "first" (read_file path);
+  Af.write path "second";
+  Alcotest.(check string) "replaced" "second" (read_file path);
+  Alcotest.(check bool) "no tmp left behind" false
+    (Sys.file_exists (path ^ ".tmp"))
+
+(* The crash window: a process staging a new image and dying before
+   commit must leave the destination byte-identical to what a reader
+   saw before — this is the property every checkpoint, model file and
+   store object rides on. *)
+let test_atomic_crash_window () =
+  let path = Filename.concat (tmpdir ()) "ckpt.bin" in
+  Af.write path "generation 1";
+  let tmp = Af.stage path "generation 2" in
+  (* "crash" here: the staged bytes exist, the destination is intact *)
+  Alcotest.(check string) "tmp holds the new image" "generation 2"
+    (read_file tmp);
+  Alcotest.(check string) "destination untouched" "generation 1"
+    (read_file path);
+  Af.commit ~tmp path;
+  Alcotest.(check string) "commit publishes" "generation 2" (read_file path);
+  Alcotest.(check bool) "tmp consumed" false (Sys.file_exists tmp)
+
+let test_atomic_stage_fresh_dest () =
+  let path = Filename.concat (tmpdir ()) "new.bin" in
+  let tmp = Af.stage path "image" in
+  Alcotest.(check bool) "destination not created by stage" false
+    (Sys.file_exists path);
+  Af.commit ~tmp path;
+  Alcotest.(check string) "committed" "image" (read_file path)
+
+let test_atomic_abort () =
+  let path = Filename.concat (tmpdir ()) "kept.txt" in
+  Af.write path "keep me";
+  let tmp = Af.stage path "discard me" in
+  Af.abort ~tmp;
+  Alcotest.(check bool) "tmp removed" false (Sys.file_exists tmp);
+  Alcotest.(check string) "destination untouched" "keep me" (read_file path);
+  Af.abort ~tmp (* idempotent on a missing tmp *)
 
 let test_pcg_deterministic () =
   let a = Pcg.of_int 42 and b = Pcg.of_int 42 in
@@ -233,6 +291,17 @@ let test_table_kv () =
 let () =
   Alcotest.run "rt_util"
     [
+      ( "atomic_file",
+        [
+          Alcotest.test_case "write replaces atomically" `Quick
+            test_atomic_write;
+          Alcotest.test_case "crash window leaves destination" `Quick
+            test_atomic_crash_window;
+          Alcotest.test_case "stage does not create destination" `Quick
+            test_atomic_stage_fresh_dest;
+          Alcotest.test_case "abort discards staged image" `Quick
+            test_atomic_abort;
+        ] );
       ( "pcg32",
         [
           Alcotest.test_case "deterministic" `Quick test_pcg_deterministic;

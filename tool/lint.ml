@@ -25,12 +25,22 @@ let mutating_idents =
     [ "Array"; "blit" ]; [ "Bytes"; "set" ]; [ "Bytes"; "unsafe_set" ];
     [ "Bytes"; "fill" ]; [ "Bytes"; "blit" ]; [ "String"; "set" ] ]
 
+(* RTL007: every durable file the tools publish (models, checkpoints,
+   traces, reports) must go through the atomic temp-and-rename funnel,
+   so a crash mid-write never leaves a truncated file for a reader.
+   [Rt_util.Atomic_file] and the store own the raw syscalls; direct
+   [open_out]/[Sys.rename] anywhere else is a finding. *)
+let persist_write_idents =
+  [ [ "open_out" ]; [ "open_out_bin" ]; [ "open_out_gen" ];
+    [ "Sys"; "rename" ] ]
+
 type ctx = {
   file : string;
   mutable findings : F.t list;
   allow_wall_clock : bool;   (* lib/obs and lib/sim own the clock *)
   check_pool_rule : bool;    (* off inside domain_pool.ml itself *)
   check_ingest_rule : bool;  (* only in the packed ingest hot path *)
+  check_persist_rule : bool; (* off in atomic_file.ml and lib/store *)
   mutable defines_compare : bool;
   mutable pool_aliases : string list;
 }
@@ -282,6 +292,14 @@ let check_expr ctx (e : Parsetree.expression) =
         emit ctx ~loc:e.pexp_loc "RTL003"
           "%s reads the wall clock: timing must come from the trace \
            or Rt_obs.Registry.now_ns so runs stay reproducible"
+          (String.concat "." path);
+      if ctx.check_persist_rule
+         && List.exists (fun p -> path_ends_with p path) persist_write_idents
+      then
+        emit ctx ~loc:e.pexp_loc "RTL007"
+          "direct %s on a persistence path: route whole-file writes \
+           through Rt_util.Atomic_file (or the store) so a crash never \
+           publishes a truncated file"
           (String.concat "." path)
   | None -> ());
   match e.pexp_desc with
@@ -418,6 +436,9 @@ let lint_source ~file text =
       check_pool_rule = not (contains_dir file "domain_pool.ml");
       check_ingest_rule =
         List.mem (Filename.basename file) ingest_hot_files;
+      check_persist_rule =
+        (not (contains_dir file "lib/store/"))
+        && Filename.basename file <> "atomic_file.ml";
       defines_compare = false;
       pool_aliases = [];
     }
